@@ -1,0 +1,139 @@
+package iam
+
+// One benchmark per table and figure of the paper's evaluation (§6). Each
+// regenerates the corresponding experiment at the scale configured by
+// bench.DefaultConfig (override with IAM_BENCH_SCALE) and prints the
+// resulting table, so `go test -bench=. -benchtime=1x` reproduces the whole
+// evaluation. Trained models and workloads are cached in a shared suite, so
+// the error tables, latency figure and size table reuse one training pass.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"iam/internal/bench"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+func sharedSuite() *bench.Suite {
+	suiteOnce.Do(func() {
+		suite = bench.NewSuite(bench.DefaultConfig())
+	})
+	return suite
+}
+
+// runReport drives one experiment and prints its table once.
+func runReport(b *testing.B, f func(*bench.Suite) *bench.Report) {
+	b.Helper()
+	s := sharedSuite()
+	var out *bench.Report
+	for i := 0; i < b.N; i++ {
+		out = f(s)
+	}
+	fmt.Println(out.String())
+}
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table1() })
+}
+
+func BenchmarkTable2ErrorsWISDM(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table2() })
+}
+
+func BenchmarkTable3ErrorsTWI(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table3() })
+}
+
+func BenchmarkTable4ErrorsHIGGS(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table4() })
+}
+
+func BenchmarkTable5ErrorsIMDB(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table5() })
+}
+
+func BenchmarkFigure4InferenceTime(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure4() })
+}
+
+func BenchmarkTable6ModelSizes(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table6() })
+}
+
+func BenchmarkTable7BatchInference(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table7() })
+}
+
+func BenchmarkFigure5EndToEnd(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure5() })
+}
+
+func BenchmarkFigure6TrainingCurve(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure6() })
+}
+
+func BenchmarkTable8TrainingTime(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table8() })
+}
+
+func BenchmarkTable9DomainRedWISDM(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table9() })
+}
+
+func BenchmarkTable10DomainRedTWI(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table10() })
+}
+
+func BenchmarkTable11DomainRedHIGGS(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table11() })
+}
+
+func BenchmarkFigure7ComponentSweep(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure7() })
+}
+
+func BenchmarkTable12ModelSizeVsK(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table12() })
+}
+
+func BenchmarkSweepGMMSamples(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.GMMSampleSweep() })
+}
+
+func BenchmarkSweepQueryDistribution(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.QueryDistributionSweep() })
+}
+
+func BenchmarkSweepProgressiveSamples(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.ProgressiveSampleSweep() })
+}
+
+func BenchmarkAblationBiasCorrection(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationBiasCorrection() })
+}
+
+func BenchmarkAblationMassModes(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationMassModes() })
+}
+
+func BenchmarkAblationJointVsSeparate(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationJointVsSeparate() })
+}
+
+func BenchmarkAblationColumnOrder(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationColumnOrder() })
+}
+
+func BenchmarkAblationGMMOnly(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationGMMOnly() })
+}
+
+func BenchmarkAblationExhaustive(b *testing.B) {
+	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationExhaustive() })
+}

@@ -1,0 +1,114 @@
+// Command benchrunner regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index).
+//
+//	benchrunner -exp table2,figure4     # specific experiments
+//	benchrunner -exp all                # the whole evaluation
+//	benchrunner -exp errors             # Tables 2-5
+//	IAM_BENCH_SCALE=2 benchrunner ...   # scale rows/workloads up
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"iam/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment list, 'errors', or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	csvDir := flag.String("csv", "", "also write each report as CSV into this directory")
+	flag.Parse()
+
+	suite := bench.NewSuite(bench.DefaultConfig())
+	experiments := []struct {
+		name string
+		run  func() *bench.Report
+	}{
+		{"table1", suite.Table1},
+		{"table2", suite.Table2},
+		{"table3", suite.Table3},
+		{"table4", suite.Table4},
+		{"table5", suite.Table5},
+		{"figure4", suite.Figure4},
+		{"table6", suite.Table6},
+		{"table7", suite.Table7},
+		{"figure5", suite.Figure5},
+		{"figure6", suite.Figure6},
+		{"table8", suite.Table8},
+		{"table9", suite.Table9},
+		{"table10", suite.Table10},
+		{"table11", suite.Table11},
+		{"figure7", suite.Figure7},
+		{"table12", suite.Table12},
+		{"sweep-gmmsamples", suite.GMMSampleSweep},
+		{"sweep-querydist", suite.QueryDistributionSweep},
+		{"sweep-samples", suite.ProgressiveSampleSweep},
+		{"ablation-bias", suite.AblationBiasCorrection},
+		{"ablation-mass", suite.AblationMassModes},
+		{"ablation-joint", suite.AblationJointVsSeparate},
+		{"ablation-order", suite.AblationColumnOrder},
+		{"ablation-gmmonly", suite.AblationGMMOnly},
+		{"ablation-exhaustive", suite.AblationExhaustive},
+	}
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Println(e.name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	switch *exp {
+	case "all":
+		for _, e := range experiments {
+			want[e.name] = true
+		}
+	case "errors":
+		for _, n := range []string{"table2", "table3", "table4", "table5"} {
+			want[n] = true
+		}
+	default:
+		for _, n := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		report := e.run()
+		fmt.Println(report.String())
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.name, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, e.name+".csv"))
+			if err == nil {
+				err = report.WriteCSV(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner:", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchrunner: no experiment matched %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

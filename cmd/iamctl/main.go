@@ -1,0 +1,232 @@
+// Command iamctl trains and queries IAM selectivity estimators on the
+// synthetic evaluation datasets from the command line.
+//
+// Subcommands:
+//
+//	iamctl stats    -dataset wisdm -rows 20000
+//	iamctl estimate -dataset twi -rows 20000 -query "latitude <= 40 AND longitude >= -100"
+//	iamctl eval     -dataset higgs -rows 20000 -queries 200 -estimators IAM,Neurocard,Postgres
+//	iamctl agg      -dataset twi -rows 20000 -query "latitude >= 40" -col longitude
+//	iamctl join     -rows 800 -queries 60
+//
+// All data is generated deterministically from -seed, so results are
+// reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iam/internal/core"
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/join"
+	"iam/internal/naru"
+	"iam/internal/pghist"
+	"iam/internal/query"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		dsName = fs.String("dataset", "twi", "dataset: wisdm | twi | higgs")
+		csvIn  = fs.String("csv", "", "load the table from a CSV file instead of synthesizing")
+		rows   = fs.Int("rows", 20000, "synthetic rows")
+		seed   = fs.Int64("seed", 42, "generation seed")
+		qstr   = fs.String("query", "", "SQL-ish conjunction, e.g. \"latitude <= 40\"")
+		col    = fs.String("col", "", "aggregation target column (agg)")
+		nq     = fs.Int("queries", 200, "workload size (eval)")
+		ests   = fs.String("estimators", "IAM,Neurocard,Postgres", "comma-separated roster (eval)")
+		epochs = fs.Int("epochs", 8, "training epochs")
+		saveTo = fs.String("save", "", "save the trained IAM model to this file")
+		loadFr = fs.String("load", "", "load a previously saved IAM model instead of training")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	var t *dataset.Table
+	if cmd != "join" {
+		if *csvIn != "" {
+			f, err := os.Open(*csvIn)
+			die(err)
+			t, err = dataset.ReadCSV(*csvIn, f, dataset.CSVOptions{CategoricalMaxDistinct: 64})
+			die(err)
+			die(f.Close())
+		} else {
+			t = makeDataset(*dsName, *rows, *seed)
+		}
+	}
+	switch cmd {
+	case "stats":
+		st := dataset.Describe(t)
+		fmt.Printf("dataset   %s\nrows      %d\ncols      %d categorical, %d continuous\n",
+			st.Name, st.Rows, st.ColsCat, st.ColsCon)
+		fmt.Printf("joint     10^%.1f\nNCIE      %.3f (smaller = stronger correlation)\n",
+			st.JointLog10, st.NCIE)
+		fmt.Printf("skewness  mean %.2f, max %.2f\n", st.FisherSkewMean, st.FisherSkewMax)
+		for _, c := range t.Columns {
+			fmt.Printf("  column %-16s %-11s distinct=%d\n", c.Name, c.Kind, c.DistinctCount())
+		}
+	case "estimate":
+		q := parseOrDie(t, *qstr)
+		m := obtainIAM(t, *epochs, *seed, *loadFr, *saveTo)
+		start := time.Now()
+		est, err := m.Estimate(q)
+		die(err)
+		lat := time.Since(start)
+		truth := query.Exec(q)
+		fmt.Printf("query      %s\n", q)
+		fmt.Printf("estimated  %.6g   (%.2fms)\n", est, float64(lat.Microseconds())/1000)
+		fmt.Printf("actual     %.6g\n", truth)
+		fmt.Printf("q-error    %.3f\n", estimator.QError(truth, est, 1/float64(t.NumRows())))
+	case "agg":
+		if *col == "" {
+			die(fmt.Errorf("agg requires -col"))
+		}
+		q := parseOrDie(t, *qstr)
+		m := obtainIAM(t, *epochs, *seed, *loadFr, *saveTo)
+		avg, err := m.EstimateAvg(q, *col)
+		die(err)
+		sum, err := m.EstimateSum(q, *col)
+		die(err)
+		fmt.Printf("query        %s\n", q)
+		fmt.Printf("AVG(%s) ≈ %.6g\n", *col, avg)
+		fmt.Printf("SUM(%s) ≈ %.6g\n", *col, sum)
+	case "eval":
+		w := query.Generate(t, query.GenConfig{NumQueries: *nq, Seed: *seed + 1})
+		for _, label := range strings.Split(*ests, ",") {
+			label = strings.TrimSpace(label)
+			e := buildEstimator(label, t, *epochs, *seed)
+			ev, err := estimator.Evaluate(e, w, t.NumRows())
+			die(err)
+			fmt.Printf("%-10s %s  (%.2fms/query)\n", label, ev.Summary,
+				float64(ev.AvgLatency.Microseconds())/1000)
+		}
+	case "join":
+		runJoin(*rows, *seed, *nq, *epochs)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runJoin trains the IAM and Postgres-style join estimators on the
+// synthetic IMDB star schema and evaluates a JOB-light-style workload.
+func runJoin(titles int, seed int64, nq, epochs int) {
+	if titles > 5000 {
+		titles = 5000 // the -rows flag doubles as the title count here
+	}
+	schema := join.NewIMDBSchema(dataset.SynthIMDB(titles, seed))
+	fmt.Printf("star schema: title=%d movie_info=%d cast_info=%d |J|=%.0f\n",
+		schema.Root.NumRows(), schema.Children[0].Table.NumRows(),
+		schema.Children[1].Table.NumRows(), schema.FullJoinSize())
+	w, err := schema.GenerateWorkload(join.GenJoinConfig{NumQueries: nq, Seed: seed + 1})
+	die(err)
+	fmt.Fprintf(os.Stderr, "training IAM join model...\n")
+	iamJoin, err := join.TrainIAMJoin(schema, join.ARJoinConfig{
+		Epochs: epochs, Hidden: []int{64, 32, 32, 64}, Seed: seed,
+	})
+	die(err)
+	pgJoin, err := join.NewPGJoin(schema, pghist.Config{})
+	die(err)
+	for _, e := range []join.CardEstimator{iamJoin, pgJoin} {
+		errs := make([]float64, len(w.Queries))
+		start := time.Now()
+		for i, jq := range w.Queries {
+			est, err := e.EstimateCard(jq)
+			die(err)
+			errs[i] = estimator.QError(w.Cards[i], est, 1)
+		}
+		lat := time.Since(start) / time.Duration(len(w.Queries))
+		fmt.Printf("%-10s %s  (%.2fms/query)\n", e.Name(), estimator.Summarize(errs),
+			float64(lat.Microseconds())/1000)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: iamctl <stats|estimate|eval|agg|join> [flags]")
+	fmt.Fprintln(os.Stderr, "run 'iamctl <cmd> -h' for the flags of each subcommand")
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iamctl:", err)
+		os.Exit(1)
+	}
+}
+
+func makeDataset(name string, rows int, seed int64) *dataset.Table {
+	switch name {
+	case "wisdm":
+		return dataset.SynthWISDM(rows, seed)
+	case "twi":
+		return dataset.SynthTWI(rows, seed)
+	case "higgs":
+		return dataset.SynthHIGGS(rows, seed)
+	}
+	die(fmt.Errorf("unknown dataset %q", name))
+	return nil
+}
+
+func parseOrDie(t *dataset.Table, s string) *query.Query {
+	q, err := query.Parse(t, s)
+	die(err)
+	return q
+}
+
+// obtainIAM loads a saved model when -load is given, otherwise trains
+// (optionally saving the result).
+func obtainIAM(t *dataset.Table, epochs int, seed int64, loadFrom, saveTo string) *core.Model {
+	if loadFrom != "" {
+		f, err := os.Open(loadFrom)
+		die(err)
+		defer f.Close()
+		m, err := core.Load(f, t)
+		die(err)
+		fmt.Fprintf(os.Stderr, "loaded model from %s\n", loadFrom)
+		return m
+	}
+	m := trainIAM(t, epochs, seed)
+	if saveTo != "" {
+		f, err := os.Create(saveTo)
+		die(err)
+		die(m.Save(f))
+		die(f.Close())
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", saveTo)
+	}
+	return m
+}
+
+func trainIAM(t *dataset.Table, epochs int, seed int64) *core.Model {
+	fmt.Fprintf(os.Stderr, "training IAM on %s (%d rows, %d epochs)...\n", t.Name, t.NumRows(), epochs)
+	m, err := core.Train(t, core.Config{Epochs: epochs, Seed: seed, Hidden: []int{64, 32, 32, 64}})
+	die(err)
+	return m
+}
+
+func buildEstimator(label string, t *dataset.Table, epochs int, seed int64) estimator.Estimator {
+	switch label {
+	case "IAM":
+		return trainIAM(t, epochs, seed)
+	case "Neurocard":
+		fmt.Fprintf(os.Stderr, "training Neurocard...\n")
+		m, err := naru.Train(t, naru.Config{Epochs: epochs, Seed: seed, Hidden: []int{64, 32, 32, 64}})
+		die(err)
+		return m
+	case "Postgres":
+		e, err := pghist.New(t, pghist.Config{})
+		die(err)
+		return e
+	}
+	die(fmt.Errorf("unknown estimator %q (iamctl supports IAM, Neurocard, Postgres; use benchrunner for the full roster)", label))
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package iam is a from-scratch Go reproduction of "Unsupervised
+// Selectivity Estimation by Integrating Gaussian Mixture Models and an
+// Autoregressive Model" (EDBT 2022).
+//
+// The estimator itself lives in internal/core; every substrate it depends
+// on (the ResMADE neural network engine, 1-D Gaussian mixtures, dataset and
+// query models, the join sampler) and every baseline of the paper's
+// evaluation (Sampling, Postgres histograms, MHIST, BayesNet, KDE, DeepDB,
+// MSCN, QuickSel, Naru/NeuroCard, UAE) are implemented in sibling internal
+// packages. See DESIGN.md for the full inventory and EXPERIMENTS.md for the
+// paper-versus-measured results.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation section:
+//
+//	go test -bench=. -benchtime=1x .
+//
+// or selectively via the runner:
+//
+//	go run ./cmd/benchrunner -exp table2,figure4
+package iam

@@ -1,0 +1,3 @@
+module iam
+
+go 1.22

@@ -1,0 +1,381 @@
+// Package ar wraps the ResMADE network into an autoregressive density
+// estimator with progressive sampling (paper §3): batched sample generation,
+// wildcard skipping for unqueried columns, and a pluggable per-column
+// constraint abstraction. Plain code-range constraints give Naru/NeuroCard's
+// vanilla progressive sampling; weight-vector constraints carry IAM's
+// per-component GMM range masses (the §5.2 bias correction); factored
+// constraints implement NeuroCard-style column factorization where a
+// subcolumn's admissible codes depend on previously sampled subcolumns.
+package ar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iam/internal/dataset"
+	"iam/internal/nn"
+	"iam/internal/vecmath"
+)
+
+// Constraint restricts one AR column during progressive sampling.
+type Constraint interface {
+	// Fill writes the admission weight of every code of the column into w
+	// (len = column cardinality). prev holds the codes sampled for earlier
+	// columns of the same tuple (later entries are undefined).
+	Fill(prev []int, w []float64)
+}
+
+// RangeConstraint admits the inclusive code interval [Lo, Hi].
+type RangeConstraint struct {
+	Lo, Hi int
+}
+
+// Fill implements Constraint.
+func (rc RangeConstraint) Fill(_ []int, w []float64) {
+	for k := range w {
+		if k >= rc.Lo && k <= rc.Hi {
+			w[k] = 1
+		} else {
+			w[k] = 0
+		}
+	}
+}
+
+// WeightConstraint admits codes with arbitrary weights in [0, 1] — IAM uses
+// it to multiply the AR conditional by P̂_GMM(R) (paper §5.2).
+type WeightConstraint struct {
+	W []float64
+}
+
+// Fill implements Constraint.
+func (wc WeightConstraint) Fill(_ []int, w []float64) {
+	copy(w, wc.W)
+}
+
+// EmptyConstraint admits nothing; the query is unsatisfiable on this column.
+type EmptyConstraint struct{}
+
+// Fill implements Constraint.
+func (EmptyConstraint) Fill(_ []int, w []float64) {
+	for k := range w {
+		w[k] = 0
+	}
+}
+
+// FactoredConstraint constrains one subcolumn of a factored column to the
+// original code range [Lo, Hi]. FirstCol is the AR column index of the most
+// significant subcolumn; Part selects which subcolumn this constraint is
+// attached to. The admissible subcodes depend on the already-sampled more
+// significant subcolumns, exactly as in NeuroCard's sampler.
+type FactoredConstraint struct {
+	Spec     dataset.FactorSpec
+	Part     int
+	FirstCol int
+	Lo, Hi   int
+}
+
+// Fill implements Constraint.
+func (fc FactoredConstraint) Fill(prev []int, w []float64) {
+	// Decompose the range endpoints into subcolumn digits.
+	loDigits := fc.Spec.Split(fc.Lo)
+	hiDigits := fc.Spec.Split(fc.Hi)
+	// Compare the sampled prefix with the endpoint prefixes.
+	onLo, onHi := true, true
+	for p := 0; p < fc.Part; p++ {
+		v := prev[fc.FirstCol+p]
+		if v != loDigits[p] {
+			onLo = false
+		}
+		if v != hiDigits[p] {
+			onHi = false
+		}
+	}
+	lo, hi := 0, len(w)-1
+	if onLo {
+		lo = loDigits[fc.Part]
+	}
+	if onHi {
+		hi = hiDigits[fc.Part]
+	}
+	for k := range w {
+		if k >= lo && k <= hi {
+			w[k] = 1
+		} else {
+			w[k] = 0
+		}
+	}
+}
+
+// Model is an autoregressive density estimator over encoded columns.
+type Model struct {
+	Net   *nn.ResMADE
+	Cards []int
+}
+
+// New builds a fresh model for the given column cardinalities.
+func New(cards []int, hidden []int, embedDim int, seed int64) (*Model, error) {
+	net, err := nn.NewResMADE(nn.Config{Cards: cards, Hidden: hidden, EmbedDim: embedDim, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Net: net, Cards: append([]int(nil), cards...)}, nil
+}
+
+// Fit trains the model on encoded rows (wildcard skipping enabled, §5.3).
+// Every column's output head is first initialized at the smoothed log
+// marginal frequencies, which calibrates rare values' probabilities from
+// step zero — crucial for tail selectivities on skewed columns.
+func (m *Model) Fit(rows [][]int, cfg nn.TrainConfig) []float64 {
+	m.InitMarginals(rows)
+	cfg.Wildcard = true
+	return m.Net.Fit(rows, cfg)
+}
+
+// InitMarginals sets each column's output bias to log((count+½)/(n+½·card)).
+func (m *Model) InitMarginals(rows [][]int) {
+	if len(rows) == 0 {
+		return
+	}
+	for c, card := range m.Cards {
+		counts := make([]float64, card)
+		for _, r := range rows {
+			counts[r[c]]++
+		}
+		n := float64(len(rows))
+		bias := make([]float64, card)
+		for k := range bias {
+			bias[k] = math.Log((counts[k] + 0.5) / (n + 0.5*float64(card)))
+		}
+		m.Net.SetOutputBias(c, bias)
+	}
+}
+
+// TupleProb returns the model's point probability of one fully specified
+// tuple: Π_i P̂(a_i | a_<i).
+func (m *Model) TupleProb(sess *nn.Session, row []int) float64 {
+	sess.Forward([][]int{row})
+	p := 1.0
+	buf := make([]float64, maxCard(m.Cards))
+	for c, card := range m.Cards {
+		dist := buf[:card]
+		sess.Dist(0, c, dist)
+		p *= dist[row[c]]
+	}
+	return p
+}
+
+func maxCard(cards []int) int {
+	mx := 0
+	for _, c := range cards {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Estimate runs unbiased progressive sampling for a single query whose
+// per-column constraints are cons (nil = unqueried, wildcard-skipped). sess
+// must accommodate numSamples rows.
+func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rng *rand.Rand) float64 {
+	res := m.EstimateBatch(sess, [][]Constraint{cons}, numSamples, rng)
+	return res[0]
+}
+
+// EstimateBatch estimates a batch of queries at once (paper §5.3, Table 7):
+// the per-query sample sets are stacked into one matrix so every AR column
+// needs a single network forward for the whole batch. sess must accommodate
+// len(consList)·numSamples rows.
+func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) []float64 {
+	nCols := len(m.Cards)
+	nq := len(consList)
+	total := nq * numSamples
+	for _, cons := range consList {
+		if len(cons) != nCols {
+			panic(fmt.Sprintf("ar: constraint list has %d entries for %d columns", len(cons), nCols))
+		}
+	}
+
+	rows := make([][]int, total)
+	backing := make([]int, total*nCols)
+	for i := range rows {
+		rows[i] = backing[i*nCols : (i+1)*nCols]
+		for c := range rows[i] {
+			rows[i][c] = m.Net.MaskToken(c)
+		}
+	}
+	probs := make([]float64, total)
+	for i := range probs {
+		probs[i] = 1
+	}
+
+	dist := make([]float64, maxCard(m.Cards))
+	w := make([]float64, maxCard(m.Cards))
+	subRows := make([][]int, 0, total)
+	for c := 0; c < nCols; c++ {
+		// Sub-batch: only the sample rows of queries that constrain this
+		// column need a network forward (wildcard-skipping, §5.3).
+		subRows = subRows[:0]
+		var subQs []int
+		for qi, cons := range consList {
+			if cons[c] != nil {
+				subQs = append(subQs, qi)
+				subRows = append(subRows, rows[qi*numSamples:(qi+1)*numSamples]...)
+			}
+		}
+		if len(subQs) == 0 {
+			continue
+		}
+		sess.Forward(subRows)
+		card := m.Cards[c]
+		for si, qi := range subQs {
+			con := consList[qi][c]
+			for s := 0; s < numSamples; s++ {
+				ri := qi*numSamples + s
+				if probs[ri] == 0 {
+					continue
+				}
+				d := dist[:card]
+				sess.Dist(si*numSamples+s, c, d)
+				wv := w[:card]
+				con.Fill(rows[ri], wv)
+				var mass float64
+				for k := 0; k < card; k++ {
+					d[k] *= wv[k]
+					mass += d[k]
+				}
+				probs[ri] *= mass
+				if mass <= 0 || probs[ri] == 0 {
+					probs[ri] = 0
+					rows[ri][c] = 0 // keep the input valid for later forwards
+					continue
+				}
+				// Sample the next coordinate ∝ corrected conditional.
+				u := rng.Float64() * mass
+				var acc float64
+				pick := card - 1
+				for k := 0; k < card; k++ {
+					acc += d[k]
+					if u < acc {
+						pick = k
+						break
+					}
+				}
+				rows[ri][c] = pick
+			}
+		}
+	}
+
+	out := make([]float64, nq)
+	for qi := 0; qi < nq; qi++ {
+		var s float64
+		for i := qi * numSamples; i < (qi+1)*numSamples; i++ {
+			s += probs[i]
+		}
+		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
+	}
+	return out
+}
+
+// SampleRecord captures one progressive-sampling run for gradient-based
+// query-driven training (UAE): the final sampled rows, the per-column range
+// masses each row accumulated, and the per-row path probabilities.
+type SampleRecord struct {
+	NumSamples int
+	Rows       [][]int     // len nq·numSamples; final sampled codes
+	Mass       [][]float64 // Mass[i][c] = admitted mass at column c (NaN = column skipped)
+	Probs      []float64   // Π over queried columns of Mass[i][c]
+	Est        []float64   // per-query estimates (mean of Probs)
+}
+
+// EstimateBatchRecord is EstimateBatch with full recording. The returned
+// rows can be re-forwarded to reconstruct every step's logits exactly (MADE
+// masks guarantee column c's logits depend only on columns < c, which hold
+// the same sampled values they had during the run).
+func (m *Model) EstimateBatchRecord(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) *SampleRecord {
+	nCols := len(m.Cards)
+	nq := len(consList)
+	total := nq * numSamples
+
+	rec := &SampleRecord{NumSamples: numSamples}
+	rec.Rows = make([][]int, total)
+	rec.Mass = make([][]float64, total)
+	rec.Probs = make([]float64, total)
+	rowBacking := make([]int, total*nCols)
+	massBacking := make([]float64, total*nCols)
+	for i := range rec.Rows {
+		rec.Rows[i] = rowBacking[i*nCols : (i+1)*nCols]
+		rec.Mass[i] = massBacking[i*nCols : (i+1)*nCols]
+		for c := range rec.Rows[i] {
+			rec.Rows[i][c] = m.Net.MaskToken(c)
+			rec.Mass[i][c] = math.NaN()
+		}
+		rec.Probs[i] = 1
+	}
+
+	queried := make([]bool, nCols)
+	for _, cons := range consList {
+		for c, con := range cons {
+			if con != nil {
+				queried[c] = true
+			}
+		}
+	}
+
+	dist := make([]float64, maxCard(m.Cards))
+	w := make([]float64, maxCard(m.Cards))
+	for c := 0; c < nCols; c++ {
+		if !queried[c] {
+			continue
+		}
+		sess.Forward(rec.Rows)
+		card := m.Cards[c]
+		for qi, cons := range consList {
+			con := cons[c]
+			for s := 0; s < numSamples; s++ {
+				ri := qi*numSamples + s
+				if con == nil || rec.Probs[ri] == 0 {
+					continue
+				}
+				d := dist[:card]
+				sess.Dist(ri, c, d)
+				wv := w[:card]
+				con.Fill(rec.Rows[ri], wv)
+				var mass float64
+				for k := 0; k < card; k++ {
+					d[k] *= wv[k]
+					mass += d[k]
+				}
+				rec.Mass[ri][c] = mass
+				rec.Probs[ri] *= mass
+				if mass <= 0 || rec.Probs[ri] == 0 {
+					rec.Probs[ri] = 0
+					rec.Rows[ri][c] = 0
+					continue
+				}
+				u := rng.Float64() * mass
+				var acc float64
+				pick := card - 1
+				for k := 0; k < card; k++ {
+					acc += d[k]
+					if u < acc {
+						pick = k
+						break
+					}
+				}
+				rec.Rows[ri][c] = pick
+			}
+		}
+	}
+
+	rec.Est = make([]float64, nq)
+	for qi := 0; qi < nq; qi++ {
+		var s float64
+		for i := qi * numSamples; i < (qi+1)*numSamples; i++ {
+			s += rec.Probs[i]
+		}
+		rec.Est[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
+	}
+	return rec
+}

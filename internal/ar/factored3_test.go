@@ -1,0 +1,92 @@
+package ar
+
+import (
+	"testing"
+
+	"iam/internal/dataset"
+)
+
+// TestFactoredConstraintThreeParts exercises a three-subcolumn
+// factorization: code = 100·d0 + 10·d1 + d2 over a domain of 1000.
+func TestFactoredConstraintThreeParts(t *testing.T) {
+	spec := dataset.NewFactorSpec(1000, 10)
+	if len(spec.Bases) != 3 {
+		t.Fatalf("bases = %v, want 3 digits", spec.Bases)
+	}
+	lo, hi := 237, 581
+
+	check := func(part int, prev []int, wantLo, wantHi int) {
+		t.Helper()
+		fc := FactoredConstraint{Spec: spec, Part: part, FirstCol: 0, Lo: lo, Hi: hi}
+		w := make([]float64, spec.Bases[part])
+		fc.Fill(prev, w)
+		for k, v := range w {
+			want := 0.0
+			if k >= wantLo && k <= wantHi {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("part %d prev %v: w[%d]=%v, want %v", part, prev, k, v, want)
+			}
+		}
+	}
+	// Part 0: digits 2..5.
+	check(0, []int{0, 0, 0}, 2, 5)
+	// Part 1 given d0=2 (low edge): 3..9.
+	check(1, []int{2, 0, 0}, 3, 9)
+	// Part 1 given d0=4 (inside): 0..9.
+	check(1, []int{4, 0, 0}, 0, 9)
+	// Part 1 given d0=5 (high edge): 0..8.
+	check(1, []int{5, 0, 0}, 0, 8)
+	// Part 2 given (2,3) (both on low edge): 7..9.
+	check(2, []int{2, 3, 0}, 7, 9)
+	// Part 2 given (2,5) (d0 low edge, d1 inside): 0..9.
+	check(2, []int{2, 5, 0}, 0, 9)
+	// Part 2 given (5,8) (both on high edge): 0..1.
+	check(2, []int{5, 8, 0}, 0, 1)
+	// Part 2 given (3,4) (strictly inside): 0..9.
+	check(2, []int{3, 4, 0}, 0, 9)
+}
+
+// TestFactoredEnumerationCoversExactlyTheRange verifies that walking all
+// digit combinations admitted by the per-part constraints yields exactly
+// the codes in [lo, hi].
+func TestFactoredEnumerationCoversExactlyTheRange(t *testing.T) {
+	spec := dataset.NewFactorSpec(1000, 10)
+	lo, hi := 237, 581
+	admitted := map[int]bool{}
+	w0 := make([]float64, 10)
+	w1 := make([]float64, 10)
+	w2 := make([]float64, 10)
+	fc0 := FactoredConstraint{Spec: spec, Part: 0, FirstCol: 0, Lo: lo, Hi: hi}
+	fc1 := FactoredConstraint{Spec: spec, Part: 1, FirstCol: 0, Lo: lo, Hi: hi}
+	fc2 := FactoredConstraint{Spec: spec, Part: 2, FirstCol: 0, Lo: lo, Hi: hi}
+	prev := []int{0, 0, 0}
+	fc0.Fill(prev, w0)
+	for d0 := 0; d0 < 10; d0++ {
+		if w0[d0] == 0 {
+			continue
+		}
+		prev[0] = d0
+		fc1.Fill(prev, w1)
+		for d1 := 0; d1 < 10; d1++ {
+			if w1[d1] == 0 {
+				continue
+			}
+			prev[1] = d1
+			fc2.Fill(prev, w2)
+			for d2 := 0; d2 < 10; d2++ {
+				if w2[d2] == 0 {
+					continue
+				}
+				admitted[spec.Join([]int{d0, d1, d2})] = true
+			}
+		}
+	}
+	for code := 0; code < 1000; code++ {
+		want := code >= lo && code <= hi
+		if admitted[code] != want {
+			t.Fatalf("code %d admitted=%v want=%v", code, admitted[code], want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package ar
+
+import (
+	"math"
+	"math/rand"
+
+	"iam/internal/nn"
+	"iam/internal/vecmath"
+)
+
+// TrainQueryStep performs one query-driven gradient step (the UAE training
+// primitive): progressive sampling runs with recording, the squared
+// log-error between each query's estimate and its target probability is
+// differentiated through the per-step range masses (∂mass/∂logit_j =
+// p_j·(w_j − mass)) along the frozen sample paths, and one Adam update is
+// applied. sess must hold len(consList)·numSamples rows; dLogits must be at
+// least that many rows × Σ cards. It returns the batch mean squared
+// log-error before the update.
+func (m *Model) TrainQueryStep(sess *nn.Session, consList [][]Constraint, targets []float64,
+	numSamples int, lr float64, rng *rand.Rand, dLogits *vecmath.Matrix) float64 {
+
+	rec := m.EstimateBatchRecord(sess, consList, numSamples, rng)
+	total := len(consList) * numSamples
+
+	// Re-forward the final rows: MADE masks make each column's logits
+	// identical to the ones seen during sampling (inputs ≥ c are ignored).
+	sess.Forward(rec.Rows[:total])
+
+	dl := &vecmath.Matrix{Rows: total, Cols: dLogits.Cols, Data: dLogits.Data[:total*dLogits.Cols]}
+	dl.Zero()
+	dist := make([]float64, maxCard(m.Cards))
+	w := make([]float64, maxCard(m.Cards))
+
+	const floor = 1e-9
+	var lossSum float64
+	anyGrad := false
+	for bi := range consList {
+		est := rec.Est[bi]
+		truth := targets[bi]
+		le := math.Log(math.Max(est, floor)) - math.Log(math.Max(truth, floor))
+		lossSum += le * le
+		if est <= 0 {
+			continue // every path died: no gradient signal for this query
+		}
+		gEst := vecmath.Clamp(2*le/est, -1e4, 1e4)
+		for s := 0; s < numSamples; s++ {
+			ri := bi*numSamples + s
+			p := rec.Probs[ri]
+			if p == 0 {
+				continue
+			}
+			for c, card := range m.Cards {
+				mass := rec.Mass[ri][c]
+				if math.IsNaN(mass) || mass <= 0 || consList[bi][c] == nil {
+					continue
+				}
+				gMass := gEst * p / (float64(numSamples) * mass)
+				d := dist[:card]
+				sess.Dist(ri, c, d)
+				wv := w[:card]
+				consList[bi][c].Fill(rec.Rows[ri], wv)
+				lo, _ := m.Net.LogitRange(c)
+				drow := dl.Row(ri)
+				for k := 0; k < card; k++ {
+					drow[lo+k] += gMass * d[k] * (wv[k] - mass)
+				}
+				anyGrad = true
+			}
+		}
+	}
+	if anyGrad {
+		m.Net.ZeroGrad()
+		sess.Backward(dl)
+		m.Net.AdamStep(lr, 1/float64(len(consList)))
+	}
+	return lossSum / float64(len(consList))
+}

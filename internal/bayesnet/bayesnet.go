@@ -1,0 +1,327 @@
+// Package bayesnet implements the Chow-Liu tree Bayesian network baseline
+// (paper §6.1.2 "BayesNet"): columns are discretized into equi-depth bins,
+// a maximum-mutual-information spanning tree is learned, conditional
+// probability tables are estimated with Laplace smoothing, and box queries
+// are answered by exact message passing over the tree. Discretization of
+// continuous attributes is the information loss the paper blames for its
+// maximum-error spikes.
+package bayesnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// Config controls structure learning.
+type Config struct {
+	// Bins caps the per-column discretization (default 64).
+	Bins int
+}
+
+// binSpec describes one column's discretization.
+type binSpec struct {
+	// identity is true for small categorical columns (bin == code).
+	identity bool
+	n        int
+	// For non-identity bins: value bounds of each bin.
+	lo, hi []float64
+}
+
+// node is one column in the tree.
+type node struct {
+	parent   int // -1 for the root
+	children []int
+	prior    []float64   // root only: P(bin)
+	cpt      [][]float64 // cpt[parentBin][bin] = P(bin | parentBin)
+}
+
+// Estimator is the learned Chow-Liu network.
+type Estimator struct {
+	table *dataset.Table
+	bins  []binSpec
+	codes [][]int // column-major bin codes (released after training)
+	nodes []node
+	root  int
+}
+
+// New learns the network from t.
+func New(t *dataset.Table, cfg Config) (*Estimator, error) {
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("bayesnet: empty table")
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 64
+	}
+	d := t.NumCols()
+	if d < 2 {
+		return nil, fmt.Errorf("bayesnet: need ≥ 2 columns")
+	}
+	e := &Estimator{table: t}
+	e.discretize(cfg.Bins)
+
+	// Pairwise mutual information.
+	n := t.NumRows()
+	mi := make([][]float64, d)
+	for i := range mi {
+		mi[i] = make([]float64, d)
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			mi[i][j] = mutualInfo(e.codes[i], e.codes[j], e.bins[i].n, e.bins[j].n, n)
+			mi[j][i] = mi[i][j]
+		}
+	}
+
+	// Maximum spanning tree (Prim) on MI.
+	parent := make([]int, d)
+	inTree := make([]bool, d)
+	best := make([]float64, d)
+	for i := range best {
+		best[i] = -1
+		parent[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < d; j++ {
+		best[j] = mi[0][j]
+		parent[j] = 0
+	}
+	for added := 1; added < d; added++ {
+		pick, bv := -1, -1.0
+		for j := 0; j < d; j++ {
+			if !inTree[j] && best[j] > bv {
+				pick, bv = j, best[j]
+			}
+		}
+		inTree[pick] = true
+		for j := 0; j < d; j++ {
+			if !inTree[j] && mi[pick][j] > best[j] {
+				best[j] = mi[pick][j]
+				parent[j] = pick
+			}
+		}
+	}
+
+	// Build nodes and CPTs with Laplace smoothing.
+	e.root = 0
+	e.nodes = make([]node, d)
+	for j := 0; j < d; j++ {
+		e.nodes[j].parent = parent[j]
+		if parent[j] >= 0 {
+			e.nodes[parent[j]].children = append(e.nodes[parent[j]].children, j)
+		}
+	}
+	for j := 0; j < d; j++ {
+		nb := e.bins[j].n
+		if e.nodes[j].parent < 0 {
+			prior := make([]float64, nb)
+			for _, b := range e.codes[j] {
+				prior[b]++
+			}
+			for b := range prior {
+				prior[b] = (prior[b] + 1) / (float64(n) + float64(nb))
+			}
+			e.nodes[j].prior = prior
+			continue
+		}
+		p := e.nodes[j].parent
+		np := e.bins[p].n
+		cpt := make([][]float64, np)
+		counts := make([][]float64, np)
+		for pb := 0; pb < np; pb++ {
+			cpt[pb] = make([]float64, nb)
+			counts[pb] = make([]float64, nb)
+		}
+		for i := 0; i < n; i++ {
+			counts[e.codes[p][i]][e.codes[j][i]]++
+		}
+		for pb := 0; pb < np; pb++ {
+			var tot float64
+			for _, c := range counts[pb] {
+				tot += c
+			}
+			for b := 0; b < nb; b++ {
+				cpt[pb][b] = (counts[pb][b] + 1) / (tot + float64(nb))
+			}
+		}
+		e.nodes[j].cpt = cpt
+	}
+	e.codes = nil // free training codes
+	return e, nil
+}
+
+// discretize builds bins and per-row codes.
+func (e *Estimator) discretize(maxBins int) {
+	t := e.table
+	n := t.NumRows()
+	e.bins = make([]binSpec, t.NumCols())
+	e.codes = make([][]int, t.NumCols())
+	for j, c := range t.Columns {
+		codes := make([]int, n)
+		if c.Kind == dataset.Categorical && c.Card <= maxBins {
+			copy(codes, c.Ints)
+			e.bins[j] = binSpec{identity: true, n: c.Card}
+			e.codes[j] = codes
+			continue
+		}
+		vals := make([]float64, n)
+		if c.Kind == dataset.Categorical {
+			for i, v := range c.Ints {
+				vals[i] = float64(v)
+			}
+		} else {
+			copy(vals, c.Floats)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		nb := maxBins
+		bounds := make([]float64, nb+1)
+		for k := 0; k <= nb; k++ {
+			pos := k * (n - 1) / nb
+			bounds[k] = sorted[pos]
+		}
+		spec := binSpec{n: nb, lo: make([]float64, nb), hi: make([]float64, nb)}
+		for b := 0; b < nb; b++ {
+			spec.lo[b] = bounds[b]
+			spec.hi[b] = bounds[b+1]
+		}
+		for i, v := range vals {
+			b := sort.SearchFloat64s(bounds[1:nb], v+0) // first bound > v... see below
+			// SearchFloat64s returns the insertion index among upper
+			// bounds bounds[1..nb-1]; that index is the bin.
+			if b >= nb {
+				b = nb - 1
+			}
+			codes[i] = b
+		}
+		e.bins[j] = spec
+		e.codes[j] = codes
+	}
+}
+
+func mutualInfo(xs, ys []int, nx, ny, n int) float64 {
+	joint := make([]float64, nx*ny)
+	px := make([]float64, nx)
+	py := make([]float64, ny)
+	for i := 0; i < n; i++ {
+		joint[xs[i]*ny+ys[i]]++
+		px[xs[i]]++
+		py[ys[i]]++
+	}
+	inv := 1 / float64(n)
+	var mi float64
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			j := joint[x*ny+y] * inv
+			if j <= 0 {
+				continue
+			}
+			mi += j * math.Log(j/(px[x]*inv*py[y]*inv))
+		}
+	}
+	return mi
+}
+
+// Name implements estimator.Estimator.
+func (e *Estimator) Name() string { return "BayesNet" }
+
+// SizeBytes reports prior/CPT/bin-boundary storage.
+func (e *Estimator) SizeBytes() int {
+	s := 0
+	for j := range e.nodes {
+		s += 8 * len(e.nodes[j].prior)
+		for _, row := range e.nodes[j].cpt {
+			s += 8 * len(row)
+		}
+		s += 8 * (len(e.bins[j].lo) + len(e.bins[j].hi))
+	}
+	return s
+}
+
+// binFrac returns, for every bin of column j, the fraction of the bin
+// admitted by interval r (uniform-within-bin assumption for value bins).
+func (e *Estimator) binFrac(j int, r *query.Interval) []float64 {
+	spec := &e.bins[j]
+	out := make([]float64, spec.n)
+	if r == nil {
+		for b := range out {
+			out[b] = 1
+		}
+		return out
+	}
+	if spec.identity {
+		for b := range out {
+			if r.Contains(float64(b)) {
+				out[b] = 1
+			}
+		}
+		return out
+	}
+	for b := 0; b < spec.n; b++ {
+		lo, hi := spec.lo[b], spec.hi[b]
+		if hi < r.Lo || lo > r.Hi {
+			continue
+		}
+		width := hi - lo
+		if width <= 0 {
+			if r.Contains(lo) {
+				out[b] = 1
+			}
+			continue
+		}
+		a := math.Max(lo, r.Lo)
+		bb := math.Min(hi, r.Hi)
+		if bb > a {
+			out[b] = (bb - a) / width
+		}
+	}
+	return out
+}
+
+// Estimate runs exact message passing on the tree.
+func (e *Estimator) Estimate(q *query.Query) (float64, error) {
+	if q.Table != e.table {
+		return 0, fmt.Errorf("bayesnet: query targets table %q", q.Table.Name)
+	}
+	// Bottom-up messages: msg[j][pb] = P(evidence in subtree j | parent bin pb).
+	var msgTo func(j int) []float64
+	var subtree func(j int) []float64
+	// subtree returns per-own-bin factor: frac_j(b) · Π_children msgTo(child)(b).
+	subtree = func(j int) []float64 {
+		frac := e.binFrac(j, q.Ranges[j])
+		for _, c := range e.nodes[j].children {
+			m := msgTo(c)
+			for b := range frac {
+				frac[b] *= m[b]
+			}
+		}
+		return frac
+	}
+	msgTo = func(j int) []float64 {
+		own := subtree(j)
+		p := e.nodes[j].parent
+		np := e.bins[p].n
+		msg := make([]float64, np)
+		cpt := e.nodes[j].cpt
+		for pb := 0; pb < np; pb++ {
+			var s float64
+			for b, f := range own {
+				if f > 0 {
+					s += cpt[pb][b] * f
+				}
+			}
+			msg[pb] = s
+		}
+		return msg
+	}
+	rootFactor := subtree(e.root)
+	var sel float64
+	for b, f := range rootFactor {
+		sel += e.nodes[e.root].prior[b] * f
+	}
+	return vecmath.Clamp(sel, 0, 1), nil
+}

@@ -1,0 +1,125 @@
+package bayesnet
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/query"
+)
+
+func TestChowLiuPicksCorrelatedEdges(t *testing.T) {
+	// Columns: a ~ uniform; b = a (deterministic); c independent. The tree
+	// must connect a—b rather than a—c or b—c.
+	n := 4000
+	a := make([]int, n)
+	b := make([]int, n)
+	c := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = i % 8
+		b[i] = a[i]
+		c[i] = (i * 7) % 5
+	}
+	tb := &dataset.Table{Name: "t", Columns: []*dataset.Column{
+		{Name: "a", Kind: dataset.Categorical, Ints: a, Card: 8},
+		{Name: "b", Kind: dataset.Categorical, Ints: b, Card: 8},
+		{Name: "c", Kind: dataset.Categorical, Ints: c, Card: 5},
+	}}
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's parent must be a (or vice versa through the root).
+	linked := e.nodes[1].parent == 0 || e.nodes[0].parent == 1
+	if !linked {
+		t.Fatalf("a and b not linked: parents %v %v %v",
+			e.nodes[0].parent, e.nodes[1].parent, e.nodes[2].parent)
+	}
+}
+
+func TestExactOnTreeDistribution(t *testing.T) {
+	// Data generated from a tree-structured categorical distribution: the
+	// Chow-Liu model can represent it exactly, so point conjunctions must
+	// be near-exact (up to smoothing).
+	n := 8000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = i % 4
+		b[i] = (a[i] + i%2) % 4 // depends only on a (plus noise)
+	}
+	tb := &dataset.Table{Name: "t", Columns: []*dataset.Column{
+		{Name: "a", Kind: dataset.Categorical, Ints: a, Card: 4},
+		{Name: "b", Kind: dataset.Categorical, Ints: b, Card: 4},
+	}}
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "a", Op: query.Eq, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddPredicate(query.Predicate{Col: "b", Op: query.Eq, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Exec(q)
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.01 {
+		t.Fatalf("tree-exact query: est %v vs truth %v", got, truth)
+	}
+}
+
+func TestBayesNetWorkloadWISDM(t *testing.T) {
+	tb := dataset.SynthWISDM(6000, 1)
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
+	ev, err := estimator.Evaluate(e, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 3 {
+		t.Fatalf("median q-error %v: %v", ev.Summary.Median, ev.Summary)
+	}
+}
+
+func TestUnconstrainedIsOne(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 3)
+	e, err := New(tb, Config{Bins: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate(query.NewQuery(tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 0.02 {
+		t.Fatalf("unconstrained estimate %v", got)
+	}
+}
+
+func TestSizeBytesAndErrors(t *testing.T) {
+	tb := dataset.SynthTWI(1000, 4)
+	e, err := New(tb, Config{Bins: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	other := dataset.SynthTWI(100, 5)
+	if _, err := e.Estimate(query.NewQuery(other)); err == nil {
+		t.Fatal("expected wrong-table error")
+	}
+	single := &dataset.Table{Name: "one", Columns: tb.Columns[:1]}
+	if _, err := New(single, Config{}); err == nil {
+		t.Fatal("expected error for single column")
+	}
+}

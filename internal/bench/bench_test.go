@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the smoke tests fast.
+func tinyConfig() Config {
+	return Config{
+		Rows:         2500,
+		IMDBTitles:   300,
+		TestQueries:  40,
+		TrainQueries: 120,
+		JoinQueries:  25,
+		Epochs:       3,
+		Hidden:       []int{32, 32},
+		NumSamples:   200,
+		Components:   15,
+		Seed:         1,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	r := s.Table1()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 datasets", len(r.Rows))
+	}
+	out := r.String()
+	for _, name := range []string{"wisdm", "twi", "higgs", "imdb"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestErrorTableSmoke(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	r := s.Table3() // TWI is the cheapest (2 columns)
+	if len(r.Rows) != len(EstimatorNames()) {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), len(EstimatorNames()))
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestModelCachingAcrossExperiments(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	a := s.IAM("twi")
+	b := s.IAM("twi")
+	if a != b {
+		t.Fatal("IAM model rebuilt instead of cached")
+	}
+	e1 := s.Estimators("twi")
+	e2 := s.Estimators("twi")
+	if e1["IAM"] != e2["IAM"] {
+		t.Fatal("estimator roster rebuilt")
+	}
+	if e1["IAM"] != interface{}(a) {
+		t.Fatal("roster IAM differs from cached IAM")
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Epochs = 3
+	s := NewSuite(cfg)
+	r := s.Figure6()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per epoch", len(r.Rows))
+	}
+}
+
+func TestTable12Smoke(t *testing.T) {
+	s := NewSuite(tinyConfig())
+	r := s.Table12()
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Sizes must grow with K within each dataset column.
+	first := r.Rows[0]
+	last := r.Rows[len(r.Rows)-1]
+	if first[1] >= last[1] {
+		t.Fatalf("size did not grow with K: %v vs %v", first, last)
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{Title: "T", Header: []string{"a", "bb"}}
+	r.Add("x", "y")
+	r.Addf("long-cell", 3.14159)
+	out := r.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "3.142") {
+		t.Fatalf("bad report:\n%s", out)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	r := &Report{Title: "T", Header: []string{"a", "b"}}
+	r.Add("x", "1")
+	r.Add("y", "2")
+	var buf strings.Builder
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\ny,2\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}

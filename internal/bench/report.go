@@ -1,0 +1,100 @@
+// Package bench is the experiment harness: one driver per table and figure
+// of the paper's evaluation (§6), each regenerating the corresponding rows
+// (estimator × error quantiles, inference latencies, model sizes, training
+// curves, domain-reduction ablations, optimizer end-to-end cost) on the
+// synthetic datasets. The drivers are shared between `go test -bench` and
+// cmd/benchrunner.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one regenerated table or figure as text.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends one row of cells.
+func (r *Report) Add(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Addf appends a row formatted from values (numbers get %.4g).
+func (r *Report) Addf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// WriteCSV emits the report as CSV (header row first) so figures can be
+// re-plotted with external tooling.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iam/internal/core"
+	"iam/internal/estimator"
+	"iam/internal/gmm"
+	"iam/internal/query"
+)
+
+// GMMSampleSweep reproduces the "Impact of GMM Sample Number" experiment
+// (§6 bullet list): accuracy and estimation time of IAM as the number of
+// Monte-Carlo samples S drawn per Gaussian component varies. Small S makes
+// P̂_GMM(R) noisy (hurting tails); large S only costs preprocessing, since
+// range masses are two binary searches per component at query time.
+func (s *Suite) GMMSampleSweep() *Report {
+	r := &Report{
+		Title:  "Impact of GMM sample number S on TWI (IAM)",
+		Header: []string{"S", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
+	}
+	t := s.Table("twi")
+	w := s.Workload("twi")
+	for _, S := range []int{100, 1000, 10000, 50000} {
+		cfg := s.iamCfg(s.Cfg.Seed + 1700)
+		cfg.GMMSamples = S
+		m, err := core.Train(t, cfg)
+		must(err)
+		ev, err := estimator.Evaluate(m, w, t.NumRows())
+		must(err)
+		sum := ev.Summary
+		r.Addf(S, sum.Mean, sum.Median, sum.P95, sum.Max,
+			float64(ev.AvgLatency.Microseconds())/1000)
+	}
+	return r
+}
+
+// AblationGMMOnly evaluates the §4.2 design alternative the paper rejects:
+// one multivariate (diagonal-covariance) mixture over all attributes, used
+// directly as the estimator. Its within-component independence assumption
+// loses to IAM (mixture for domain reduction + AR model for correlation).
+func (s *Suite) AblationGMMOnly() *Report {
+	r := &Report{
+		Title:  "Ablation: multivariate GMM alone vs IAM (TWI)",
+		Header: []string{"Estimator", "Mean", "Median", "95th", "Max"},
+	}
+	t := s.Table("twi")
+	w := s.Workload("twi")
+	rows := make([][]float64, t.NumRows())
+	for i := range rows {
+		x := make([]float64, t.NumCols())
+		for j, c := range t.Columns {
+			x[j] = c.Floats[i]
+		}
+		rows[i] = x
+	}
+	rng := rand.New(rand.NewSource(s.Cfg.Seed + 1900))
+	mv := gmm.FitMulti(rows, 2*s.Cfg.Components, 20, rng)
+
+	floor := 1.0 / float64(t.NumRows())
+	errs := make([]float64, len(w.Queries))
+	lo := make([]float64, t.NumCols())
+	hi := make([]float64, t.NumCols())
+	for i, q := range w.Queries {
+		for j, rr := range q.Ranges {
+			lo[j], hi[j] = math.Inf(-1), math.Inf(1)
+			if rr != nil {
+				lo[j], hi[j] = rr.Lo, rr.Hi
+			}
+		}
+		errs[i] = estimator.QError(w.TrueSel[i], mv.EstimateBox(lo, hi), floor)
+	}
+	sum := estimator.Summarize(errs)
+	r.Addf(fmt.Sprintf("MultiGMM (K=%d)", 2*s.Cfg.Components), sum.Mean, sum.Median, sum.P95, sum.Max)
+
+	ev, err := estimator.Evaluate(s.IAM("twi"), w, t.NumRows())
+	must(err)
+	sum = ev.Summary
+	r.Addf("IAM", sum.Mean, sum.Median, sum.P95, sum.Max)
+	return r
+}
+
+// AblationExhaustive compares IAM's progressive sampling against exact
+// enumeration of the reduced search space — feasible only because the GMMs
+// shrank each queried column to K symbols (the paper rules enumeration out
+// for original domains, §3). Enumeration removes all Monte-Carlo error.
+func (s *Suite) AblationExhaustive() *Report {
+	r := &Report{
+		Title:  "Ablation: progressive sampling vs exhaustive enumeration (TWI)",
+		Header: []string{"Inference", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
+	}
+	t := s.Table("twi")
+	w := s.Workload("twi")
+	for _, mode := range []struct {
+		label string
+		limit int
+	}{{"sampling (S_p paths)", 0}, {"exhaustive enumeration", 200000}} {
+		cfg := s.iamCfg(s.Cfg.Seed + 2000)
+		cfg.ExhaustiveLimit = mode.limit
+		m, err := core.Train(t, cfg)
+		must(err)
+		ev, err := estimator.Evaluate(m, w, t.NumRows())
+		must(err)
+		sum := ev.Summary
+		r.Addf(mode.label, sum.Mean, sum.Median, sum.P95, sum.Max,
+			float64(ev.AvgLatency.Microseconds())/1000)
+	}
+	return r
+}
+
+// QueryDistributionSweep reproduces the technical report's "impact of query
+// distribution" study: IAM versus NeuroCard as the number of predicated
+// columns grows (narrow one-filter probes through full-width conjunctions).
+func (s *Suite) QueryDistributionSweep() *Report {
+	r := &Report{
+		Title:  "Impact of query distribution: #filters vs q-error on WISDM",
+		Header: []string{"Filters", "Estimator", "Mean", "Median", "95th", "Max"},
+	}
+	t := s.Table("wisdm")
+	iamModel := s.IAM("wisdm")
+	ncModel := s.Neurocard("wisdm")
+	for _, nf := range []int{1, 2, 3, 5} {
+		w := query.Generate(t, query.GenConfig{
+			NumQueries: s.Cfg.TestQueries / 2, Seed: s.Cfg.Seed + int64(nf)*13,
+			MinFilters: nf, MaxFilters: nf,
+		})
+		for _, e := range []estimator.Estimator{iamModel, ncModel} {
+			ev, err := estimator.Evaluate(e, w, t.NumRows())
+			must(err)
+			sum := ev.Summary
+			r.Addf(nf, e.Name(), sum.Mean, sum.Median, sum.P95, sum.Max)
+		}
+	}
+	return r
+}
+
+// ProgressiveSampleSweep varies S_p, the number of progressive-sampling
+// paths per query (the paper fixes 8000; we show the accuracy/latency
+// trade-off directly).
+func (s *Suite) ProgressiveSampleSweep() *Report {
+	r := &Report{
+		Title:  "Impact of progressive-sampling width S_p on WISDM (IAM)",
+		Header: []string{"S_p", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
+	}
+	t := s.Table("wisdm")
+	w := s.Workload("wisdm")
+	// One trained model; only the inference width changes.
+	for _, sp := range []int{50, 200, 800, 2000} {
+		cfg := s.iamCfg(s.Cfg.Seed + 1800)
+		cfg.NumSamples = sp
+		m, err := core.Train(t, cfg)
+		must(err)
+		ev, err := estimator.Evaluate(m, w, t.NumRows())
+		must(err)
+		sum := ev.Summary
+		r.Addf(sp, sum.Mean, sum.Median, sum.P95, sum.Max,
+			float64(ev.AvgLatency.Microseconds())/1000)
+	}
+	r.Notes = append(r.Notes, "the model is retrained per row only because NumSamples is fixed at construction; weights are identical across rows (same seed)")
+	return r
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iam/internal/ar"
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// The paper's §8 names approximate AVG/SUM processing as future work; this
+// file implements it on top of the trained IAM model. Progressive sampling
+// already draws tuples proportionally to the (corrected) model distribution
+// restricted to the query region; averaging a per-sample value estimate
+// weighted by the path probabilities yields E[col | query]:
+//
+//	AVG ≈ Σ_s p_s·v_s / Σ_s p_s,   SUM ≈ AVG · sel(q) · |T|,
+//
+// where v_s is the truncated-Gaussian mean of the sampled GMM component for
+// reduced columns, or the decoded ordinal value for encoded columns.
+
+// EstimateAvg estimates AVG(col) over the rows matching q. The estimate is
+// Rao-Blackwellized: the conditioning columns are progressively sampled,
+// but the target column's value is integrated over its full (bias-corrected)
+// conditional distribution rather than sampled, removing one layer of Monte
+// Carlo variance.
+func (m *Model) EstimateAvg(q *query.Query, col string) (float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refreshMassEstimators()
+
+	ci := m.table.ColumnIndex(col)
+	if ci < 0 {
+		return 0, fmt.Errorf("core: unknown column %q", col)
+	}
+	c := m.table.Columns[ci]
+	if c.Kind != dataset.Continuous {
+		return 0, fmt.Errorf("core: AVG target %q is categorical", col)
+	}
+	info := &m.cols[ci]
+
+	cons, err := m.buildConstraints(q)
+	if err != nil {
+		return 0, err
+	}
+	iv := query.Everything()
+	if q.Ranges[ci] != nil {
+		iv = *q.Ranges[ci]
+	}
+
+	need := m.cfg.NumSamples
+	if need > m.sessCap {
+		m.sessCap = need
+		m.sess = m.arm.Net.NewSession(need)
+	}
+	rec := m.arm.EstimateBatchRecord(m.sess, [][]ar.Constraint{cons}, m.cfg.NumSamples, m.estRNG)
+
+	// Per-component value estimates and admission weights for the target.
+	card := m.arm.Cards[info.arFirst]
+	vals := make([]float64, card)
+	wts := make([]float64, card)
+	switch info.kind {
+	case kindGMM:
+		for k := 0; k < info.gm.K(); k++ {
+			v, _ := truncatedNormalMean(info.gm.Means[k], info.gm.Sigmas[k], iv.Lo, iv.Hi)
+			vals[k] = v
+		}
+		lo, hi := iv.Lo, iv.Hi
+		if !iv.LoInc {
+			lo = math.Nextafter(lo, math.Inf(1))
+		}
+		if !iv.HiInc {
+			hi = math.Nextafter(hi, math.Inf(-1))
+		}
+		switch m.cfg.MassMode {
+		case MassMonteCarlo:
+			info.sampler.Mass(lo, hi, wts)
+		case MassExact:
+			info.gm.RangeMassExact(lo, hi, wts)
+		case MassEmpirical:
+			info.empirical.Mass(lo, hi, wts)
+		}
+	case kindPassthrough:
+		loCode, hiCode := 0, info.enc.Card-1
+		if q.Ranges[ci] != nil {
+			var ok bool
+			loCode, hiCode, ok = m.codeRange(ci, q.Ranges[ci])
+			if !ok {
+				return 0, fmt.Errorf("core: AVG over an empty range")
+			}
+		}
+		for k := loCode; k <= hiCode; k++ {
+			vals[k] = info.enc.DecodeFloat(k)
+			wts[k] = 1
+		}
+	case kindReduced, kindFactored:
+		return m.estimateAvgSampled(q, ci, iv, cons, rec)
+	}
+
+	// Re-forward the final rows; MADE masks make the target column's
+	// conditional depend only on earlier (already sampled) columns.
+	m.sess.Forward(rec.Rows)
+	dist := make([]float64, card)
+	var num, den float64
+	for s := 0; s < m.cfg.NumSamples; s++ {
+		p := rec.Probs[s]
+		if p == 0 {
+			continue
+		}
+		m.sess.Dist(s, info.arFirst, dist)
+		var vSum, wSum float64
+		for k := 0; k < card; k++ {
+			a := dist[k] * wts[k]
+			vSum += a * vals[k]
+			wSum += a
+		}
+		if wSum <= 0 {
+			continue
+		}
+		num += p * vSum / wSum
+		den += p
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("core: no matching tuples sampled for AVG")
+	}
+	return num / den, nil
+}
+
+// estimateAvgSampled is the fallback AVG path for factored and
+// alternative-reducer columns: the target column is explicitly sampled and
+// per-sample value estimates are averaged.
+func (m *Model) estimateAvgSampled(q *query.Query, ci int, iv query.Interval, cons []ar.Constraint, rec *ar.SampleRecord) (float64, error) {
+	info := &m.cols[ci]
+	if cons[info.arFirst] == nil {
+		// Force sampling of the target column on a fresh run.
+		cons2 := make([]ar.Constraint, len(cons))
+		copy(cons2, cons)
+		switch info.kind {
+		case kindReduced:
+			k := m.arm.Cards[info.arFirst]
+			ones := make([]float64, k)
+			for i := range ones {
+				ones[i] = 1
+			}
+			cons2[info.arFirst] = ar.WeightConstraint{W: ones}
+		case kindFactored:
+			for p := 0; p < info.arCount; p++ {
+				cons2[info.arFirst+p] = ar.FactoredConstraint{
+					Spec: info.factor, Part: p, FirstCol: info.arFirst,
+					Lo: 0, Hi: info.enc.Card - 1,
+				}
+			}
+		}
+		rec = m.arm.EstimateBatchRecord(m.sess, [][]ar.Constraint{cons2}, m.cfg.NumSamples, m.estRNG)
+	}
+	var num, den float64
+	for s := 0; s < m.cfg.NumSamples; s++ {
+		p := rec.Probs[s]
+		if p == 0 {
+			continue
+		}
+		v, ok := m.sampleValue(info, rec.Rows[s], iv)
+		if !ok {
+			continue
+		}
+		num += p * v
+		den += p
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("core: no matching tuples sampled for AVG")
+	}
+	return num / den, nil
+}
+
+// EstimateWithCI returns the selectivity estimate together with its
+// Monte-Carlo standard error across the progressive-sampling paths, letting
+// callers (e.g. an optimizer deciding whether to re-estimate with more
+// samples) judge how trustworthy a single estimate is.
+func (m *Model) EstimateWithCI(q *query.Query) (est, stderr float64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refreshMassEstimators()
+	cons, err := m.buildConstraints(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	if m.cfg.NumSamples > m.sessCap {
+		m.sessCap = m.cfg.NumSamples
+		m.sess = m.arm.Net.NewSession(m.sessCap)
+	}
+	rec := m.arm.EstimateBatchRecord(m.sess, [][]ar.Constraint{cons}, m.cfg.NumSamples, m.estRNG)
+	est = rec.Est[0]
+	variance := vecmath.Variance(rec.Probs)
+	stderr = math.Sqrt(variance / float64(len(rec.Probs)))
+	return est, stderr, nil
+}
+
+// EstimateSum estimates SUM(col) over the rows matching q.
+func (m *Model) EstimateSum(q *query.Query, col string) (float64, error) {
+	avg, err := m.EstimateAvg(q, col)
+	if err != nil {
+		return 0, err
+	}
+	sel, err := m.Estimate(q)
+	if err != nil {
+		return 0, err
+	}
+	return avg * sel * float64(m.table.NumRows()), nil
+}
+
+// sampleValue turns a sampled AR row into a value estimate for the target
+// column, restricted to interval iv.
+func (m *Model) sampleValue(info *colInfo, row []int, iv query.Interval) (float64, bool) {
+	switch info.kind {
+	case kindGMM:
+		k := row[info.arFirst]
+		return truncatedNormalMean(info.gm.Means[k], info.gm.Sigmas[k], iv.Lo, iv.Hi)
+	case kindReduced:
+		// Alternative reducers expose no component moments; fall back to
+		// the midpoint of the component's mass inside the interval by
+		// sampling its RangeMass — approximate with the interval midpoint.
+		lo, hi := iv.Lo, iv.Hi
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			return 0, false
+		}
+		return (lo + hi) / 2, true
+	case kindPassthrough:
+		return info.enc.DecodeFloat(row[info.arFirst]), true
+	case kindFactored:
+		sub := make([]int, info.arCount)
+		copy(sub, row[info.arFirst:info.arFirst+info.arCount])
+		return info.enc.DecodeFloat(info.factor.Join(sub)), true
+	}
+	return 0, false
+}
+
+// truncatedNormalMean returns E[X | lo ≤ X ≤ hi] for X ~ N(mu, sigma²).
+func truncatedNormalMean(mu, sigma, lo, hi float64) (float64, bool) {
+	alpha := (lo - mu) / sigma
+	beta := (hi - mu) / sigma
+	if math.IsInf(lo, -1) {
+		alpha = math.Inf(-1)
+	}
+	if math.IsInf(hi, 1) {
+		beta = math.Inf(1)
+	}
+	phi := func(z float64) float64 {
+		if math.IsInf(z, 0) {
+			return 0
+		}
+		return vecmath.NormalPDF(z, 0, 1)
+	}
+	cdf := func(z float64) float64 { return vecmath.NormalCDF(z, 0, 1) }
+	z := cdf(beta) - cdf(alpha)
+	if z <= 1e-12 {
+		// The component barely intersects the interval; use the nearest
+		// endpoint as the value estimate.
+		switch {
+		case !math.IsInf(lo, -1) && mu < lo:
+			return lo, true
+		case !math.IsInf(hi, 1) && mu > hi:
+			return hi, true
+		default:
+			return mu, true
+		}
+	}
+	return mu + sigma*(phi(alpha)-phi(beta))/z, true
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+func benchModel(b *testing.B) (*Model, *dataset.Table, *query.Workload) {
+	b.Helper()
+	tb := dataset.SynthTWI(5000, 1)
+	m, err := Train(tb, Config{
+		Epochs: 4, Hidden: []int{64, 32, 32, 64}, NumSamples: 500, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
+	return m, tb, w
+}
+
+func BenchmarkIAMTrainTWI(b *testing.B) {
+	tb := dataset.SynthTWI(5000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := Train(tb, Config{
+			Epochs: 4, Hidden: []int{64, 32, 32, 64}, NumSamples: 500, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIAMEstimate(b *testing.B) {
+	m, _, w := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Estimate(w.Queries[i%len(w.Queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIAMEstimateBatch64(b *testing.B) {
+	m, _, w := benchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateBatch(w.Queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(64*b.N)/b.Elapsed().Seconds(), "queries/s")
+}

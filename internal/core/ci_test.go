@@ -1,0 +1,39 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/query"
+)
+
+func TestEstimateWithCI(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	q := query.NewQuery(tb)
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Le, Value: 38})
+
+	est, stderr, err := m.EstimateWithCI(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 0 || est > 1 || stderr < 0 || math.IsNaN(stderr) {
+		t.Fatalf("est=%v stderr=%v", est, stderr)
+	}
+	// The truth should lie within a few standard errors most of the time;
+	// allow a generous band since the model itself is approximate.
+	truth := query.Exec(q)
+	if math.Abs(est-truth) > 10*stderr+0.05 {
+		t.Fatalf("estimate %v ± %v too far from truth %v", est, stderr, truth)
+	}
+
+	// An unconstrained query has zero Monte-Carlo variance (every path
+	// contributes exactly 1).
+	full := query.NewQuery(tb)
+	est, stderr, err = m.EstimateWithCI(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 || stderr != 0 {
+		t.Fatalf("unconstrained: est=%v stderr=%v, want 1±0", est, stderr)
+	}
+}

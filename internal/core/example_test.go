@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"iam/internal/core"
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+// ExampleTrain shows the minimal train-and-estimate workflow. (No fixed
+// output: estimates are stochastic across platforms at this tiny scale.)
+func ExampleTrain() {
+	tweets := dataset.SynthTWI(2000, 1)
+	model, err := core.Train(tweets, core.Config{
+		Epochs: 3,
+		Hidden: []int{32, 32},
+		Seed:   1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	q, err := query.Parse(tweets, "latitude <= 40")
+	if err != nil {
+		panic(err)
+	}
+	sel, err := model.Estimate(q)
+	if err != nil {
+		panic(err)
+	}
+	ok := sel >= 0 && sel <= 1
+	fmt.Println("estimate in [0,1]:", ok)
+	// Output: estimate in [0,1]: true
+}

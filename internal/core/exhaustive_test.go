@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/query"
+)
+
+func TestExhaustiveModeOnTWI(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ExhaustiveLimit = 5000 // K=20 per column → 20 frontier rows max
+	m, tb := trainTWI(t, cfg)
+
+	// Reference model: identical training, sampling inference.
+	ms, err := Train(tb, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := query.Generate(tb, query.GenConfig{NumQueries: 40, Seed: 50})
+	for i, q := range w.Queries {
+		exact, err := m.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampled, err := ms.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same trained weights (same seeds) — the exhaustive answer is the
+		// zero-variance limit of the sampled one.
+		if math.Abs(exact-sampled) > 0.05+0.2*sampled {
+			t.Fatalf("query %d: exhaustive %v vs sampled %v", i, exact, sampled)
+		}
+	}
+
+	// Determinism: exhaustive answers are identical across calls.
+	q := w.Queries[0]
+	a, _ := m.Estimate(q)
+	b, _ := m.Estimate(q)
+	if a != b {
+		t.Fatalf("exhaustive mode not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestExhaustiveFallsBackWhenTooLarge(t *testing.T) {
+	cfg := fastCfg()
+	cfg.ExhaustiveLimit = 2 // everything falls back to sampling
+	m, tb := trainTWI(t, cfg)
+	q := query.NewQuery(tb)
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Le, Value: 40})
+	mustAdd(t, q, query.Predicate{Col: "longitude", Op: query.Le, Value: -90})
+	got, err := m.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Exec(q)
+	if qe := truth / math.Max(got, 1e-9); qe > 3 && got/math.Max(truth, 1e-9) > 3 {
+		t.Fatalf("fallback estimate %v vs truth %v", got, truth)
+	}
+}

@@ -1,0 +1,685 @@
+// Package core implements IAM, the paper's contribution: a selectivity
+// estimator integrating per-attribute Gaussian mixture models with a deep
+// autoregressive model (ResMADE). Continuous attributes with large domains
+// are reduced to their argmax GMM component index (§4.2); the GMMs and the
+// AR model are trained jointly end-to-end on shared mini-batches with
+// loss = Σ loss_GMM + loss_AR (Eq. 6, §4.3); and range queries are answered
+// with the unbiased bias-corrected progressive-sampling algorithm of §5
+// (Algorithm 1), where the per-component range masses P̂_GMM(R) multiply the
+// AR conditionals.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"iam/internal/ar"
+	"iam/internal/dataset"
+	"iam/internal/gmm"
+	"iam/internal/nn"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// RangeMassMode selects how per-component range masses P̂_GMM(R) are
+// computed during query inference (§5.2).
+type RangeMassMode int
+
+const (
+	// MassMonteCarlo is the paper's method: S samples per Gaussian
+	// component, drawn once as preprocessing.
+	MassMonteCarlo RangeMassMode = iota
+	// MassExact evaluates the Gaussian CDF directly (deterministic
+	// alternative; ablation).
+	MassExact
+	// MassEmpirical uses the exact per-component data fractions
+	// s(R ∩ k)/s(k) from the training data — the quantity in the
+	// unbiasedness proof (extension beyond the paper).
+	MassEmpirical
+)
+
+// Config controls IAM construction and training.
+type Config struct {
+	// GMMThreshold: continuous columns with more distinct values than this
+	// are fitted by a GMM (paper default 1000).
+	GMMThreshold int
+	// Components is the number of GMM components K (paper default 30,
+	// which zero falls back to). AutoComponents (-1) selects K per column
+	// automatically (VBGM-style, gmm.SelectK).
+	Components int
+	// MaxSubColumn caps the domain of non-GMM columns; larger domains are
+	// factored NeuroCard-style. Default 256.
+	MaxSubColumn int
+
+	Hidden   []int // AR hidden widths; default [128, 64, 64, 128]
+	EmbedDim int   // default 32
+
+	Epochs    int     // default 10
+	BatchSize int     // default 256
+	LR        float64 // AR learning rate; default 2e-3
+	GMMLR     float64 // GMM learning rate; default 0.02
+
+	// SeparateTraining disables joint end-to-end training: GMMs are fully
+	// fitted first, then the AR model (the "Separate Training" alternative
+	// of §4.3; ablation).
+	SeparateTraining bool
+
+	// GMMSamples is S, the Monte-Carlo samples drawn per component for
+	// P̂_GMM (paper default 10000).
+	GMMSamples int
+	// NumSamples is S_p, the progressive-sampling paths per query
+	// (paper uses 8000; default here 800 for CPU scale).
+	NumSamples int
+	// ExhaustiveLimit, when positive, answers queries whose reduced search
+	// space fits within the limit by *exact enumeration* instead of
+	// sampling — feasible precisely because the GMMs shrank the domains
+	// (an extension; the paper rules enumeration out only for original
+	// domains). Zero disables it.
+	ExhaustiveLimit int
+	MassMode        RangeMassMode
+
+	// ReducerFactory, when non-nil, replaces the GMM with an alternative
+	// domain-reduction method for every reduced column (§6.6 ablation).
+	// Training is then necessarily separate (the alternatives are not
+	// gradient-trained).
+	ReducerFactory func(values []float64, k int, seed int64) Reducer
+
+	// Uncorrected disables the §5.2 bias correction (vanilla progressive
+	// sampling on the reduced domain): every component of a queried GMM
+	// column is admitted with weight 1. Demonstrates why Theorem 5.1's
+	// correction is required; ablation only.
+	Uncorrected bool
+
+	Seed int64
+
+	// OnEpoch, when non-nil, is called after every epoch with the
+	// in-training model and the mean GMM/AR NLLs; returning false stops
+	// training early. The model is fully usable for estimation inside the
+	// callback (Figure 6 evaluates per-epoch max q-error this way).
+	OnEpoch func(epoch int, m *Model, gmmNLL, arNLL float64) bool
+}
+
+// AutoComponents requests automatic per-column component-count selection.
+const AutoComponents = -1
+
+// Reducer is an alternative domain-reduction method swapped in for the GMM
+// (paper §6.6, Tables 9-11: equi-depth histograms, spline histograms,
+// uniform mixture models). A Reducer maps a continuous value to one of K
+// component indices and reports per-component range masses for the §5.2
+// bias correction.
+type Reducer interface {
+	// K returns the number of components.
+	K() int
+	// Assign returns the component index of a value.
+	Assign(v float64) int
+	// RangeMass fills out[k] with the fraction of component k's mass
+	// inside [lo, hi]. len(out) == K().
+	RangeMass(lo, hi float64, out []float64)
+	// SizeBytes reports the reducer's parameter storage.
+	SizeBytes() int
+}
+
+func (c *Config) fillDefaults() {
+	if c.GMMThreshold <= 0 {
+		c.GMMThreshold = 1000
+	}
+	if c.Components == 0 {
+		c.Components = 30
+	}
+	if c.MaxSubColumn <= 1 {
+		c.MaxSubColumn = 256
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64, 64, 128}
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 32
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.LR <= 0 {
+		c.LR = 2e-3
+	}
+	if c.GMMLR <= 0 {
+		c.GMMLR = 0.02
+	}
+	if c.GMMSamples <= 0 {
+		c.GMMSamples = 10000
+	}
+	if c.NumSamples <= 0 {
+		c.NumSamples = 800
+	}
+}
+
+// colKind describes how an original column maps onto AR columns.
+type colKind int
+
+const (
+	kindPassthrough colKind = iota // categorical/ordinal, one AR column
+	kindFactored                   // ordinal code factored into subcolumns
+	kindGMM                        // continuous, reduced by a GMM
+	kindReduced                    // continuous, reduced by an alternative Reducer
+)
+
+// colInfo carries the per-original-column mapping metadata.
+type colInfo struct {
+	kind    colKind
+	arFirst int // index of the first AR column for this column
+	arCount int
+
+	enc    *dataset.ColumnEncoder // ordinal encoder (non-GMM columns)
+	factor dataset.FactorSpec     // valid when kind == kindFactored
+
+	gm        *gmm.Model // valid when kind == kindGMM
+	trainer   *gmm.SGDTrainer
+	sampler   *gmm.RangeSampler // MC preprocessing (§5.2), built lazily
+	empirical *gmm.Empirical    // empirical masses, built lazily
+
+	reducer Reducer // valid when kind == kindReduced
+}
+
+// Model is a trained IAM estimator.
+type Model struct {
+	table *dataset.Table
+	cfg   Config
+	cols  []colInfo
+	arm   *ar.Model
+
+	// Per-epoch training losses (mean GMM NLL summed over GMMs, AR NLL).
+	GMMLosses []float64
+	ARLosses  []float64
+
+	mu        sync.Mutex
+	sess      *nn.Session
+	sessCap   int
+	massRNG   *rand.Rand
+	estRNG    *rand.Rand
+	massDirty bool
+}
+
+// Train fits IAM on table t.
+func Train(t *dataset.Table, cfg Config) (*Model, error) {
+	cfg.fillDefaults()
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("core: empty table")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Model{table: t, cfg: cfg}
+	var cards []int
+	for _, c := range t.Columns {
+		info := colInfo{arFirst: len(cards)}
+		switch {
+		case c.Kind == dataset.Continuous && c.DistinctCount() > cfg.GMMThreshold && cfg.ReducerFactory != nil:
+			info.kind = kindReduced
+			info.reducer = cfg.ReducerFactory(c.Floats, cfg.Components, cfg.Seed)
+			info.arCount = 1
+			cards = append(cards, info.reducer.K())
+		case c.Kind == dataset.Continuous && c.DistinctCount() > cfg.GMMThreshold:
+			k := cfg.Components
+			if k == AutoComponents {
+				k = gmm.SelectK(c.Floats, 50, 2000, rng)
+			}
+			// Initialize on a uniform subsample (paper §4.2).
+			sample := c.Floats
+			if len(sample) > 5000 {
+				sub := make([]float64, 5000)
+				for i := range sub {
+					sub[i] = c.Floats[rng.Intn(len(c.Floats))]
+				}
+				sample = sub
+			}
+			info.kind = kindGMM
+			info.gm = gmm.InitKMeansPP(sample, k, rng)
+			info.trainer = gmm.NewSGDTrainer(info.gm, cfg.GMMLR)
+			info.arCount = 1
+			cards = append(cards, k)
+		default:
+			info.enc = dataset.BuildEncoder(c)
+			if info.enc.Card > cfg.MaxSubColumn {
+				info.kind = kindFactored
+				info.factor = dataset.NewFactorSpec(info.enc.Card, cfg.MaxSubColumn)
+				info.arCount = len(info.factor.Bases)
+				cards = append(cards, info.factor.Bases...)
+			} else {
+				info.kind = kindPassthrough
+				info.arCount = 1
+				cards = append(cards, info.enc.Card)
+			}
+		}
+		m.cols = append(m.cols, info)
+	}
+	if len(cards) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 AR columns, got %d", len(cards))
+	}
+
+	arm, err := ar.New(cards, cfg.Hidden, cfg.EmbedDim, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	m.arm = arm
+
+	// Inference state is initialized before training so OnEpoch callbacks
+	// can estimate with the in-progress model.
+	m.sessCap = cfg.NumSamples
+	m.sess = arm.Net.NewSession(m.sessCap)
+	m.massRNG = rand.New(rand.NewSource(cfg.Seed + 7))
+	m.estRNG = rand.New(rand.NewSource(cfg.Seed + 8))
+	m.massDirty = true
+
+	if cfg.SeparateTraining || cfg.ReducerFactory != nil {
+		m.trainSeparate(rng)
+	} else {
+		m.trainJoint(rng)
+	}
+	m.massDirty = true
+	return m, nil
+}
+
+// encodeRow writes the AR codes of table row ri into dst.
+func (m *Model) encodeRow(ri int, dst []int) {
+	for ci := range m.cols {
+		info := &m.cols[ci]
+		c := m.table.Columns[ci]
+		switch info.kind {
+		case kindGMM:
+			dst[info.arFirst] = info.gm.Assign(c.Floats[ri])
+		case kindReduced:
+			dst[info.arFirst] = info.reducer.Assign(c.Floats[ri])
+		case kindPassthrough:
+			dst[info.arFirst] = m.rawCode(ci, ri)
+		case kindFactored:
+			info.factor.SplitInto(dst[info.arFirst:info.arFirst+info.arCount], m.rawCode(ci, ri))
+		}
+	}
+}
+
+// rawCode returns the ordinal code of a non-GMM column value at row ri.
+func (m *Model) rawCode(ci, ri int) int {
+	c := m.table.Columns[ci]
+	if c.Kind == dataset.Categorical {
+		return c.Ints[ri]
+	}
+	code, err := m.cols[ci].enc.EncodeFloat(c.Floats[ri])
+	if err != nil {
+		panic(err) // encoder was built from this very column
+	}
+	return code
+}
+
+// trainJoint runs the end-to-end loop of §4.3: every mini-batch first takes
+// one SGD step on each GMM (loss_GMM) and then one AR step on the freshly
+// re-encoded batch (loss_AR), so all parameters follow Eq. 6 together.
+func (m *Model) trainJoint(rng *rand.Rand) {
+	cfg := m.cfg
+	n := m.table.NumRows()
+	nAR := len(m.arm.Cards)
+	sess := m.arm.Net.NewSession(cfg.BatchSize)
+	dLogits := vecmath.NewMatrix(cfg.BatchSize, logitDim(m.arm))
+
+	idx := rng.Perm(n)
+	inputs := makeRows(cfg.BatchSize, nAR)
+	targets := makeRows(cfg.BatchSize, nAR)
+
+	// Calibrate every output head at the (initial-assignment) log marginal
+	// frequencies; assignments drift slightly as the GMMs train jointly,
+	// but rare components start orders of magnitude closer to truth.
+	initRows := makeRows(n, nAR)
+	for ri := 0; ri < n; ri++ {
+		m.encodeRow(ri, initRows[ri])
+	}
+	m.arm.InitMarginals(initRows)
+
+	for e := 0; e < cfg.Epochs; e++ {
+		var arNLL, gmmNLL float64
+		var seen int
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batchIdx := idx[start:end]
+			b := len(batchIdx)
+
+			// GMM steps, one per mixture, in parallel (§4.2).
+			var wg sync.WaitGroup
+			var gmmLossMu sync.Mutex
+			for ci := range m.cols {
+				if m.cols[ci].kind != kindGMM {
+					continue
+				}
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					vals := make([]float64, b)
+					col := m.table.Columns[ci].Floats
+					for i, ri := range batchIdx {
+						vals[i] = col[ri]
+					}
+					loss := m.cols[ci].trainer.Step(vals)
+					gmmLossMu.Lock()
+					gmmNLL += loss * float64(b)
+					gmmLossMu.Unlock()
+				}(ci)
+			}
+			wg.Wait()
+
+			// AR step on the re-encoded batch with wildcard masking.
+			for i, ri := range batchIdx {
+				m.encodeRow(ri, targets[i])
+				copy(inputs[i], targets[i])
+				k := rng.Intn(nAR + 1)
+				for _, c := range rng.Perm(nAR)[:k] {
+					inputs[i][c] = m.arm.Net.MaskToken(c)
+				}
+			}
+			sess.Forward(inputs[:b])
+			dl := &vecmath.Matrix{Rows: b, Cols: dLogits.Cols, Data: dLogits.Data[:b*dLogits.Cols]}
+			arNLL += sess.CrossEntropyGrad(targets[:b], dl)
+			m.arm.Net.ZeroGrad()
+			sess.Backward(dl)
+			m.arm.Net.AdamStep(cfg.LR, 1/float64(b))
+			seen += b
+		}
+		m.GMMLosses = append(m.GMMLosses, gmmNLL/float64(seen))
+		m.ARLosses = append(m.ARLosses, arNLL/float64(seen))
+		m.massDirty = true
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, m, gmmNLL/float64(seen), arNLL/float64(seen)) {
+			return
+		}
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+}
+
+// trainSeparate is the §4.3 "Separate Training" baseline: GMMs first, then
+// the AR model on frozen assignments.
+func (m *Model) trainSeparate(rng *rand.Rand) {
+	cfg := m.cfg
+	for ci := range m.cols {
+		if m.cols[ci].kind != kindGMM {
+			continue
+		}
+		vals := m.table.Columns[ci].Floats
+		tr := m.cols[ci].trainer
+		idx := rng.Perm(len(vals))
+		batch := make([]float64, 0, cfg.BatchSize)
+		for e := 0; e < cfg.Epochs; e++ {
+			var nll float64
+			for start := 0; start < len(idx); start += cfg.BatchSize {
+				end := start + cfg.BatchSize
+				if end > len(idx) {
+					end = len(idx)
+				}
+				batch = batch[:0]
+				for _, i := range idx[start:end] {
+					batch = append(batch, vals[i])
+				}
+				nll += tr.Step(batch) * float64(len(batch))
+			}
+			if e == cfg.Epochs-1 {
+				m.GMMLosses = append(m.GMMLosses, nll/float64(len(vals)))
+			}
+		}
+	}
+	n := m.table.NumRows()
+	rows := makeRows(n, len(m.arm.Cards))
+	for ri := 0; ri < n; ri++ {
+		m.encodeRow(ri, rows[ri])
+	}
+	m.ARLosses = m.arm.Fit(rows, nn.TrainConfig{
+		LR: cfg.LR, BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 2,
+	})
+}
+
+func makeRows(n, cols int) [][]int {
+	backing := make([]int, n*cols)
+	rows := make([][]int, n)
+	for i := range rows {
+		rows[i] = backing[i*cols : (i+1)*cols]
+	}
+	return rows
+}
+
+func logitDim(arm *ar.Model) int {
+	d := 0
+	for _, c := range arm.Cards {
+		d += c
+	}
+	return d
+}
+
+// refreshMassEstimators (re)builds the per-GMM range-mass preprocessing —
+// the one-time sampling step of §5.2 — after training has moved GMM
+// parameters.
+func (m *Model) refreshMassEstimators() {
+	if !m.massDirty {
+		return
+	}
+	for ci := range m.cols {
+		info := &m.cols[ci]
+		if info.kind != kindGMM {
+			continue
+		}
+		switch m.cfg.MassMode {
+		case MassMonteCarlo:
+			info.sampler = gmm.NewRangeSampler(info.gm, m.cfg.GMMSamples, m.massRNG)
+		case MassEmpirical:
+			info.empirical = gmm.NewEmpirical(info.gm, m.table.Columns[ci].Floats)
+		}
+	}
+	m.massDirty = false
+}
+
+// Name implements estimator.Estimator.
+func (m *Model) Name() string { return "IAM" }
+
+// Estimate implements estimator.Estimator using Algorithm 1.
+func (m *Model) Estimate(q *query.Query) (float64, error) {
+	res, err := m.EstimateBatch([]*query.Query{q})
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
+}
+
+// EstimateBatch estimates several queries in one stacked progressive-
+// sampling run (§5.3).
+func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refreshMassEstimators()
+
+	consList := make([][]ar.Constraint, len(qs))
+	out := make([]float64, len(qs))
+	solved := make([]bool, len(qs))
+	remaining := 0
+	for i, q := range qs {
+		cons, err := m.buildConstraints(q)
+		if err != nil {
+			return nil, err
+		}
+		consList[i] = cons
+		if m.cfg.ExhaustiveLimit > 0 {
+			if est, ok := m.arm.EstimateExhaustive(cons, m.cfg.ExhaustiveLimit); ok {
+				out[i] = est
+				solved[i] = true
+				continue
+			}
+		}
+		remaining++
+	}
+	if remaining == 0 {
+		return out, nil
+	}
+	pending := make([][]ar.Constraint, 0, remaining)
+	for i := range qs {
+		if !solved[i] {
+			pending = append(pending, consList[i])
+		}
+	}
+	need := len(pending) * m.cfg.NumSamples
+	if need > m.sessCap {
+		m.sessCap = need
+		m.sess = m.arm.Net.NewSession(need)
+	}
+	ests := m.arm.EstimateBatch(m.sess, pending, m.cfg.NumSamples, m.estRNG)
+	j := 0
+	for i := range qs {
+		if !solved[i] {
+			out[i] = ests[j]
+			j++
+		}
+	}
+	return out, nil
+}
+
+// buildConstraints performs the query construction q → q′ of §5.1 and
+// attaches the bias-correction weights of §5.2.
+func (m *Model) buildConstraints(q *query.Query) ([]ar.Constraint, error) {
+	if q.Table != m.table {
+		return nil, fmt.Errorf("core: query targets table %q, model trained on %q", q.Table.Name, m.table.Name)
+	}
+	cons := make([]ar.Constraint, len(m.arm.Cards))
+	for ci, r := range q.Ranges {
+		if r == nil {
+			continue // unqueried → wildcard skip
+		}
+		info := &m.cols[ci]
+		if r.Lo > r.Hi {
+			cons[info.arFirst] = ar.EmptyConstraint{}
+			continue
+		}
+		switch info.kind {
+		case kindGMM:
+			// Effective closed interval: open endpoints nudge inward so
+			// the empirical mode honours </> semantics exactly.
+			lo, hi := r.Lo, r.Hi
+			if !r.LoInc {
+				lo = math.Nextafter(lo, math.Inf(1))
+			}
+			if !r.HiInc {
+				hi = math.Nextafter(hi, math.Inf(-1))
+			}
+			k := info.gm.K()
+			wts := make([]float64, k)
+			if m.cfg.Uncorrected {
+				for j := range wts {
+					wts[j] = 1
+				}
+			} else {
+				switch m.cfg.MassMode {
+				case MassMonteCarlo:
+					info.sampler.Mass(lo, hi, wts)
+				case MassExact:
+					info.gm.RangeMassExact(lo, hi, wts)
+				case MassEmpirical:
+					info.empirical.Mass(lo, hi, wts)
+				}
+			}
+			cons[info.arFirst] = ar.WeightConstraint{W: wts}
+		case kindReduced:
+			lo, hi := r.Lo, r.Hi
+			if !r.LoInc {
+				lo = math.Nextafter(lo, math.Inf(1))
+			}
+			if !r.HiInc {
+				hi = math.Nextafter(hi, math.Inf(-1))
+			}
+			wts := make([]float64, info.reducer.K())
+			if m.cfg.Uncorrected {
+				for j := range wts {
+					wts[j] = 1
+				}
+			} else {
+				info.reducer.RangeMass(lo, hi, wts)
+			}
+			cons[info.arFirst] = ar.WeightConstraint{W: wts}
+		case kindPassthrough, kindFactored:
+			loCode, hiCode, ok := m.codeRange(ci, r)
+			if !ok {
+				cons[info.arFirst] = ar.EmptyConstraint{}
+				continue
+			}
+			if info.kind == kindPassthrough {
+				cons[info.arFirst] = ar.RangeConstraint{Lo: loCode, Hi: hiCode}
+			} else {
+				for p := 0; p < info.arCount; p++ {
+					cons[info.arFirst+p] = ar.FactoredConstraint{
+						Spec: info.factor, Part: p, FirstCol: info.arFirst,
+						Lo: loCode, Hi: hiCode,
+					}
+				}
+			}
+		}
+	}
+	return cons, nil
+}
+
+// codeRange maps an interval over raw values to an inclusive ordinal code
+// range for a non-GMM column.
+func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool) {
+	c := m.table.Columns[ci]
+	info := &m.cols[ci]
+	if c.Kind == dataset.Categorical {
+		lo := 0
+		if !math.IsInf(r.Lo, -1) {
+			lo = int(math.Ceil(r.Lo))
+			if float64(lo) == r.Lo && !r.LoInc {
+				lo++
+			}
+		}
+		hi := info.enc.Card - 1
+		if !math.IsInf(r.Hi, 1) {
+			hi = int(math.Floor(r.Hi))
+			if float64(hi) == r.Hi && !r.HiInc {
+				hi--
+			}
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > info.enc.Card-1 {
+			hi = info.enc.Card - 1
+		}
+		if lo > hi {
+			return 0, 0, false
+		}
+		return lo, hi, true
+	}
+	return info.enc.RangeToCodes(r.Lo, r.Hi, r.LoInc, r.HiInc)
+}
+
+// SizeBytes reports the model size: AR network parameters (float32) plus
+// the GMM parameters (Tables 6 and 12).
+func (m *Model) SizeBytes() int {
+	s := m.arm.Net.SizeBytes()
+	for ci := range m.cols {
+		switch m.cols[ci].kind {
+		case kindGMM:
+			s += m.cols[ci].gm.SizeBytes()
+		case kindReduced:
+			s += m.cols[ci].reducer.SizeBytes()
+		}
+	}
+	return s
+}
+
+// GMMFor exposes the fitted mixture of column name (nil if the column is
+// not GMM-reduced) — used by diagnostics and examples.
+func (m *Model) GMMFor(name string) *gmm.Model {
+	ci := m.table.ColumnIndex(name)
+	if ci < 0 || m.cols[ci].kind != kindGMM {
+		return nil
+	}
+	return m.cols[ci].gm
+}
+
+// ARColumns returns the AR column cardinalities (after reduction), useful
+// for inspecting how much the sample space shrank.
+func (m *Model) ARColumns() []int { return append([]int(nil), m.arm.Cards...) }

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/query"
+)
+
+// fastCfg keeps unit-test training cheap.
+func fastCfg() Config {
+	return Config{
+		Components: 20,
+		Hidden:     []int{32, 32},
+		EmbedDim:   16,
+		Epochs:     6,
+		BatchSize:  128,
+		NumSamples: 400,
+		GMMSamples: 4000,
+		Seed:       1,
+	}
+}
+
+func trainTWI(t *testing.T, cfg Config) (*Model, *dataset.Table) {
+	t.Helper()
+	tb := dataset.SynthTWI(4000, 11)
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tb
+}
+
+func TestIAMReducesDomains(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	cards := m.ARColumns()
+	if len(cards) != 2 {
+		t.Fatalf("AR columns = %v, want 2", cards)
+	}
+	for i, c := range cards {
+		if c != 20 {
+			t.Fatalf("AR card[%d] = %d, want 20 (GMM components)", i, c)
+		}
+	}
+	// The raw domains are far larger, so the reduction is real.
+	for _, c := range tb.Columns {
+		if d := c.DistinctCount(); d < 1000 {
+			t.Fatalf("test premise broken: distinct %d", d)
+		}
+	}
+	if m.GMMFor("latitude") == nil || m.GMMFor("longitude") == nil {
+		t.Fatal("GMMs missing for continuous columns")
+	}
+	if m.GMMFor("nope") != nil {
+		t.Fatal("GMMFor invented a mixture")
+	}
+}
+
+func TestIAMAccuracyOnTWI(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	w := query.Generate(tb, query.GenConfig{NumQueries: 120, Seed: 12})
+	ev, err := estimator.Evaluate(m, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 2.5 {
+		t.Fatalf("median q-error %v too high: %v", ev.Summary.Median, ev.Summary)
+	}
+	if ev.Summary.Mean > 20 {
+		t.Fatalf("mean q-error %v too high: %v", ev.Summary.Mean, ev.Summary)
+	}
+}
+
+func TestIAMMixedSchemaWISDM(t *testing.T) {
+	tb := dataset.SynthWISDM(4000, 13)
+	cfg := fastCfg()
+	cfg.Seed = 2
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cards := m.ARColumns()
+	// subject(51) and activity(18) pass through; x, y, z reduce to K=20.
+	want := []int{51, 18, 20, 20, 20}
+	for i, c := range cards {
+		if c != want[i] {
+			t.Fatalf("AR cards = %v, want %v", cards, want)
+		}
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 14})
+	ev, err := estimator.Evaluate(m, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 3.5 {
+		t.Fatalf("median q-error %v too high: %v", ev.Summary.Median, ev.Summary)
+	}
+}
+
+// TestBiasCorrectionMatters is Theorem 5.1 in practice: on a query that
+// covers a *narrow slice* of each component, uncorrected sampling (which
+// admits whole components) must overestimate badly, while the corrected
+// estimator stays near the truth.
+func TestBiasCorrectionMatters(t *testing.T) {
+	cfgGood := fastCfg()
+	m, tb := trainTWI(t, cfgGood)
+
+	cfgBad := fastCfg()
+	cfgBad.Uncorrected = true
+	mBad, err := Train(tb, cfgBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A narrow latitude band: covers a small part of several components.
+	lo, hi := tb.Column("latitude").MinMax()
+	mid := (lo + hi) / 2
+	width := (hi - lo) * 0.01
+	q := query.NewQuery(tb)
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Ge, Value: mid})
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Le, Value: mid + width})
+	truth := query.Exec(q)
+
+	good, err := m.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := mBad.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := 1.0 / float64(tb.NumRows())
+	qeGood := estimator.QError(truth, good, floor)
+	qeBad := estimator.QError(truth, bad, floor)
+	if qeBad < 3 {
+		t.Fatalf("uncorrected sampling unexpectedly accurate: qe=%v (truth %v, est %v)", qeBad, truth, bad)
+	}
+	if qeGood*2 > qeBad {
+		t.Fatalf("correction did not help: corrected qe=%v vs uncorrected qe=%v", qeGood, qeBad)
+	}
+}
+
+func mustAdd(t *testing.T, q *query.Query, p query.Predicate) {
+	t.Helper()
+	if err := q.AddPredicate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMassModesAgree(t *testing.T) {
+	base := fastCfg()
+	tb := dataset.SynthTWI(3000, 15)
+	models := map[string]*Model{}
+	for name, mode := range map[string]RangeMassMode{
+		"mc": MassMonteCarlo, "exact": MassExact, "empirical": MassEmpirical,
+	} {
+		cfg := base
+		cfg.MassMode = mode
+		m, err := Train(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[name] = m
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 30, Seed: 16})
+	for i, q := range w.Queries {
+		est := map[string]float64{}
+		for name, m := range models {
+			v, err := m.Estimate(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est[name] = v
+		}
+		// MC and exact CDF must agree tightly; empirical may differ more
+		// (it reflects data, not the Gaussian fit) but stays in the
+		// same ballpark for these smooth clusters.
+		if math.Abs(est["mc"]-est["exact"]) > 0.03+0.15*est["exact"] {
+			t.Fatalf("query %d: MC %v vs exact %v", i, est["mc"], est["exact"])
+		}
+	}
+}
+
+func TestSeparateTraining(t *testing.T) {
+	cfg := fastCfg()
+	cfg.SeparateTraining = true
+	m, tb := trainTWI(t, cfg)
+	w := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 17})
+	ev, err := estimator.Evaluate(m, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 3 {
+		t.Fatalf("separate training median q-error %v: %v", ev.Summary.Median, ev.Summary)
+	}
+	if len(m.ARLosses) == 0 {
+		t.Fatal("no AR losses recorded")
+	}
+}
+
+func TestEstimateBatchMatchesSingle(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	w := query.Generate(tb, query.GenConfig{NumQueries: 8, Seed: 18})
+	batch, err := m.EstimateBatch(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range w.Queries {
+		single, err := m.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(batch[i]-single) > 0.05+0.3*single {
+			t.Fatalf("query %d: batch %v vs single %v", i, batch[i], single)
+		}
+	}
+}
+
+func TestEmptyAndFullQueries(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	// Contradictory predicates → zero.
+	q := query.NewQuery(tb)
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Ge, Value: 100})
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Le, Value: 0})
+	got, err := m.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("empty query estimate %v, want 0", got)
+	}
+	// Unconstrained query → ≈ 1.
+	full := query.NewQuery(tb)
+	got, err = m.Estimate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("unconstrained estimate %v, want 1", got)
+	}
+}
+
+func TestWrongTableRejected(t *testing.T) {
+	m, _ := trainTWI(t, fastCfg())
+	other := dataset.SynthTWI(100, 99)
+	q := query.NewQuery(other)
+	if _, err := m.Estimate(q); err == nil {
+		t.Fatal("expected error for query on a different table")
+	}
+}
+
+func TestOnEpochEarlyStop(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 19)
+	cfg := fastCfg()
+	cfg.Epochs = 10
+	calls := 0
+	cfg.OnEpoch = func(e int, m *Model, gmmNLL, arNLL float64) bool {
+		calls++
+		if m == nil {
+			t.Error("OnEpoch received nil model")
+		}
+		return e < 2 // stop after epoch index 2
+	}
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("OnEpoch called %d times, want 3", calls)
+	}
+	if len(m.ARLosses) != 3 {
+		t.Fatalf("losses recorded for %d epochs, want 3", len(m.ARLosses))
+	}
+}
+
+func TestTrainingLossDecreases(t *testing.T) {
+	m, _ := trainTWI(t, fastCfg())
+	if len(m.ARLosses) < 2 {
+		t.Fatalf("too few epochs recorded: %v", m.ARLosses)
+	}
+	if m.ARLosses[len(m.ARLosses)-1] >= m.ARLosses[0] {
+		t.Fatalf("AR loss did not decrease: %v", m.ARLosses)
+	}
+}
+
+func TestSizeBytesGrowsWithK(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 20)
+	small := fastCfg()
+	small.Components = 5
+	big := fastCfg()
+	big.Components = 40
+	ms, err := Train(tb, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := Train(tb, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.SizeBytes() >= mb.SizeBytes() {
+		t.Fatalf("size with K=5 (%d) not below K=40 (%d)", ms.SizeBytes(), mb.SizeBytes())
+	}
+}
+
+func TestDisjunctionViaInclusionExclusion(t *testing.T) {
+	m, tb := trainTWI(t, fastCfg())
+	q1 := query.NewQuery(tb)
+	mustAdd(t, q1, query.Predicate{Col: "latitude", Op: query.Le, Value: 33})
+	q2 := query.NewQuery(tb)
+	mustAdd(t, q2, query.Predicate{Col: "latitude", Op: query.Ge, Value: 45})
+	est, err := estimator.EstimateDisjunction(m, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := query.ExecDisjunction(q1, q2)
+	if qe := estimator.QError(truth, est, 1.0/float64(tb.NumRows())); qe > 4 {
+		t.Fatalf("disjunction q-error %v (est %v, truth %v)", qe, est, truth)
+	}
+}
+
+func TestAutoComponentSelection(t *testing.T) {
+	tb := dataset.SynthTWI(2500, 21)
+	cfg := fastCfg()
+	cfg.Components = AutoComponents
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.ARColumns() {
+		if c < 2 || c > 50 {
+			t.Fatalf("auto-selected K = %d implausible", c)
+		}
+	}
+}
+
+func TestPointPredicateOnContinuous(t *testing.T) {
+	// Point predicates on huge-domain continuous columns should estimate
+	// near 0 or 1/|T| (§2.1: these are "easy").
+	m, tb := trainTWI(t, fastCfg())
+	v := tb.Column("latitude").Floats[0]
+	q := query.NewQuery(tb)
+	mustAdd(t, q, query.Predicate{Col: "latitude", Op: query.Eq, Value: v})
+	got, err := m.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.01 {
+		t.Fatalf("point predicate estimate %v, want ≈0", got)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tb := dataset.SynthWISDM(3000, 41)
+	cfg := fastCfg()
+	cfg.MassMode = MassExact // deterministic masses → exact estimate match
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.SizeBytes() != m.SizeBytes() {
+		t.Fatalf("size mismatch after load: %d vs %d", loaded.SizeBytes(), m.SizeBytes())
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 20, Seed: 42, SkipExec: true})
+	for i, q := range w.Queries {
+		a, err := m.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same seeds, same deterministic masses → estimates agree up to MC
+		// sampling with identical RNG streams.
+		if math.Abs(a-b) > 0.05+0.2*a {
+			t.Fatalf("query %d: original %v vs loaded %v", i, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsWrongTable(t *testing.T) {
+	tb := dataset.SynthTWI(1500, 43)
+	m, err := Train(tb, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.SynthWISDM(500, 44)
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("expected table mismatch error")
+	}
+}
+
+func TestSaveRejectsReducerModels(t *testing.T) {
+	tb := dataset.SynthTWI(1500, 45)
+	cfg := fastCfg()
+	cfg.ReducerFactory = func(values []float64, k int, _ int64) Reducer {
+		return fakeReducer{k}
+	}
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("expected serialization rejection for reducer models")
+	}
+}
+
+// fakeReducer is a trivial Reducer for the rejection test.
+type fakeReducer struct{ k int }
+
+func (f fakeReducer) K() int             { return f.k }
+func (f fakeReducer) Assign(float64) int { return 0 }
+func (f fakeReducer) SizeBytes() int     { return 8 }
+func (f fakeReducer) RangeMass(lo, hi float64, out []float64) {
+	for i := range out {
+		out[i] = 1
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model")), dataset.SynthTWI(100, 46)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV import/export. The on-disk format is a header row of column names
+// followed by data rows. On import, a column whose every value parses as a
+// number is treated according to opts; otherwise it becomes categorical
+// with codes assigned by lexicographic label order (matching the paper's
+// encoding example: dog→1, cat→0, monkey→2).
+
+// CSVOptions controls schema inference during import.
+type CSVOptions struct {
+	// CategoricalMaxDistinct: a numeric column with at most this many
+	// distinct values is imported as categorical (default 0: numeric
+	// columns are always continuous).
+	CategoricalMaxDistinct int
+	// ForceCategorical lists column names imported as categorical
+	// regardless of content.
+	ForceCategorical []string
+}
+
+// ReadCSV parses a table from r.
+func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: csv needs a header and at least one row")
+	}
+	header := records[0]
+	nCols := len(header)
+	rows := records[1:]
+	for i, rec := range rows {
+		if len(rec) != nCols {
+			return nil, fmt.Errorf("dataset: row %d has %d fields, header has %d", i+1, len(rec), nCols)
+		}
+	}
+	forced := map[string]bool{}
+	for _, n := range opts.ForceCategorical {
+		forced[n] = true
+	}
+
+	t := &Table{Name: name}
+	for j, colName := range header {
+		raw := make([]string, len(rows))
+		for i, rec := range rows {
+			raw[i] = rec[j]
+		}
+		col, err := buildColumn(colName, raw, forced[colName], opts.CategoricalMaxDistinct)
+		if err != nil {
+			return nil, err
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t, t.Validate()
+}
+
+// buildColumn infers one column's kind and encodes it.
+func buildColumn(name string, raw []string, forceCat bool, catMax int) (*Column, error) {
+	numeric := !forceCat
+	vals := make([]float64, len(raw))
+	if numeric {
+		for i, s := range raw {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			vals[i] = v
+		}
+	}
+	if numeric && catMax > 0 {
+		seen := map[float64]struct{}{}
+		for _, v := range vals {
+			seen[v] = struct{}{}
+			if len(seen) > catMax {
+				break
+			}
+		}
+		if len(seen) <= catMax {
+			numeric = false // low-cardinality numeric → categorical
+			for i, v := range vals {
+				raw[i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+	}
+	if numeric {
+		return &Column{Name: name, Kind: Continuous, Floats: vals}, nil
+	}
+	// Categorical: codes by lexicographic label order.
+	labels := append([]string(nil), raw...)
+	sort.Strings(labels)
+	uniq := labels[:0]
+	for i, l := range labels {
+		if i == 0 || l != uniq[len(uniq)-1] {
+			uniq = append(uniq, l)
+		}
+	}
+	codeOf := make(map[string]int, len(uniq))
+	for code, l := range uniq {
+		codeOf[l] = code
+	}
+	ints := make([]int, len(raw))
+	for i, s := range raw {
+		ints[i] = codeOf[s]
+	}
+	return &Column{
+		Name: name, Kind: Categorical, Ints: ints,
+		Card: len(uniq), Labels: append([]string(nil), uniq...),
+	}, nil
+}
+
+// WriteCSV writes the table to w (header + rows). Categorical columns emit
+// their labels when present, codes otherwise.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.NumCols())
+	for j, c := range t.Columns {
+		header[j] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.Columns {
+			if c.Kind == Categorical {
+				code := c.Ints[i]
+				if len(c.Labels) > code {
+					rec[j] = c.Labels[code]
+				} else {
+					rec[j] = strconv.Itoa(code)
+				}
+			} else {
+				rec[j] = strconv.FormatFloat(c.Floats[i], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `animal,weight,age
+dog,12.5,3
+cat,4.1,5
+monkey,20,3
+cat,3.9,2
+`
+
+func TestReadCSVSchemaInference(t *testing.T) {
+	tb, err := ReadCSV("zoo", strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 4 || tb.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	animal := tb.Column("animal")
+	if animal.Kind != Categorical || animal.Card != 3 {
+		t.Fatalf("animal kind=%v card=%d", animal.Kind, animal.Card)
+	}
+	// Lexicographic codes: cat=0, dog=1, monkey=2 (the paper's example).
+	want := []int{1, 0, 2, 0}
+	for i, w := range want {
+		if animal.Ints[i] != w {
+			t.Fatalf("animal codes %v, want %v", animal.Ints, want)
+		}
+	}
+	if tb.Column("weight").Kind != Continuous {
+		t.Fatal("weight should be continuous")
+	}
+	if tb.Column("age").Kind != Continuous {
+		t.Fatal("age defaults to continuous without CategoricalMaxDistinct")
+	}
+}
+
+func TestReadCSVCategoricalMaxDistinct(t *testing.T) {
+	tb, err := ReadCSV("zoo", strings.NewReader(sampleCSV), CSVOptions{CategoricalMaxDistinct: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Column("age").Kind != Categorical {
+		t.Fatal("age (3 distinct) should become categorical")
+	}
+	if tb.Column("weight").Kind != Continuous {
+		t.Fatal("weight (4 distinct) must remain continuous")
+	}
+}
+
+func TestReadCSVForceCategorical(t *testing.T) {
+	tb, err := ReadCSV("zoo", strings.NewReader(sampleCSV), CSVOptions{ForceCategorical: []string{"weight"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Column("weight").Kind != Categorical {
+		t.Fatal("forced column not categorical")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig, err := ReadCSV("zoo", strings.NewReader(sampleCSV), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("zoo", bytes.NewReader(buf.Bytes()), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range orig.Columns {
+		oc, bc := orig.Columns[j], back.Columns[j]
+		if oc.Kind != bc.Kind || oc.Len() != bc.Len() {
+			t.Fatalf("column %s changed shape", oc.Name)
+		}
+		for i := 0; i < oc.Len(); i++ {
+			if oc.Kind == Categorical && oc.Ints[i] != bc.Ints[i] {
+				t.Fatalf("column %s row %d code changed", oc.Name, i)
+			}
+			if oc.Kind == Continuous && oc.Floats[i] != bc.Floats[i] {
+				t.Fatalf("column %s row %d value changed", oc.Name, i)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripSynthetic(t *testing.T) {
+	orig := SynthWISDM(300, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("wisdm", bytes.NewReader(buf.Bytes()), CSVOptions{CategoricalMaxDistinct: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 300 || back.NumCols() != 5 {
+		t.Fatalf("shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	// Continuous values survive exactly (FormatFloat 'g' -1 is lossless).
+	for i, v := range orig.Column("x").Floats[:50] {
+		if back.Column("x").Floats[i] != v {
+			t.Fatalf("x[%d] changed: %v vs %v", i, back.Column("x").Floats[i], v)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",              // empty
+		"a,b\n",         // header only
+		"a,b\n1,2\n3\n", // ragged row
+	}
+	for _, s := range cases {
+		if _, err := ReadCSV("bad", strings.NewReader(s), CSVOptions{}); err == nil {
+			t.Fatalf("expected error for %q", s)
+		}
+	}
+}

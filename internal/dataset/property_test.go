@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRangeToCodesCountsMatch checks, for random intervals, that the code
+// range returned by RangeToCodes covers exactly the distinct values inside
+// the interval.
+func TestRangeToCodesCountsMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100)) + rng.Float64()*0.5 // duplicates + gaps
+	}
+	c := &Column{Name: "v", Kind: Continuous, Floats: vals}
+	e := BuildEncoder(c)
+	distinct := SortedDistinct(vals)
+
+	f := func(a, b float64, loInc, hiInc bool) bool {
+		lo := float64(int(a*1000) % 110)
+		hi := float64(int(b*1000) % 110)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for _, v := range distinct {
+			inLo := v > lo || (v == lo && loInc)
+			inHi := v < hi || (v == hi && hiInc)
+			if inLo && inHi {
+				want++
+			}
+		}
+		loCode, hiCode, ok := e.RangeToCodes(lo, hi, loInc, hiInc)
+		got := 0
+		if ok {
+			got = hiCode - loCode + 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeIdentityProperty: decode(encode(v)) == v for every value
+// present in the column.
+func TestEncodeDecodeIdentityProperty(t *testing.T) {
+	tb := SynthHIGGS(1500, 2)
+	for _, c := range tb.Columns {
+		e := BuildEncoder(c)
+		for i, v := range c.Floats {
+			code, err := e.EncodeFloat(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.DecodeFloat(code) != v {
+				t.Fatalf("col %s row %d: roundtrip broke", c.Name, i)
+			}
+			if i > 300 {
+				break
+			}
+		}
+	}
+}
+
+// TestFactorOrderPreserving: mixed-radix factorization preserves order
+// lexicographically.
+func TestFactorOrderPreserving(t *testing.T) {
+	spec := NewFactorSpec(5000, 64)
+	prev := spec.Split(0)
+	for code := 1; code < 5000; code += 7 {
+		cur := spec.Split(code)
+		leq := false
+		for i := range prev {
+			if prev[i] < cur[i] {
+				leq = true
+				break
+			}
+			if prev[i] > cur[i] {
+				break
+			}
+		}
+		if !leq {
+			t.Fatalf("factorization not order-preserving at code %d: %v vs %v", code, prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,148 @@
+// Package estimator defines the interface every selectivity estimator in
+// this repository implements, plus the Q-error accuracy metric and the
+// quantile summaries the paper reports (mean / median / 95th / 99th / max).
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// Estimator produces a selectivity estimate for a conjunctive query.
+type Estimator interface {
+	// Name identifies the estimator in reports ("IAM", "Neurocard", …).
+	Name() string
+	// Estimate returns the estimated selectivity of q in [0, 1].
+	Estimate(q *query.Query) (float64, error)
+}
+
+// Sizer is implemented by estimators that can report their serialized model
+// size (paper Tables 6 and 12).
+type Sizer interface {
+	SizeBytes() int
+}
+
+// BatchEstimator is implemented by estimators that support batched query
+// inference (paper §5.3 / Table 7).
+type BatchEstimator interface {
+	Estimator
+	EstimateBatch(qs []*query.Query) ([]float64, error)
+}
+
+// QError is the accuracy metric of the paper: max(act/est, est/act), with
+// both selectivities floored at `floor` (the paper uses 1/|T|) to avoid
+// division by zero.
+func QError(act, est, floor float64) float64 {
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	if act < floor {
+		act = floor
+	}
+	if est < floor || math.IsNaN(est) {
+		est = floor
+	}
+	if est > act {
+		return est / act
+	}
+	return act / est
+}
+
+// Summary holds the error quantiles the paper's tables report.
+type Summary struct {
+	Mean, Median, P95, P99, Max float64
+}
+
+// Summarize computes the report quantiles from a slice of q-errors.
+func Summarize(errs []float64) Summary {
+	if len(errs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	return Summary{
+		Mean:   vecmath.Mean(sorted),
+		Median: vecmath.Quantile(sorted, 0.5),
+		P95:    vecmath.Quantile(sorted, 0.95),
+		P99:    vecmath.Quantile(sorted, 0.99),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the quantiles compactly for logs and reports.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3g median=%.3g p95=%.3g p99=%.3g max=%.3g",
+		s.Mean, s.Median, s.P95, s.P99, s.Max)
+}
+
+// Evaluation is the result of running an estimator over a workload.
+type Evaluation struct {
+	Estimator string
+	Errors    []float64
+	Summary   Summary
+	// AvgLatency is the mean per-query estimation time.
+	AvgLatency time.Duration
+}
+
+// Evaluate runs e over every query in w, comparing against w.TrueSel with
+// floor 1/rows, and returns per-query q-errors plus latency.
+func Evaluate(e Estimator, w *query.Workload, rows int) (*Evaluation, error) {
+	if len(w.Queries) != len(w.TrueSel) {
+		return nil, fmt.Errorf("estimator: workload has %d queries but %d truths", len(w.Queries), len(w.TrueSel))
+	}
+	floor := 1.0 / float64(rows)
+	errs := make([]float64, len(w.Queries))
+	start := time.Now()
+	for i, q := range w.Queries {
+		est, err := e.Estimate(q)
+		if err != nil {
+			return nil, fmt.Errorf("estimator %s on query %d (%s): %w", e.Name(), i, q, err)
+		}
+		errs[i] = QError(w.TrueSel[i], est, floor)
+	}
+	elapsed := time.Since(start)
+	return &Evaluation{
+		Estimator:  e.Name(),
+		Errors:     errs,
+		Summary:    Summarize(errs),
+		AvgLatency: elapsed / time.Duration(len(w.Queries)),
+	}, nil
+}
+
+// EstimateDisjunction estimates sel(q1 OR q2) using inclusion–exclusion
+// (paper §2.1): sel(q1) + sel(q2) − sel(q1 AND q2).
+func EstimateDisjunction(e Estimator, q1, q2 *query.Query) (float64, error) {
+	s1, err := e.Estimate(q1)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := e.Estimate(q2)
+	if err != nil {
+		return 0, err
+	}
+	both := q1.Clone()
+	for i, r := range q2.Ranges {
+		if r == nil {
+			continue
+		}
+		cur := query.Everything()
+		if both.Ranges[i] != nil {
+			cur = *both.Ranges[i]
+		}
+		merged, ok := cur.Intersect(*r)
+		if !ok {
+			merged = query.Interval{Lo: 1, Hi: 0}
+		}
+		both.Ranges[i] = &merged
+	}
+	s12, err := e.Estimate(both)
+	if err != nil {
+		return 0, err
+	}
+	return vecmath.Clamp(s1+s2-s12, 0, 1), nil
+}

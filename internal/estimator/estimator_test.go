@@ -1,0 +1,128 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+func TestQError(t *testing.T) {
+	if got := QError(0.1, 0.1, 1e-6); got != 1 {
+		t.Fatalf("exact estimate q-error = %v, want 1", got)
+	}
+	if got := QError(0.1, 0.01, 1e-6); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("under-estimate q-error = %v, want 10", got)
+	}
+	if got := QError(0.01, 0.1, 1e-6); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("over-estimate q-error = %v, want 10", got)
+	}
+	// Zero estimate hits the floor rather than dividing by zero.
+	got := QError(0.5, 0, 0.001)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("q-error with zero estimate = %v", got)
+	}
+	if math.Abs(got-500) > 1e-9 {
+		t.Fatalf("floored q-error = %v, want 500", got)
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		act := math.Abs(math.Mod(a, 1))
+		est := math.Abs(math.Mod(b, 1))
+		q := QError(act, est, 1e-6)
+		// Symmetric and ≥ 1.
+		return q >= 1 && math.Abs(q-QError(est, act, 1e-6)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	errs := []float64{1, 1, 2, 4, 100}
+	s := Summarize(errs)
+	if s.Max != 100 {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Median != 2 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if math.Abs(s.Mean-21.6) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P95 < s.Median || s.P99 < s.P95 || s.Max < s.P99 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+// exactEstimator wraps query.Exec as an Estimator for testing plumbing.
+type exactEstimator struct{}
+
+func (exactEstimator) Name() string { return "exact" }
+func (exactEstimator) Estimate(q *query.Query) (float64, error) {
+	return query.Exec(q), nil
+}
+
+func TestEvaluateWithExactEstimator(t *testing.T) {
+	tb := dataset.SynthTWI(1000, 3)
+	w := query.Generate(tb, query.GenConfig{NumQueries: 50, Seed: 4})
+	ev, err := Evaluate(exactEstimator{}, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Max != 1 {
+		t.Fatalf("exact estimator should have q-error 1 everywhere, got max %v", ev.Summary.Max)
+	}
+}
+
+func TestEstimateDisjunction(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 5)
+	q1 := query.NewQuery(tb)
+	if err := q1.AddPredicate(query.Predicate{Col: "latitude", Op: query.Le, Value: 35}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := query.NewQuery(tb)
+	if err := q2.AddPredicate(query.Predicate{Col: "latitude", Op: query.Ge, Value: 45}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateDisjunction(exactEstimator{}, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := query.ExecDisjunction(q1, q2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("disjunction estimate %v, want %v", got, want)
+	}
+}
+
+func TestEstimateDisjunctionOverlapping(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 6)
+	q1 := query.NewQuery(tb)
+	if err := q1.AddPredicate(query.Predicate{Col: "latitude", Op: query.Le, Value: 45}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := query.NewQuery(tb)
+	if err := q2.AddPredicate(query.Predicate{Col: "latitude", Op: query.Ge, Value: 30}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimateDisjunction(exactEstimator{}, q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := query.ExecDisjunction(q1, q2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("overlapping disjunction %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateMismatchedWorkload(t *testing.T) {
+	tb := dataset.SynthTWI(100, 7)
+	w := query.Generate(tb, query.GenConfig{NumQueries: 5, Seed: 1, SkipExec: true})
+	if _, err := Evaluate(exactEstimator{}, w, 100); err == nil {
+		t.Fatal("expected error for workload without ground truth")
+	}
+}

@@ -1,0 +1,62 @@
+package gmm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	return twoClusterData(n, rng)
+}
+
+func BenchmarkFitEM(b *testing.B) {
+	xs := benchData(10000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitEM(xs, 30, 20, rng)
+	}
+}
+
+func BenchmarkFitSGD(b *testing.B) {
+	xs := benchData(10000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FitSGD(xs, 30, 2, 256, 0.02, rng)
+	}
+}
+
+func BenchmarkAssign(b *testing.B) {
+	xs := benchData(10000)
+	rng := rand.New(rand.NewSource(4))
+	m, _ := FitEM(xs, 30, 10, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Assign(xs[i%len(xs)])
+	}
+}
+
+func BenchmarkRangeMassMC(b *testing.B) {
+	xs := benchData(10000)
+	rng := rand.New(rand.NewSource(5))
+	m, _ := FitEM(xs, 30, 10, rng)
+	rs := NewRangeSampler(m, 10000, rng)
+	out := make([]float64, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Mass(-3, 3, out)
+	}
+}
+
+func BenchmarkRangeMassExact(b *testing.B) {
+	xs := benchData(10000)
+	rng := rand.New(rand.NewSource(6))
+	m, _ := FitEM(xs, 30, 10, rng)
+	out := make([]float64, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RangeMassExact(-3, 3, out)
+	}
+}

@@ -1,0 +1,236 @@
+// Package gmm implements the one-dimensional Gaussian mixture models that
+// IAM uses to reduce the domain of continuous attributes (paper §4.2): EM and
+// mini-batch SGD fitting (the KeOps-style training the paper adopts so GMMs
+// can be optimized jointly with the autoregressive model), a variational-
+// Bayes-flavoured component-count selection, maximum-probability component
+// assignment (Eq. 5), and the per-component range masses P̂_GMM(R) needed by
+// the unbiased progressive-sampling algorithm (§5.2) in exact (Gaussian CDF),
+// Monte-Carlo (paper-faithful), and empirical variants.
+package gmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iam/internal/vecmath"
+)
+
+// Model is a K-component univariate Gaussian mixture.
+type Model struct {
+	Weights []float64 // mixture weights φ, on the simplex
+	Means   []float64 // component means μ
+	Sigmas  []float64 // component standard deviations σ (> 0)
+}
+
+// K returns the number of components.
+func (m *Model) K() int { return len(m.Weights) }
+
+// Validate checks the model invariants.
+func (m *Model) Validate() error {
+	k := m.K()
+	if len(m.Means) != k || len(m.Sigmas) != k {
+		return fmt.Errorf("gmm: parameter length mismatch %d/%d/%d", k, len(m.Means), len(m.Sigmas))
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		if m.Weights[i] < 0 {
+			return fmt.Errorf("gmm: negative weight %v", m.Weights[i])
+		}
+		if m.Sigmas[i] <= 0 {
+			return fmt.Errorf("gmm: non-positive sigma %v", m.Sigmas[i])
+		}
+		sum += m.Weights[i]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("gmm: weights sum to %v", sum)
+	}
+	return nil
+}
+
+// PDF returns the mixture density at x.
+func (m *Model) PDF(x float64) float64 {
+	var p float64
+	for k := range m.Weights {
+		p += m.Weights[k] * vecmath.NormalPDF(x, m.Means[k], m.Sigmas[k])
+	}
+	return p
+}
+
+// LogLikelihood returns log p(x) computed stably in log space.
+func (m *Model) LogLikelihood(x float64) float64 {
+	buf := make([]float64, m.K())
+	m.logJoint(x, buf)
+	return vecmath.LogSumExp(buf)
+}
+
+// logJoint fills out[k] = log(φ_k) + log N(x | μ_k, σ_k).
+func (m *Model) logJoint(x float64, out []float64) {
+	for k := range out {
+		w := m.Weights[k]
+		if w <= 0 {
+			out[k] = math.Inf(-1)
+			continue
+		}
+		out[k] = math.Log(w) + vecmath.NormalLogPDF(x, m.Means[k], m.Sigmas[k])
+	}
+}
+
+// Responsibilities fills out[k] = P(component k | x), the posterior over
+// components given the observation.
+func (m *Model) Responsibilities(x float64, out []float64) {
+	m.logJoint(x, out)
+	lse := vecmath.LogSumExp(out)
+	for k := range out {
+		out[k] = math.Exp(out[k] - lse)
+	}
+}
+
+// Assign returns the maximum-probability component index for x — the new
+// attribute value a′ of Eq. 5.
+func (m *Model) Assign(x float64) int {
+	best, bi := math.Inf(-1), 0
+	for k := range m.Weights {
+		if m.Weights[k] <= 0 {
+			continue
+		}
+		v := math.Log(m.Weights[k]) + vecmath.NormalLogPDF(x, m.Means[k], m.Sigmas[k])
+		if v > best {
+			best, bi = v, k
+		}
+	}
+	return bi
+}
+
+// AssignAll maps every value to its component index.
+func (m *Model) AssignAll(values []float64) []int {
+	out := make([]int, len(values))
+	for i, v := range values {
+		out[i] = m.Assign(v)
+	}
+	return out
+}
+
+// NLL returns the mean negative log-likelihood of values under the model
+// (Eq. 4 of the paper).
+func (m *Model) NLL(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	buf := make([]float64, m.K())
+	var s float64
+	for _, v := range values {
+		m.logJoint(v, buf)
+		s -= vecmath.LogSumExp(buf)
+	}
+	return s / float64(len(values))
+}
+
+// Sample draws one value from the mixture.
+func (m *Model) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	var acc float64
+	k := m.K() - 1
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			k = i
+			break
+		}
+	}
+	return m.Means[k] + rng.NormFloat64()*m.Sigmas[k]
+}
+
+// RangeMassExact fills out[k] = P(lo ≤ X ≤ hi) for X ~ N(μ_k, σ_k²), the
+// per-component range mass computed with the Gaussian CDF. This is the
+// deterministic alternative to the paper's Monte-Carlo estimate.
+func (m *Model) RangeMassExact(lo, hi float64, out []float64) {
+	for k := range out {
+		out[k] = vecmath.NormalRangeMass(lo, hi, m.Means[k], m.Sigmas[k])
+	}
+}
+
+// SizeBytes returns the serialized model size: three float64 parameters per
+// component (weight, mean, sigma), as the paper counts GMM storage.
+func (m *Model) SizeBytes() int { return 3 * 8 * m.K() }
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	return &Model{
+		Weights: append([]float64(nil), m.Weights...),
+		Means:   append([]float64(nil), m.Means...),
+		Sigmas:  append([]float64(nil), m.Sigmas...),
+	}
+}
+
+// RangeSampler is the paper's Monte-Carlo range-mass estimator: S samples are
+// drawn from every Gaussian component once (a one-time preprocessing step,
+// §5.2) and kept sorted, so each query range costs two binary searches per
+// component.
+type RangeSampler struct {
+	samples [][]float64 // per component, ascending
+}
+
+// NewRangeSampler draws S samples per component.
+func NewRangeSampler(m *Model, s int, rng *rand.Rand) *RangeSampler {
+	rs := &RangeSampler{samples: make([][]float64, m.K())}
+	for k := 0; k < m.K(); k++ {
+		xs := make([]float64, s)
+		for i := range xs {
+			xs[i] = m.Means[k] + rng.NormFloat64()*m.Sigmas[k]
+		}
+		sort.Float64s(xs)
+		rs.samples[k] = xs
+	}
+	return rs
+}
+
+// Mass fills out[k] = S_k/S, the fraction of component k's samples in
+// [lo, hi].
+func (rs *RangeSampler) Mass(lo, hi float64, out []float64) {
+	for k, xs := range rs.samples {
+		if hi < lo || len(xs) == 0 {
+			out[k] = 0
+			continue
+		}
+		a := sort.SearchFloat64s(xs, lo)
+		b := sort.SearchFloat64s(xs, math.Nextafter(hi, math.Inf(1)))
+		out[k] = float64(b-a) / float64(len(xs))
+	}
+}
+
+// Empirical computes per-component range masses from the training data
+// itself: Mass[k] = s(R ∩ component k) / s(component k), the exact quantity
+// in the paper's unbiasedness proof (Theorem 5.1). It is an extension beyond
+// the paper's Gaussian-sampling estimate.
+type Empirical struct {
+	perComp [][]float64 // values assigned to each component, ascending
+}
+
+// NewEmpirical partitions values by argmax component assignment.
+func NewEmpirical(m *Model, values []float64) *Empirical {
+	e := &Empirical{perComp: make([][]float64, m.K())}
+	for _, v := range values {
+		k := m.Assign(v)
+		e.perComp[k] = append(e.perComp[k], v)
+	}
+	for k := range e.perComp {
+		sort.Float64s(e.perComp[k])
+	}
+	return e
+}
+
+// Mass fills out[k] with the fraction of component-k tuples inside [lo, hi].
+// Empty components get mass 0.
+func (e *Empirical) Mass(lo, hi float64, out []float64) {
+	for k, xs := range e.perComp {
+		if hi < lo || len(xs) == 0 {
+			out[k] = 0
+			continue
+		}
+		a := sort.SearchFloat64s(xs, lo)
+		b := sort.SearchFloat64s(xs, math.Nextafter(hi, math.Inf(1)))
+		out[k] = float64(b-a) / float64(len(xs))
+	}
+}

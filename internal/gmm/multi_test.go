@@ -1,0 +1,114 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoCluster2D draws from two well-separated 2-D Gaussian clusters.
+func twoCluster2D(n int, rng *rand.Rand) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		if rng.Float64() < 0.4 {
+			rows[i] = []float64{-5 + rng.NormFloat64()*0.5, 2 + rng.NormFloat64()*0.5}
+		} else {
+			rows[i] = []float64{5 + rng.NormFloat64()*0.8, -3 + rng.NormFloat64()*0.3}
+		}
+	}
+	return rows
+}
+
+func TestFitMultiRecoversClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := twoCluster2D(3000, rng)
+	m := FitMulti(rows, 2, 25, rng)
+	// Identify the left cluster.
+	li := 0
+	if m.Means[1][0] < m.Means[0][0] {
+		li = 1
+	}
+	if math.Abs(m.Means[li][0]+5) > 0.3 || math.Abs(m.Means[li][1]-2) > 0.3 {
+		t.Fatalf("left mean %v, want ≈(-5, 2)", m.Means[li])
+	}
+	if math.Abs(m.Weights[li]-0.4) > 0.05 {
+		t.Fatalf("left weight %v, want ≈0.4", m.Weights[li])
+	}
+}
+
+func TestMultiAssignSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := twoCluster2D(2000, rng)
+	m := FitMulti(rows, 2, 20, rng)
+	a := m.Assign([]float64{-5, 2})
+	b := m.Assign([]float64{5, -3})
+	if a == b {
+		t.Fatal("separated points assigned to the same component")
+	}
+}
+
+func TestMultiBoxMassVsEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := twoCluster2D(8000, rng)
+	m := FitMulti(rows, 2, 25, rng)
+	lo := []float64{-6, 1}
+	hi := []float64{-4, 3}
+	est := m.EstimateBox(lo, hi)
+	count := 0
+	for _, x := range rows {
+		if x[0] >= lo[0] && x[0] <= hi[0] && x[1] >= lo[1] && x[1] <= hi[1] {
+			count++
+		}
+	}
+	want := float64(count) / float64(len(rows))
+	if math.Abs(est-want) > 0.03 {
+		t.Fatalf("box estimate %v vs empirical %v", est, want)
+	}
+}
+
+// TestMultiWithinComponentIndependenceHurts reproduces the paper's §4.2
+// design-choice finding: a single multivariate mixture assumes independence
+// *within* each component, so on data correlated inside clusters the
+// GMM-only estimate of a narrow diagonal box goes wrong while the empirical
+// count does not.
+func TestMultiWithinComponentIndependenceHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 8000
+	rows := make([][]float64, n)
+	for i := range rows {
+		// One cluster, perfectly correlated diagonally: y = x + tiny noise.
+		x := rng.NormFloat64() * 2
+		rows[i] = []float64{x, x + rng.NormFloat64()*0.01}
+	}
+	m := FitMulti(rows, 1, 15, rng)
+	// Anti-diagonal box: x in [1,2], y in [-2,-1] — empirically empty, but
+	// the diagonal-covariance component sees both marginals as plausible.
+	est := m.EstimateBox([]float64{1, -2}, []float64{2, -1})
+	if est < 0.001 {
+		t.Fatalf("expected the independence assumption to overestimate, got %v", est)
+	}
+	count := 0
+	for _, x := range rows {
+		if x[0] >= 1 && x[0] <= 2 && x[1] >= -2 && x[1] <= -1 {
+			count++
+		}
+	}
+	if count != 0 {
+		t.Fatalf("test premise broken: %d rows in the anti-diagonal box", count)
+	}
+}
+
+func TestMultiNLLAndSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := twoCluster2D(1000, rng)
+	m := FitMulti(rows, 2, 15, rng)
+	if nll := m.NLL(rows); math.IsNaN(nll) || nll > 10 {
+		t.Fatalf("NLL %v implausible", nll)
+	}
+	if m.SizeBytes() != 8*2*(1+4) {
+		t.Fatalf("size %d", m.SizeBytes())
+	}
+	if m.Dim() != 2 || m.K() != 2 {
+		t.Fatalf("dims %d/%d", m.Dim(), m.K())
+	}
+}

@@ -1,0 +1,122 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/query"
+	"iam/internal/spn"
+)
+
+func TestMSCNJoinBatchMatchesSingle(t *testing.T) {
+	s := testSchema(t)
+	train, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 150, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMSCNJoin(s, train, MSCNJoinConfig{Epochs: 5, Samples: 80, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 20, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.EstimateCardBatch(test.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jq := range test.Queries {
+		single, err := m.EstimateCard(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(batch[i]-single) > 1e-6*(1+single) {
+			t.Fatalf("query %d: batch %v vs single %v", i, batch[i], single)
+		}
+	}
+}
+
+func TestARJoinBatchMatchesSingle(t *testing.T) {
+	s := testSchema(t)
+	cfg := smallARCfg()
+	cfg.Epochs = 4
+	m, err := TrainIAMJoin(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 6, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.EstimateCardBatch(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, jq := range w.Queries {
+		single, err := m.EstimateCard(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both are Monte-Carlo; tolerate sampling spread.
+		hi := math.Max(batch[i], single)
+		lo := math.Min(batch[i], single)
+		if hi > 3*lo+30 {
+			t.Fatalf("query %d: batch %v vs single %v", i, batch[i], single)
+		}
+	}
+}
+
+func TestSPNJoinFullJoinCard(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewSPNJoin(s, 8000, spn.Config{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicate-free full inner join: estimate must land near the exact
+	// inner-join size.
+	jq := &JoinQuery{
+		Root: query.NewQuery(s.Root),
+		Children: map[string]*query.Query{
+			"movie_info": query.NewQuery(s.Children[0].Table),
+			"cast_info":  query.NewQuery(s.Children[1].Table),
+		},
+	}
+	got, err := m.EstimateCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := s.ExactCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < truth/2 || got > truth*2 {
+		t.Fatalf("SPN full-join card %v vs exact %v", got, truth)
+	}
+}
+
+func TestUAEQJoinTrains(t *testing.T) {
+	s := testSchema(t)
+	train, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 40, Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallARCfg()
+	m, err := TrainUAEQJoin(s, train, cfg, 3, 2e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "UAE-Q" {
+		t.Fatalf("name %q", m.Name())
+	}
+	// Produces sane cardinalities.
+	for _, jq := range train.Queries[:10] {
+		est, err := m.EstimateCard(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < 0 || math.IsNaN(est) || est > 10*m.JoinSize() {
+			t.Fatalf("estimate %v out of range", est)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package join
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/pghist"
+	"iam/internal/query"
+	"iam/internal/spn"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	db := dataset.SynthIMDB(600, 1)
+	return NewIMDBSchema(db)
+}
+
+func TestFullJoinSizeMatchesEnumeration(t *testing.T) {
+	s := testSchema(t)
+	// Direct enumeration of Σ_t max(m,1)·max(c,1).
+	var want float64
+	for r := 0; r < s.Root.NumRows(); r++ {
+		m := len(s.Children[0].rowsOf[r])
+		c := len(s.Children[1].rowsOf[r])
+		want += math.Max(float64(m), 1) * math.Max(float64(c), 1)
+	}
+	if got := s.FullJoinSize(); got != want {
+		t.Fatalf("join size %v, want %v", got, want)
+	}
+}
+
+func TestSamplerIsUniformOverJoin(t *testing.T) {
+	// Frequencies of root rows in samples must be proportional to their
+	// join multiplicities.
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	samples := s.Sample(n, rng)
+	counts := make([]float64, s.Root.NumRows())
+	for _, js := range samples {
+		counts[js.RootRow]++
+	}
+	total := s.FullJoinSize()
+	// Check the most multiplicitous rows (strongest signal).
+	for r := 0; r < s.Root.NumRows(); r += 37 {
+		w := float64(s.fanout(0, r)) * float64(s.fanout(1, r))
+		expect := w / total * n
+		if expect < 50 {
+			continue
+		}
+		if math.Abs(counts[r]-expect) > 6*math.Sqrt(expect) {
+			t.Fatalf("root row %d sampled %v times, expected ≈%v", r, counts[r], expect)
+		}
+	}
+}
+
+func TestSamplerNullExtension(t *testing.T) {
+	// Root rows without child rows must produce NULL child samples.
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	samples := s.Sample(20000, rng)
+	for _, js := range samples {
+		for ci, cr := range js.ChildRows {
+			has := len(s.Children[ci].rowsOf[js.RootRow]) > 0
+			if has && cr < 0 {
+				t.Fatal("NULL sample for a root row with child rows")
+			}
+			if !has && cr >= 0 {
+				t.Fatal("non-NULL sample for a root row without child rows")
+			}
+			if cr >= 0 && s.Children[ci].FK[cr] != js.RootRow {
+				t.Fatal("sampled child row does not join the root row")
+			}
+		}
+	}
+}
+
+func TestFlattenLayout(t *testing.T) {
+	s := testSchema(t)
+	f := s.Flatten(5000, 4)
+	if err := f.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 root cols + (ind + 4 cols + fanout) + (ind + 2 cols + fanout) = 14.
+	if f.Table.NumCols() != 14 {
+		t.Fatalf("flattened cols = %d, want 14", f.Table.NumCols())
+	}
+	if f.IndicatorIndex(0) < 0 || f.FanoutIndex(1) < 0 {
+		t.Fatal("indicator/fanout columns missing")
+	}
+	if f.FlatIndex("title", 0) != 0 {
+		t.Fatalf("title first col at %d", f.FlatIndex("title", 0))
+	}
+	// Fanout codes decode to positive values.
+	for ci := 0; ci < 2; ci++ {
+		for _, v := range f.FanoutValues[ci] {
+			if v < 1 {
+				t.Fatalf("fanout value %v < 1", v)
+			}
+		}
+	}
+}
+
+func TestExactCardConsistency(t *testing.T) {
+	s := testSchema(t)
+	// Root-only query with no predicates = |root|.
+	jq := &JoinQuery{Root: query.NewQuery(s.Root), Children: map[string]*query.Query{}}
+	card, err := s.ExactCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != float64(s.Root.NumRows()) {
+		t.Fatalf("root card %v, want %v", card, s.Root.NumRows())
+	}
+	// Full inner join with no predicates = Σ_t m_t·c_t.
+	jq2 := &JoinQuery{
+		Root: query.NewQuery(s.Root),
+		Children: map[string]*query.Query{
+			"movie_info": query.NewQuery(s.Children[0].Table),
+			"cast_info":  query.NewQuery(s.Children[1].Table),
+		},
+	}
+	card2, err := s.ExactCard(jq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for r := 0; r < s.Root.NumRows(); r++ {
+		want += float64(len(s.Children[0].rowsOf[r]) * len(s.Children[1].rowsOf[r]))
+	}
+	if card2 != want {
+		t.Fatalf("inner join card %v, want %v", card2, want)
+	}
+}
+
+func TestExactCardAgainstBruteForce(t *testing.T) {
+	s := testSchema(t)
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: materialize matches per root row.
+	for qi, jq := range w.Queries {
+		var brute float64
+		for r := 0; r < s.Root.NumRows(); r++ {
+			if jq.Root != nil && !jq.Root.Matches(r) {
+				continue
+			}
+			weight := 1.0
+			for name, cq := range jq.Children {
+				ci, _ := s.childIndexByName(name)
+				count := 0
+				for _, cr := range s.Children[ci].rowsOf[r] {
+					if cq == nil || cq.Matches(cr) {
+						count++
+					}
+				}
+				weight *= float64(count)
+			}
+			brute += weight
+		}
+		if brute != w.Cards[qi] {
+			t.Fatalf("query %d: brute %v vs exact %v", qi, brute, w.Cards[qi])
+		}
+	}
+}
+
+func smallARCfg() ARJoinConfig {
+	return ARJoinConfig{
+		SampleRows: 8000,
+		Components: 15,
+		Hidden:     []int{32, 32},
+		EmbedDim:   16,
+		Epochs:     6,
+		BatchSize:  128,
+		NumSamples: 300,
+		GMMSamples: 3000,
+		Seed:       7,
+	}
+}
+
+func evalJoin(t *testing.T, e CardEstimator, w *JoinWorkload) estimator.Summary {
+	t.Helper()
+	errs := make([]float64, len(w.Queries))
+	for i, jq := range w.Queries {
+		est, err := e.EstimateCard(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs[i] = estimator.QError(w.Cards[i], est, 1)
+	}
+	return estimator.Summarize(errs)
+}
+
+func TestIAMJoinAccuracy(t *testing.T) {
+	s := testSchema(t)
+	m, err := TrainIAMJoin(s, smallARCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 40, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := evalJoin(t, m, w)
+	if sum.Median > 5 {
+		t.Fatalf("IAM join median q-error %v: %v", sum.Median, sum)
+	}
+	if m.Name() != "IAM" {
+		t.Fatalf("name %q", m.Name())
+	}
+}
+
+func TestNeurocardJoinAccuracy(t *testing.T) {
+	s := testSchema(t)
+	m, err := TrainNeurocardJoin(s, smallARCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := evalJoin(t, m, w)
+	if sum.Median > 6 {
+		t.Fatalf("Neurocard join median q-error %v: %v", sum.Median, sum)
+	}
+}
+
+func TestARJoinRootOnlyQueries(t *testing.T) {
+	// Fanout downscaling: a root-only query's cardinality must come back
+	// near the root row count despite the model being trained on the much
+	// larger full join.
+	s := testSchema(t)
+	m, err := TrainIAMJoin(s, smallARCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jq := &JoinQuery{Root: query.NewQuery(s.Root), Children: map[string]*query.Query{}}
+	got, err := m.EstimateCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(s.Root.NumRows())
+	if got < want/3 || got > want*3 {
+		t.Fatalf("root-only card %v, want ≈%v (fanout scaling broken)", got, want)
+	}
+}
+
+func TestPGJoinSanity(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewPGJoin(s, pghist.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicate-free inner join of title ⋈ movie_info: the uniform-fanout
+	// estimate equals the true size exactly in a star schema with no
+	// orphan FKs... up to titles with zero children, so allow slack.
+	jq := &JoinQuery{
+		Root:     query.NewQuery(s.Root),
+		Children: map[string]*query.Query{"movie_info": query.NewQuery(s.Children[0].Table)},
+	}
+	got, err := m.EstimateCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := s.ExactCard(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := estimator.QError(truth, got, 1); qe > 2 {
+		t.Fatalf("predicate-free join q-error %v (est %v truth %v)", qe, got, truth)
+	}
+	// With predicates it still produces finite positive estimates.
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 20, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w.Queries {
+		est, err := m.EstimateCard(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est < 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("bad estimate %v", est)
+		}
+	}
+}
+
+func TestSPNJoinAccuracy(t *testing.T) {
+	s := testSchema(t)
+	m, err := NewSPNJoin(s, 10000, spn.Config{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 40, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := evalJoin(t, m, w)
+	if sum.Median > 15 {
+		t.Fatalf("SPN join median q-error %v: %v", sum.Median, sum)
+	}
+}
+
+func TestMSCNJoinAccuracy(t *testing.T) {
+	s := testSchema(t)
+	train, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 400, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMSCNJoin(s, train, MSCNJoinConfig{Epochs: 15, Samples: 150, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 40, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := evalJoin(t, m, test)
+	if sum.Median > 25 {
+		t.Fatalf("MSCN join median q-error %v: %v", sum.Median, sum)
+	}
+}
+
+func TestUAEJoinTrains(t *testing.T) {
+	s := testSchema(t)
+	train, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 60, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallARCfg()
+	cfg.Epochs = 3
+	m, err := TrainUAEJoin(s, train, cfg, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "UAE" {
+		t.Fatalf("name %q", m.Name())
+	}
+	test, err := s.GenerateWorkload(GenJoinConfig{NumQueries: 20, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := evalJoin(t, m, test)
+	if sum.Median > 20 {
+		t.Fatalf("UAE join median %v: %v", sum.Median, sum)
+	}
+}

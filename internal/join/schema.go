@@ -1,0 +1,320 @@
+// Package join implements the multi-table machinery of the paper's IMDB
+// experiments (§2.2, §3 "Join Queries", §6): a star join schema, the
+// exact-weight full-outer-join sampler (Zhao et al.) that produces unbiased
+// join-tuple samples, NeuroCard-style flattening with table-indicator and
+// fanout virtual columns, exact join-cardinality ground truth, a
+// JOB-light-style workload generator, and join-capable estimators (IAM,
+// NeuroCard/UAE, Postgres-style, DeepDB-style, MSCN-style).
+package join
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iam/internal/dataset"
+)
+
+// Schema is a star join schema: a root (dimension) table and child (fact)
+// tables whose FK slices index root rows. Every paper experiment uses the
+// IMDB star of title ⟕ {movie_info, cast_info}.
+type Schema struct {
+	Root     *dataset.Table
+	Children []Child
+}
+
+// Child is one fact table with its foreign key into the root.
+type Child struct {
+	Table *dataset.Table
+	FK    []int
+	// rowsOf[r] lists this child's row indices joining root row r
+	// (built lazily by Prepare).
+	rowsOf [][]int
+}
+
+// NewIMDBSchema wraps a synthetic IMDB dataset into a Schema.
+func NewIMDBSchema(db *dataset.IMDB) *Schema {
+	s := &Schema{
+		Root: db.Title,
+		Children: []Child{
+			{Table: db.MovieInfo, FK: db.MovieInfoFK},
+			{Table: db.CastInfo, FK: db.CastInfoFK},
+		},
+	}
+	s.Prepare()
+	return s
+}
+
+// Prepare builds the per-root-row child row lists; it must be called after
+// constructing a Schema by hand.
+func (s *Schema) Prepare() {
+	n := s.Root.NumRows()
+	for ci := range s.Children {
+		c := &s.Children[ci]
+		c.rowsOf = make([][]int, n)
+		for ri, fk := range c.FK {
+			c.rowsOf[fk] = append(c.rowsOf[fk], ri)
+		}
+	}
+}
+
+// fanout returns max(#child rows, 1) for root row r — the full-outer-join
+// multiplicity contributed by child ci.
+func (s *Schema) fanout(ci, r int) int {
+	f := len(s.Children[ci].rowsOf[r])
+	if f == 0 {
+		return 1
+	}
+	return f
+}
+
+// FullJoinSize returns |J|, the tuple count of the full outer join.
+func (s *Schema) FullJoinSize() float64 {
+	var total float64
+	for r := 0; r < s.Root.NumRows(); r++ {
+		w := 1.0
+		for ci := range s.Children {
+			w *= float64(s.fanout(ci, r))
+		}
+		total += w
+	}
+	return total
+}
+
+// JoinSample is one tuple of the full outer join: the root row plus, per
+// child, either a row index or −1 (NULL-extended).
+type JoinSample struct {
+	RootRow   int
+	ChildRows []int
+}
+
+// Sample draws n uniform tuples from the full outer join using exact
+// weights: the root row is drawn proportionally to its join multiplicity
+// Π max(fanout, 1), then each child row uniformly among its partners (or
+// NULL when it has none). This is the Exact Weight algorithm specialized to
+// a star schema, where the bottom-up weight pass collapses to the fanout
+// product.
+func (s *Schema) Sample(n int, rng *rand.Rand) []JoinSample {
+	nRoot := s.Root.NumRows()
+	cum := make([]float64, nRoot+1)
+	for r := 0; r < nRoot; r++ {
+		w := 1.0
+		for ci := range s.Children {
+			w *= float64(s.fanout(ci, r))
+		}
+		cum[r+1] = cum[r] + w
+	}
+	total := cum[nRoot]
+	out := make([]JoinSample, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * total
+		// Binary search for the root row.
+		lo, hi := 0, nRoot
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= u {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		r := lo
+		js := JoinSample{RootRow: r, ChildRows: make([]int, len(s.Children))}
+		for ci := range s.Children {
+			rows := s.Children[ci].rowsOf[r]
+			if len(rows) == 0 {
+				js.ChildRows[ci] = -1
+			} else {
+				js.ChildRows[ci] = rows[rng.Intn(len(rows))]
+			}
+		}
+		out[i] = js
+	}
+	return out
+}
+
+// FlatKind labels the role of a flattened column.
+type FlatKind int
+
+const (
+	// FlatData is a real data column from the root or a child table.
+	FlatData FlatKind = iota
+	// FlatIndicator is a child-presence bit (0 = NULL-extended, 1 = present).
+	FlatIndicator
+	// FlatFanout is a child fanout column: max(#child rows of the root
+	// row, 1), used to downscale estimates for join graphs excluding the
+	// child (NeuroCard's fanout scaling).
+	FlatFanout
+)
+
+// FlatCol describes one column of the flattened join tuple.
+type FlatCol struct {
+	Kind  FlatKind
+	Table string // source table name ("" for root data cols it is the root's name)
+	Col   int    // column index within the source table (FlatData only)
+	Child int    // child index (FlatIndicator/FlatFanout, and FlatData of a child)
+}
+
+// Flattened is a materialized sample of the full outer join as a single
+// dataset.Table, with layout metadata. NULL-extended child values are
+// encoded as an extra categorical code (card) or, for continuous columns,
+// as a sentinel below the real domain.
+type Flattened struct {
+	Table    *dataset.Table
+	Cols     []FlatCol
+	JoinSize float64 // |J| of the schema the sample came from
+	// FanoutValues[child] maps the fanout column's categorical code to the
+	// actual fanout value.
+	FanoutValues map[int][]float64
+	// NullSentinel[flatCol] holds the sentinel used for NULL in continuous
+	// child columns (only set for such columns).
+	NullSentinel map[int]float64
+}
+
+// Flatten materializes n full-outer-join samples into a single table.
+func (s *Schema) Flatten(n int, seed int64) *Flattened {
+	rng := rand.New(rand.NewSource(seed))
+	samples := s.Sample(n, rng)
+
+	f := &Flattened{
+		JoinSize:     s.FullJoinSize(),
+		FanoutValues: map[int][]float64{},
+		NullSentinel: map[int]float64{},
+	}
+	var cols []*dataset.Column
+
+	// Root data columns.
+	for cj, c := range s.Root.Columns {
+		nc := &dataset.Column{Name: s.Root.Name + "." + c.Name, Kind: c.Kind, Card: c.Card}
+		if c.Kind == dataset.Categorical {
+			nc.Ints = make([]int, n)
+			for i, js := range samples {
+				nc.Ints[i] = c.Ints[js.RootRow]
+			}
+		} else {
+			nc.Floats = make([]float64, n)
+			for i, js := range samples {
+				nc.Floats[i] = c.Floats[js.RootRow]
+			}
+		}
+		cols = append(cols, nc)
+		f.Cols = append(f.Cols, FlatCol{Kind: FlatData, Table: s.Root.Name, Col: cj, Child: -1})
+	}
+
+	for ci := range s.Children {
+		child := &s.Children[ci]
+		// Indicator column.
+		ind := &dataset.Column{
+			Name: child.Table.Name + ".__present", Kind: dataset.Categorical, Card: 2,
+			Ints: make([]int, n),
+		}
+		for i, js := range samples {
+			if js.ChildRows[ci] >= 0 {
+				ind.Ints[i] = 1
+			}
+		}
+		cols = append(cols, ind)
+		f.Cols = append(f.Cols, FlatCol{Kind: FlatIndicator, Table: child.Table.Name, Child: ci})
+
+		// Child data columns (NULL-extended).
+		for cj, c := range child.Table.Columns {
+			nc := &dataset.Column{Name: child.Table.Name + "." + c.Name, Kind: c.Kind}
+			flatIdx := len(cols)
+			if c.Kind == dataset.Categorical {
+				nc.Card = c.Card + 1 // extra NULL code = c.Card
+				nc.Ints = make([]int, n)
+				for i, js := range samples {
+					if js.ChildRows[ci] >= 0 {
+						nc.Ints[i] = c.Ints[js.ChildRows[ci]]
+					} else {
+						nc.Ints[i] = c.Card
+					}
+				}
+			} else {
+				lo, hi := c.MinMax()
+				sentinel := lo - (hi-lo)*0.25 - 1
+				f.NullSentinel[flatIdx] = sentinel
+				nc.Floats = make([]float64, n)
+				for i, js := range samples {
+					if js.ChildRows[ci] >= 0 {
+						nc.Floats[i] = c.Floats[js.ChildRows[ci]]
+					} else {
+						nc.Floats[i] = sentinel
+					}
+				}
+			}
+			cols = append(cols, nc)
+			f.Cols = append(f.Cols, FlatCol{Kind: FlatData, Table: child.Table.Name, Col: cj, Child: ci})
+		}
+
+		// Fanout column: categorical over the distinct fanout values.
+		fanouts := make([]float64, n)
+		for i, js := range samples {
+			fanouts[i] = float64(s.fanout(ci, js.RootRow))
+		}
+		distinct := dataset.SortedDistinct(fanouts)
+		codeOf := make(map[float64]int, len(distinct))
+		for k, v := range distinct {
+			codeOf[v] = k
+		}
+		fc := &dataset.Column{
+			Name: child.Table.Name + ".__fanout", Kind: dataset.Categorical,
+			Card: len(distinct), Ints: make([]int, n),
+		}
+		for i, v := range fanouts {
+			fc.Ints[i] = codeOf[v]
+		}
+		f.FanoutValues[ci] = distinct
+		cols = append(cols, fc)
+		f.Cols = append(f.Cols, FlatCol{Kind: FlatFanout, Table: child.Table.Name, Child: ci})
+	}
+
+	f.Table = &dataset.Table{Name: "joinsample", Columns: cols}
+	return f
+}
+
+// FlatIndex returns the flattened column index of a data column, or -1.
+// table is the source table name, col the column index within it.
+func (f *Flattened) FlatIndex(table string, col int) int {
+	for i, fc := range f.Cols {
+		if fc.Kind == FlatData && fc.Table == table && fc.Col == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndicatorIndex returns the flattened index of a child's indicator column.
+func (f *Flattened) IndicatorIndex(child int) int {
+	for i, fc := range f.Cols {
+		if fc.Kind == FlatIndicator && fc.Child == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// FanoutIndex returns the flattened index of a child's fanout column.
+func (f *Flattened) FanoutIndex(child int) int {
+	for i, fc := range f.Cols {
+		if fc.Kind == FlatFanout && fc.Child == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// ChildRowsOf returns the child rows joining a given root row (the join
+// index used by the executor in internal/optimizer).
+func (s *Schema) ChildRowsOf(ci, rootRow int) []int {
+	return s.Children[ci].rowsOf[rootRow]
+}
+
+// childIndexByName resolves a child table name.
+func (s *Schema) childIndexByName(name string) (int, error) {
+	for ci := range s.Children {
+		if s.Children[ci].Table.Name == name {
+			return ci, nil
+		}
+	}
+	return 0, fmt.Errorf("join: unknown child table %q", name)
+}

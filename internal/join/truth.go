@@ -1,0 +1,170 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+// JoinQuery is a conjunctive query over a join graph: the root is always a
+// member; a child table participates (inner join) iff it has an entry in
+// Children. Member queries may have empty predicate lists.
+type JoinQuery struct {
+	Root *query.Query
+	// Children maps child table name → predicates on that table.
+	Children map[string]*query.Query
+}
+
+// Tables returns the participating table names (root first, children
+// sorted).
+func (jq *JoinQuery) Tables(s *Schema) []string {
+	out := []string{s.Root.Name}
+	var kids []string
+	for name := range jq.Children {
+		kids = append(kids, name)
+	}
+	sort.Strings(kids)
+	return append(out, kids...)
+}
+
+// ExactCard computes the exact cardinality of jq by per-table filtering and
+// fanout counting — the ground truth for join experiments.
+func (s *Schema) ExactCard(jq *JoinQuery) (float64, error) {
+	if jq.Root != nil && jq.Root.Table != s.Root {
+		return 0, fmt.Errorf("join: root query bound to table %q", jq.Root.Table.Name)
+	}
+	// For each participating child: matching row count per root row.
+	type childCount struct {
+		ci     int
+		counts []int
+	}
+	var parts []childCount
+	for name, q := range jq.Children {
+		ci, err := s.childIndexByName(name)
+		if err != nil {
+			return 0, err
+		}
+		child := &s.Children[ci]
+		if q != nil && q.Table != child.Table {
+			return 0, fmt.Errorf("join: child query for %q bound to wrong table", name)
+		}
+		counts := make([]int, s.Root.NumRows())
+		for ri := 0; ri < child.Table.NumRows(); ri++ {
+			if q == nil || matches(q, ri) {
+				counts[child.FK[ri]]++
+			}
+		}
+		parts = append(parts, childCount{ci, counts})
+	}
+
+	var total float64
+	for r := 0; r < s.Root.NumRows(); r++ {
+		if jq.Root != nil && !matches(jq.Root, r) {
+			continue
+		}
+		w := 1.0
+		for _, p := range parts {
+			w *= float64(p.counts[r])
+			if w == 0 {
+				break
+			}
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// matches evaluates a (possibly empty) query against one row of its table.
+func matches(q *query.Query, row int) bool {
+	return q.Matches(row)
+}
+
+// JoinWorkload is a labelled set of join queries.
+type JoinWorkload struct {
+	Queries []*JoinQuery
+	Cards   []float64
+}
+
+// GenJoinConfig controls join workload generation.
+type GenJoinConfig struct {
+	NumQueries int
+	Seed       int64
+	// MaxPredsPerTable caps the filters placed on each participating table
+	// (default 2).
+	MaxPredsPerTable int
+}
+
+// GenerateWorkload builds a JOB-light-style workload: queries are spread
+// uniformly over the join graphs of the star schema (root alone, root with
+// each child subset), and each participating table receives random range or
+// point predicates as in §6.1.3. Cardinalities are exact.
+func (s *Schema) GenerateWorkload(cfg GenJoinConfig) (*JoinWorkload, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	maxP := cfg.MaxPredsPerTable
+	if maxP <= 0 {
+		maxP = 2
+	}
+	// All join graphs: subsets of children (including none).
+	nChildren := len(s.Children)
+	var graphs [][]int
+	for mask := 0; mask < 1<<nChildren; mask++ {
+		var g []int
+		for ci := 0; ci < nChildren; ci++ {
+			if mask&(1<<ci) != 0 {
+				g = append(g, ci)
+			}
+		}
+		graphs = append(graphs, g)
+	}
+
+	w := &JoinWorkload{}
+	for len(w.Queries) < cfg.NumQueries {
+		g := graphs[rng.Intn(len(graphs))]
+		jq := &JoinQuery{Children: map[string]*query.Query{}}
+		jq.Root = randomPreds(s.Root, rng, 1+rng.Intn(maxP))
+		for _, ci := range g {
+			tb := s.Children[ci].Table
+			jq.Children[tb.Name] = randomPreds(tb, rng, 1+rng.Intn(maxP))
+		}
+		card, err := s.ExactCard(jq)
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, jq)
+		w.Cards = append(w.Cards, card)
+	}
+	return w, nil
+}
+
+// randomPreds builds a query with n random predicates on t (§6.1.3 rules).
+func randomPreds(t *dataset.Table, rng *rand.Rand, n int) *query.Query {
+	q := query.NewQuery(t)
+	if n > t.NumCols() {
+		n = t.NumCols()
+	}
+	for _, j := range rng.Perm(t.NumCols())[:n] {
+		c := t.Columns[j]
+		var p query.Predicate
+		if c.Kind == dataset.Categorical {
+			p = query.Predicate{
+				Col:   c.Name,
+				Op:    []query.Op{query.Eq, query.Le, query.Ge}[rng.Intn(3)],
+				Value: float64(rng.Intn(c.Card)),
+			}
+		} else {
+			lo, hi := c.MinMax()
+			p = query.Predicate{
+				Col:   c.Name,
+				Op:    []query.Op{query.Le, query.Ge}[rng.Intn(2)],
+				Value: lo + rng.Float64()*(hi-lo),
+			}
+		}
+		if err := q.AddPredicate(p); err != nil {
+			panic(err)
+		}
+	}
+	return q
+}

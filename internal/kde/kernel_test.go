@@ -1,0 +1,62 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// TestSingleKernelIntegral: with one kernel centre, the estimate over a box
+// equals the product of per-dimension Gaussian masses analytically.
+func TestSingleKernelIntegral(t *testing.T) {
+	tb := &dataset.Table{Name: "one", Columns: []*dataset.Column{
+		{Name: "u", Kind: dataset.Continuous, Floats: []float64{2.0}},
+		{Name: "v", Kind: dataset.Continuous, Floats: []float64{-1.0}},
+	}}
+	e, err := New(tb, Config{SampleSize: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidths are degenerate for a single point; set them directly.
+	e.bandwidth = []float64{0.5, 2}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "u", Op: query.Le, Value: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddPredicate(query.Predicate{Col: "v", Op: query.Ge, Value: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vecmath.NormalCDF(2.5, 2.0, 0.5) * (1 - vecmath.NormalCDF(0, -1.0, 2))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("kernel integral %v vs analytic %v", got, want)
+	}
+}
+
+// TestKDEConsistency: with many samples and small bandwidth, the estimate
+// approaches the empirical selectivity on smooth data.
+func TestKDEConsistency(t *testing.T) {
+	tb := dataset.SynthTWI(12000, 2)
+	e, err := New(tb, Config{SampleSize: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "latitude", Op: query.Le, Value: 38}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := query.Exec(q)
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("KDE %v vs truth %v", got, want)
+	}
+}

@@ -1,0 +1,107 @@
+package mhist
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/query"
+)
+
+func TestMHISTBeatsIndependenceOnCorrelated(t *testing.T) {
+	// Two strongly correlated columns; multi-dimensional buckets should
+	// capture the diagonal where per-column independence cannot.
+	n := 6000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i%100) + float64(i%7)*0.01
+		b[i] = a[i] + float64(i%3)*0.1
+	}
+	tb := &dataset.Table{Name: "corr", Columns: []*dataset.Column{
+		{Name: "a", Kind: dataset.Continuous, Floats: a},
+		{Name: "b", Kind: dataset.Continuous, Floats: b},
+	}}
+	e, err := New(tb, Config{Buckets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "a", Op: query.Le, Value: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddPredicate(query.Predicate{Col: "b", Op: query.Le, Value: 20}); err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Exec(q)
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := estimator.QError(truth, got, 1.0/float64(n))
+	if qe > 3 {
+		t.Fatalf("q-error %v on correlated conjunction (est %v truth %v)", qe, got, truth)
+	}
+}
+
+func TestMHISTWorkload(t *testing.T) {
+	tb := dataset.SynthTWI(6000, 1)
+	e, err := New(tb, Config{Buckets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
+	ev, err := estimator.Evaluate(e, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 2.5 {
+		t.Fatalf("median q-error %v: %v", ev.Summary.Median, ev.Summary)
+	}
+}
+
+func TestBucketCountRespected(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 3)
+	e, err := New(tb, Config{Buckets: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.buckets) > 50 {
+		t.Fatalf("bucket count %d exceeds budget", len(e.buckets))
+	}
+	if len(e.buckets) < 10 {
+		t.Fatalf("suspiciously few buckets: %d", len(e.buckets))
+	}
+}
+
+func TestTotalMassIsOne(t *testing.T) {
+	tb := dataset.SynthWISDM(3000, 4)
+	e, err := New(tb, Config{Buckets: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Estimate(query.NewQuery(tb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("unconstrained mass = %v", got)
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	r := &query.Interval{Lo: 0, Hi: 5, LoInc: true, HiInc: true}
+	if f := overlapFraction(0, 10, r); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("half overlap = %v", f)
+	}
+	if f := overlapFraction(20, 30, r); f != 0 {
+		t.Fatalf("disjoint = %v", f)
+	}
+	if f := overlapFraction(3, 3, r); f != 1 {
+		t.Fatalf("degenerate inside = %v", f)
+	}
+	if f := overlapFraction(9, 9, r); f != 0 {
+		t.Fatalf("degenerate outside = %v", f)
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"iam/internal/vecmath"
+)
+
+func matOf(rows, cols int, data []float64) *vecmath.Matrix {
+	return &vecmath.Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+func benchNet(b *testing.B, cards []int, hidden []int) *ResMADE {
+	b.Helper()
+	net, err := NewResMADE(Config{Cards: cards, Hidden: hidden, EmbedDim: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func randRows(n int, cards []int, rng *rand.Rand) [][]int {
+	rows := make([][]int, n)
+	for i := range rows {
+		r := make([]int, len(cards))
+		for c, card := range cards {
+			r[c] = rng.Intn(card)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+func BenchmarkResMADEForward256(b *testing.B) {
+	cards := []int{51, 18, 30, 30, 30}
+	net := benchNet(b, cards, []int{128, 64, 64, 128})
+	sess := net.NewSession(256)
+	rows := randRows(256, cards, rand.New(rand.NewSource(2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Forward(rows)
+	}
+	b.ReportMetric(float64(256*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkResMADETrainBatch(b *testing.B) {
+	cards := []int{51, 18, 30, 30, 30}
+	net := benchNet(b, cards, []int{128, 64, 64, 128})
+	rows := randRows(2560, cards, rand.New(rand.NewSource(3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Fit(rows, TrainConfig{Epochs: 1, BatchSize: 256, Seed: 4})
+	}
+	b.ReportMetric(float64(len(rows)*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	m, err := NewMLP([]int{64, 128, 64, 1}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := m.NewState(64)
+	in := make([]float64, 64*64)
+	rng := rand.New(rand.NewSource(6))
+	for i := range in {
+		in[i] = rng.Float64()
+	}
+	mat := matOf(64, 64, in)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(st, mat)
+	}
+}

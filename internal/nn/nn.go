@@ -1,0 +1,505 @@
+// Package nn is a from-scratch CPU neural-network engine implementing the
+// ResMADE deep autoregressive model that IAM, Naru/NeuroCard and UAE build
+// on (paper §3). It provides masked linear layers with MADE degree
+// constraints, residual blocks, per-column embeddings with a wildcard (MASK)
+// token for Naru-style wildcard skipping, softmax cross-entropy training with
+// Adam, and a Session abstraction exposing forward/backward passes so
+// higher-level estimators can train end-to-end (IAM's joint loss, UAE's
+// query-driven gradients).
+//
+// The paper trains on GPUs with PyTorch; this engine substitutes a dense
+// float64 CPU implementation with identical semantics (see DESIGN.md).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"iam/internal/vecmath"
+)
+
+// Config describes a ResMADE network over n ≥ 2 autoregressive columns.
+type Config struct {
+	// Cards holds the domain size of each column (after any GMM reduction
+	// or factorization). The network predicts P(col_i | col_<i) in this
+	// left-to-right order.
+	Cards []int
+	// Hidden lists hidden-layer widths. Consecutive equal widths get
+	// residual connections (ResMADE). Default: [128, 64, 64, 128].
+	Hidden []int
+	// EmbedDim caps the per-column input embedding width. Each column uses
+	// min(Card, EmbedDim) dimensions. Default 32.
+	EmbedDim int
+	Seed     int64
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64, 64, 128}
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 32
+	}
+}
+
+// maskedLinear is a dense layer with a binary MADE mask. Weights are stored
+// pre-masked; gradients are masked before the Adam update so dead entries
+// stay exactly zero.
+type maskedLinear struct {
+	in, out    int
+	w, mask    *vecmath.Matrix // out×in
+	b          []float64
+	dw         *vecmath.Matrix
+	db         []float64
+	mw, vw     *vecmath.Matrix
+	mb, vb     []float64
+	hasResidue bool // residual connection from the previous activation
+}
+
+func newMaskedLinear(in, out int, mask *vecmath.Matrix, rng *rand.Rand) *maskedLinear {
+	l := &maskedLinear{
+		in: in, out: out,
+		w: vecmath.NewMatrix(out, in), mask: mask,
+		b:  make([]float64, out),
+		dw: vecmath.NewMatrix(out, in), db: make([]float64, out),
+		mw: vecmath.NewMatrix(out, in), vw: vecmath.NewMatrix(out, in),
+		mb: make([]float64, out), vb: make([]float64, out),
+	}
+	// He initialization scaled by the *unmasked* fan-in of each row.
+	for o := 0; o < out; o++ {
+		fanIn := 0
+		for i := 0; i < in; i++ {
+			if mask.At(o, i) != 0 {
+				fanIn++
+			}
+		}
+		if fanIn == 0 {
+			continue
+		}
+		std := math.Sqrt(2 / float64(fanIn))
+		row := l.w.Row(o)
+		mrow := mask.Row(o)
+		for i := range row {
+			if mrow[i] != 0 {
+				row[i] = rng.NormFloat64() * std
+			}
+		}
+	}
+	return l
+}
+
+// forward computes y = x·Wᵀ + b for batch x (B×in), y (B×out).
+func (l *maskedLinear) forward(y, x *vecmath.Matrix) {
+	vecmath.MatMulABT(y, x, l.w)
+	for r := 0; r < y.Rows; r++ {
+		row := y.Row(r)
+		for i := range row {
+			row[i] += l.b[i]
+		}
+	}
+}
+
+// backward accumulates parameter gradients and computes dx = dy·W.
+// dx may be nil when the input gradient is not needed.
+func (l *maskedLinear) backward(dx, dy, x *vecmath.Matrix) {
+	// dW += dyᵀ·x, masked.
+	tmp := vecmath.NewMatrix(l.out, l.in)
+	vecmath.MatMulATB(tmp, dy, x)
+	for i, m := range l.mask.Data {
+		l.dw.Data[i] += tmp.Data[i] * m
+	}
+	for r := 0; r < dy.Rows; r++ {
+		row := dy.Row(r)
+		for i, v := range row {
+			l.db[i] += v
+		}
+	}
+	if dx != nil {
+		vecmath.MatMul(dx, dy, l.w)
+	}
+}
+
+func (l *maskedLinear) zeroGrad() {
+	l.dw.Zero()
+	for i := range l.db {
+		l.db[i] = 0
+	}
+}
+
+func (l *maskedLinear) adamStep(lr float64, step int, scale float64) {
+	adamUpdate(l.w.Data, l.dw.Data, l.mw.Data, l.vw.Data, lr, step, scale)
+	adamUpdate(l.b, l.db, l.mb, l.vb, lr, step, scale)
+	// Re-apply the mask: numerical drift must never leak through dead edges.
+	for i, m := range l.mask.Data {
+		l.w.Data[i] *= m
+	}
+}
+
+func (l *maskedLinear) paramCount() int {
+	n := len(l.b)
+	for _, m := range l.mask.Data {
+		if m != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func adamUpdate(p, g, m, v []float64, lr float64, step int, scale float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i := range p {
+		gi := g[i] * scale
+		m[i] = beta1*m[i] + (1-beta1)*gi
+		v[i] = beta2*v[i] + (1-beta2)*gi*gi
+		p[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+	}
+}
+
+// ResMADE is the masked autoencoder for distribution estimation with
+// residual blocks.
+type ResMADE struct {
+	Cards     []int
+	EmbedDims []int
+	Hidden    []int
+
+	embedCap   int   // EmbedDim cap used at construction (for serialization)
+	inDim      int   // Σ EmbedDims
+	outDim     int   // Σ Cards
+	embedOff   []int // offset of column i's block in the embedded input
+	logitOff   []int // offset of column i's logits in the output
+	embeds     []*vecmath.Matrix
+	dEmbeds    []*vecmath.Matrix
+	mEmb, vEmb []*vecmath.Matrix
+	layers     []*maskedLinear
+	outLayer   *maskedLinear
+	step       int
+}
+
+// MaskToken returns the input code representing "wildcard" for column i.
+func (n *ResMADE) MaskToken(col int) int { return n.Cards[col] }
+
+// hiddenDegree assigns MADE degrees to hidden units: position-cyclic in
+// 1..nCols−1, identical across layers so equal-width residual connections
+// respect the autoregressive masks.
+func hiddenDegree(j, nCols int) int {
+	if nCols <= 1 {
+		return 1
+	}
+	return j%(nCols-1) + 1
+}
+
+// NewResMADE builds the network with MADE masks for cfg.Cards.
+func NewResMADE(cfg Config) (*ResMADE, error) {
+	cfg.fillDefaults()
+	nCols := len(cfg.Cards)
+	if nCols < 2 {
+		return nil, fmt.Errorf("nn: ResMADE needs ≥ 2 columns, got %d", nCols)
+	}
+	for i, c := range cfg.Cards {
+		if c < 1 {
+			return nil, fmt.Errorf("nn: column %d has cardinality %d", i, c)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &ResMADE{
+		Cards:    append([]int(nil), cfg.Cards...),
+		Hidden:   append([]int(nil), cfg.Hidden...),
+		embedCap: cfg.EmbedDim,
+	}
+	net.EmbedDims = make([]int, nCols)
+	net.embedOff = make([]int, nCols)
+	net.logitOff = make([]int, nCols)
+	for i, c := range cfg.Cards {
+		d := c
+		if d > cfg.EmbedDim {
+			d = cfg.EmbedDim
+		}
+		net.EmbedDims[i] = d
+		net.embedOff[i] = net.inDim
+		net.inDim += d
+		net.logitOff[i] = net.outDim
+		net.outDim += c
+	}
+
+	// Embedding tables: one extra row per column for the MASK token.
+	net.embeds = make([]*vecmath.Matrix, nCols)
+	net.dEmbeds = make([]*vecmath.Matrix, nCols)
+	net.mEmb = make([]*vecmath.Matrix, nCols)
+	net.vEmb = make([]*vecmath.Matrix, nCols)
+	for i := range net.embeds {
+		rows := cfg.Cards[i] + 1
+		e := vecmath.NewMatrix(rows, net.EmbedDims[i])
+		for j := range e.Data {
+			e.Data[j] = rng.NormFloat64() * 0.1
+		}
+		net.embeds[i] = e
+		net.dEmbeds[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
+		net.mEmb[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
+		net.vEmb[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
+	}
+
+	// Input degrees: every embedding dim of column i carries degree i+1.
+	inDeg := make([]int, net.inDim)
+	for i := 0; i < nCols; i++ {
+		for d := 0; d < net.EmbedDims[i]; d++ {
+			inDeg[net.embedOff[i]+d] = i + 1
+		}
+	}
+
+	// Hidden layers.
+	prevDim := net.inDim
+	prevDeg := inDeg
+	for li, width := range cfg.Hidden {
+		deg := make([]int, width)
+		for j := range deg {
+			deg[j] = hiddenDegree(j, nCols)
+		}
+		mask := vecmath.NewMatrix(width, prevDim)
+		for o := 0; o < width; o++ {
+			for i := 0; i < prevDim; i++ {
+				if deg[o] >= prevDeg[i] {
+					mask.Set(o, i, 1)
+				}
+			}
+		}
+		l := newMaskedLinear(prevDim, width, mask, rng)
+		// Residual when widths match (degrees match by construction).
+		l.hasResidue = li > 0 && width == cfg.Hidden[li-1]
+		net.layers = append(net.layers, l)
+		prevDim = width
+		prevDeg = deg
+	}
+
+	// Output layer: logits for column i depend on hidden degrees < i+1.
+	outMask := vecmath.NewMatrix(net.outDim, prevDim)
+	for i := 0; i < nCols; i++ {
+		for c := 0; c < cfg.Cards[i]; c++ {
+			o := net.logitOff[i] + c
+			for h := 0; h < prevDim; h++ {
+				if i+1 > prevDeg[h] {
+					outMask.Set(o, h, 1)
+				}
+			}
+		}
+	}
+	net.outLayer = newMaskedLinear(prevDim, net.outDim, outMask, rng)
+	return net, nil
+}
+
+// SetOutputBias overwrites the output-layer bias of one column's logits —
+// used to initialize every column's head at the log marginal frequencies so
+// rare values start calibrated instead of near-uniform (they would
+// otherwise need thousands of gradient steps to push their logits down).
+func (n *ResMADE) SetOutputBias(col int, bias []float64) {
+	lo, hi := n.LogitRange(col)
+	if len(bias) != hi-lo {
+		panic(fmt.Sprintf("nn: SetOutputBias column %d expects %d values, got %d", col, hi-lo, len(bias)))
+	}
+	copy(n.outLayer.b[lo:hi], bias)
+}
+
+// ParamCount returns the number of live (unmasked) parameters.
+func (n *ResMADE) ParamCount() int {
+	count := 0
+	for _, e := range n.embeds {
+		count += len(e.Data)
+	}
+	for _, l := range n.layers {
+		count += l.paramCount()
+	}
+	count += n.outLayer.paramCount()
+	return count
+}
+
+// SizeBytes reports the serialized model size assuming float32 storage,
+// matching how the paper's PyTorch models are counted.
+func (n *ResMADE) SizeBytes() int { return 4 * n.ParamCount() }
+
+// NumCols returns the number of autoregressive columns.
+func (n *ResMADE) NumCols() int { return len(n.Cards) }
+
+// LogitRange returns the [lo, hi) slice bounds of column i's logits.
+func (n *ResMADE) LogitRange(col int) (int, int) {
+	return n.logitOff[col], n.logitOff[col] + n.Cards[col]
+}
+
+// Session holds the activation buffers for forward/backward passes with a
+// fixed maximum batch size. Sessions are not safe for concurrent use; create
+// one per goroutine.
+type Session struct {
+	net      *ResMADE
+	maxBatch int
+	B        int // current batch size
+
+	x      []*vecmath.Matrix // x[0]=embedded input, x[l+1]=output of layer l
+	pre    []*vecmath.Matrix // pre-activation of each hidden layer
+	logits *vecmath.Matrix
+	dx     []*vecmath.Matrix
+	dpre   []*vecmath.Matrix
+
+	rows [][]int // codes of the current forward batch (for embedding grads)
+	buf  [][]int // owned storage for rows
+}
+
+// NewSession allocates buffers for batches up to maxBatch rows.
+func (n *ResMADE) NewSession(maxBatch int) *Session {
+	s := &Session{net: n, maxBatch: maxBatch}
+	dims := []int{n.inDim}
+	for _, l := range n.layers {
+		dims = append(dims, l.out)
+	}
+	for _, d := range dims {
+		s.x = append(s.x, vecmath.NewMatrix(maxBatch, d))
+		s.dx = append(s.dx, vecmath.NewMatrix(maxBatch, d))
+	}
+	for _, l := range n.layers {
+		s.pre = append(s.pre, vecmath.NewMatrix(maxBatch, l.out))
+		s.dpre = append(s.dpre, vecmath.NewMatrix(maxBatch, l.out))
+	}
+	s.logits = vecmath.NewMatrix(maxBatch, n.outDim)
+	s.buf = make([][]int, maxBatch)
+	backing := make([]int, maxBatch*n.NumCols())
+	for i := range s.buf {
+		s.buf[i] = backing[i*n.NumCols() : (i+1)*n.NumCols()]
+	}
+	return s
+}
+
+// view returns m restricted to the first b rows.
+func view(m *vecmath.Matrix, b int) *vecmath.Matrix {
+	return &vecmath.Matrix{Rows: b, Cols: m.Cols, Data: m.Data[:b*m.Cols]}
+}
+
+// Forward runs the network on a batch of encoded rows. Each code may be the
+// column's MaskToken to signal a wildcard input. Logits become available via
+// Logits().
+func (s *Session) Forward(rows [][]int) {
+	n := s.net
+	if len(rows) > s.maxBatch {
+		panic(fmt.Sprintf("nn: batch %d exceeds session max %d", len(rows), s.maxBatch))
+	}
+	s.B = len(rows)
+	// Keep our own copy of the codes for the embedding backward pass.
+	for i, r := range rows {
+		copy(s.buf[i], r)
+	}
+	s.rows = s.buf[:s.B]
+
+	x0 := view(s.x[0], s.B)
+	for r, row := range s.rows {
+		dst := x0.Row(r)
+		for c, code := range row {
+			if code < 0 || code > n.Cards[c] {
+				panic(fmt.Sprintf("nn: column %d code %d out of [0,%d]", c, code, n.Cards[c]))
+			}
+			copy(dst[n.embedOff[c]:n.embedOff[c]+n.EmbedDims[c]], n.embeds[c].Row(code))
+		}
+	}
+
+	cur := x0
+	for li, l := range n.layers {
+		pre := view(s.pre[li], s.B)
+		l.forward(pre, cur)
+		next := view(s.x[li+1], s.B)
+		if l.hasResidue {
+			for i, v := range pre.Data {
+				if v > 0 {
+					next.Data[i] = v + cur.Data[i]
+				} else {
+					next.Data[i] = cur.Data[i]
+				}
+			}
+		} else {
+			for i, v := range pre.Data {
+				if v > 0 {
+					next.Data[i] = v
+				} else {
+					next.Data[i] = 0
+				}
+			}
+		}
+		cur = next
+	}
+	n.outLayer.forward(view(s.logits, s.B), cur)
+}
+
+// Logits returns the logit slice of column col for batch row r. The slice
+// aliases session memory and is valid until the next Forward.
+func (s *Session) Logits(r, col int) []float64 {
+	lo, hi := s.net.LogitRange(col)
+	return s.logits.Row(r)[lo:hi]
+}
+
+// AllLogits exposes the full B×outDim logit matrix of the current batch.
+func (s *Session) AllLogits() *vecmath.Matrix { return view(s.logits, s.B) }
+
+// Backward accumulates parameter gradients for the current batch given
+// dL/dlogits (B×outDim). Call net.ZeroGrad/AdamStep around it.
+func (s *Session) Backward(dLogits *vecmath.Matrix) {
+	n := s.net
+	b := s.B
+	last := len(n.layers)
+	dcur := view(s.dx[last], b)
+	n.outLayer.backward(dcur, dLogits, view(s.x[last], b))
+
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		pre := view(s.pre[li], b)
+		dpre := view(s.dpre[li], b)
+		for i := range dpre.Data[:b*l.out] {
+			if pre.Data[i] > 0 {
+				dpre.Data[i] = dcur.Data[i]
+			} else {
+				dpre.Data[i] = 0
+			}
+		}
+		dprev := view(s.dx[li], b)
+		l.backward(dprev, dpre, view(s.x[li], b))
+		if l.hasResidue {
+			// Identity path adds dcur straight through.
+			for i := 0; i < b*l.in; i++ {
+				dprev.Data[i] += dcur.Data[i]
+			}
+		}
+		dcur = dprev
+	}
+
+	// Embedding gradients.
+	for r, row := range s.rows {
+		src := dcur.Row(r)
+		for c, code := range row {
+			g := n.dEmbeds[c].Row(code)
+			off := n.embedOff[c]
+			for d := range g {
+				g[d] += src[off+d]
+			}
+		}
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *ResMADE) ZeroGrad() {
+	for _, d := range n.dEmbeds {
+		d.Zero()
+	}
+	for _, l := range n.layers {
+		l.zeroGrad()
+	}
+	n.outLayer.zeroGrad()
+}
+
+// AdamStep applies one Adam update with the given learning rate; scale
+// multiplies all gradients first (use 1/batchSize for mean loss).
+func (n *ResMADE) AdamStep(lr, scale float64) {
+	n.step++
+	for i := range n.embeds {
+		adamUpdate(n.embeds[i].Data, n.dEmbeds[i].Data, n.mEmb[i].Data, n.vEmb[i].Data, lr, n.step, scale)
+	}
+	for _, l := range n.layers {
+		l.adamStep(lr, n.step, scale)
+	}
+	n.outLayer.adamStep(lr, n.step, scale)
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iam/internal/vecmath"
+)
+
+func TestSessionPanicsOnOversizeBatch(t *testing.T) {
+	net := smallNet(t, []int{3, 3}, 50)
+	sess := net.NewSession(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on oversize batch")
+		}
+	}()
+	sess.Forward([][]int{{0, 0}, {1, 1}, {2, 2}})
+}
+
+func TestSessionVariableBatchSizes(t *testing.T) {
+	// A session sized 8 must handle any batch ≤ 8 and produce the same
+	// logits as a fresh exactly-sized session.
+	net := smallNet(t, []int{4, 5}, 51)
+	big := net.NewSession(8)
+	rng := rand.New(rand.NewSource(52))
+	for _, b := range []int{1, 3, 8, 2} {
+		rows := make([][]int, b)
+		for i := range rows {
+			rows[i] = []int{rng.Intn(4), rng.Intn(5)}
+		}
+		big.Forward(rows)
+		exact := net.NewSession(b)
+		exact.Forward(rows)
+		for r := 0; r < b; r++ {
+			for c := 0; c < 2; c++ {
+				a, e := big.Logits(r, c), exact.Logits(r, c)
+				for i := range a {
+					if a[i] != e[i] {
+						t.Fatalf("batch %d row %d col %d mismatch", b, r, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistSumsToOneProperty(t *testing.T) {
+	net := smallNet(t, []int{6, 4, 7}, 53)
+	sess := net.NewSession(1)
+	f := func(a, b, c uint8) bool {
+		row := []int{int(a) % 7, int(b) % 5, int(c) % 8} // includes MASK codes
+		sess.Forward([][]int{row})
+		for col, card := range net.Cards {
+			out := make([]float64, card)
+			sess.Dist(0, col, out)
+			if !almostOne(vecmath.Sum(out)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostOne(x float64) bool { return x > 1-1e-9 && x < 1+1e-9 }
+
+func TestFitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	data := make([][]int, 300)
+	for i := range data {
+		data[i] = []int{rng.Intn(3), rng.Intn(3)}
+	}
+	net := smallNet(t, []int{3, 3}, 55)
+	calls := 0
+	losses := net.Fit(data, TrainConfig{
+		Epochs: 10, BatchSize: 64, Seed: 56,
+		OnEpoch: func(e int, nll float64) bool {
+			calls++
+			return e < 1
+		},
+	})
+	if calls != 2 || len(losses) != 2 {
+		t.Fatalf("early stop broken: calls=%d losses=%d", calls, len(losses))
+	}
+}

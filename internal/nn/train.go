@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"iam/internal/vecmath"
+)
+
+// TrainConfig controls ResMADE maximum-likelihood training.
+type TrainConfig struct {
+	LR        float64 // Adam learning rate; default 2e-3
+	BatchSize int     // default 256
+	Epochs    int     // default 10
+	// Wildcard enables Naru-style wildcard-skipping training (§5.3): for
+	// each tuple a uniform random subset of input columns is replaced by
+	// the MASK token while targets keep the true values.
+	Wildcard bool
+	Seed     int64
+	// OnEpoch, when non-nil, is invoked after every epoch with the mean
+	// training NLL (nats/tuple); returning false stops training early.
+	OnEpoch func(epoch int, nll float64) bool
+}
+
+func (c *TrainConfig) fillDefaults() {
+	if c.LR <= 0 {
+		c.LR = 2e-3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+}
+
+// CrossEntropyGrad computes the summed negative log-likelihood of targets
+// under the session's current logits and fills dLogits with the gradient
+// (softmax − onehot) for every row and column. dLogits must be B×outDim.
+func (s *Session) CrossEntropyGrad(targets [][]int, dLogits *vecmath.Matrix) float64 {
+	n := s.net
+	var nll float64
+	probs := make([]float64, maxCard(n.Cards))
+	for r := 0; r < s.B; r++ {
+		drow := dLogits.Row(r)
+		for c := range n.Cards {
+			lo, hi := n.LogitRange(c)
+			logits := s.logits.Row(r)[lo:hi]
+			p := probs[:n.Cards[c]]
+			vecmath.Softmax(p, logits)
+			tgt := targets[r][c]
+			nll -= math.Log(math.Max(p[tgt], 1e-300))
+			d := drow[lo:hi]
+			copy(d, p)
+			d[tgt] -= 1
+		}
+	}
+	return nll
+}
+
+// NLL returns the mean negative log-likelihood (nats per tuple) of rows,
+// evaluated with unmasked inputs. sess must accommodate len ≤ its max batch;
+// rows are processed in chunks.
+func (n *ResMADE) NLL(sess *Session, rows [][]int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var total float64
+	probs := make([]float64, maxCard(n.Cards))
+	for start := 0; start < len(rows); start += sess.maxBatch {
+		end := start + sess.maxBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[start:end]
+		sess.Forward(chunk)
+		for r := range chunk {
+			for c := range n.Cards {
+				logits := sess.Logits(r, c)
+				p := probs[:n.Cards[c]]
+				vecmath.Softmax(p, logits)
+				total -= math.Log(math.Max(p[chunk[r][c]], 1e-300))
+			}
+		}
+	}
+	return total / float64(len(rows))
+}
+
+func maxCard(cards []int) int {
+	m := 0
+	for _, c := range cards {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Fit trains the network on encoded rows by mini-batch Adam on the
+// autoregressive cross-entropy (Eq. 3) and returns per-epoch mean NLLs.
+func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) []float64 {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sess := n.NewSession(cfg.BatchSize)
+	dLogits := vecmath.NewMatrix(cfg.BatchSize, n.outDim)
+
+	idx := rng.Perm(len(data))
+	inputs := make([][]int, cfg.BatchSize)
+	inputBacking := make([]int, cfg.BatchSize*n.NumCols())
+	for i := range inputs {
+		inputs[i] = inputBacking[i*n.NumCols() : (i+1)*n.NumCols()]
+	}
+	targets := make([][]int, 0, cfg.BatchSize)
+
+	var losses []float64
+	for e := 0; e < cfg.Epochs; e++ {
+		var epochNLL float64
+		var seen int
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			b := end - start
+			targets = targets[:0]
+			for bi, di := range idx[start:end] {
+				row := data[di]
+				targets = append(targets, row)
+				in := inputs[bi]
+				copy(in, row)
+				if cfg.Wildcard {
+					// Mask a uniform-size random subset of input columns.
+					k := rng.Intn(n.NumCols() + 1)
+					for _, c := range rng.Perm(n.NumCols())[:k] {
+						in[c] = n.MaskToken(c)
+					}
+				}
+			}
+			sess.Forward(inputs[:b])
+			dl := view(dLogits, b)
+			nll := sess.CrossEntropyGrad(targets, dl)
+			epochNLL += nll
+			seen += b
+			n.ZeroGrad()
+			sess.Backward(dl)
+			n.AdamStep(cfg.LR, 1/float64(b))
+		}
+		mean := epochNLL / float64(seen)
+		losses = append(losses, mean)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, mean) {
+			break
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	return losses
+}
+
+// Dist fills out with the softmax distribution P(col | inputs of batch row r)
+// from the last Forward. out must have length Cards[col].
+func (s *Session) Dist(r, col int, out []float64) {
+	vecmath.Softmax(out, s.Logits(r, col))
+}

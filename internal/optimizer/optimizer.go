@@ -1,0 +1,263 @@
+// Package optimizer implements the end-to-end experiment of the paper's
+// §6.4 (Figure 5): a System-R-style left-deep join-order optimizer whose
+// cardinality estimates come from a pluggable selectivity estimator, plus a
+// hash-join executor that actually runs the chosen plans over the star
+// schema. The paper modifies Postgres to accept external selectivities; we
+// substitute this self-contained optimizer+executor, preserving the causal
+// chain the experiment demonstrates: better estimates → better join orders
+// → fewer intermediate tuples → faster execution.
+package optimizer
+
+import (
+	"fmt"
+	"time"
+
+	"iam/internal/join"
+	"iam/internal/query"
+)
+
+// Planner chooses left-deep join orders using estimated cardinalities.
+type Planner struct {
+	Schema *join.Schema
+	Est    join.CardEstimator
+}
+
+// Plan is a chosen left-deep join order with its estimated C_out cost.
+type Plan struct {
+	// Order lists table names, first table joined first.
+	Order   []string
+	EstCost float64
+}
+
+// Plan enumerates cross-product-free left-deep orders and returns the one
+// with minimum estimated C_out (sum of intermediate cardinalities).
+func (p *Planner) Plan(jq *join.JoinQuery) (*Plan, error) {
+	tables := jq.Tables(p.Schema)
+	if len(tables) == 1 {
+		return &Plan{Order: tables}, nil
+	}
+	orders := p.validOrders(tables)
+	best := (*Plan)(nil)
+	for _, order := range orders {
+		cost, err := p.estimateCost(jq, order)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || cost < best.EstCost {
+			best = &Plan{Order: order, EstCost: cost}
+		}
+	}
+	return best, nil
+}
+
+// validOrders enumerates left-deep permutations whose every prefix is
+// connected (contains the root, or is a single child table).
+func (p *Planner) validOrders(tables []string) [][]string {
+	var out [][]string
+	var rec func(prefix []string, rest []string)
+	root := p.Schema.Root.Name
+	connected := func(prefix []string) bool {
+		if len(prefix) <= 1 {
+			return true
+		}
+		for _, t := range prefix {
+			if t == root {
+				return true
+			}
+		}
+		return false
+	}
+	rec = func(prefix, rest []string) {
+		if !connected(prefix) {
+			return
+		}
+		if len(rest) == 0 {
+			out = append(out, append([]string(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(prefix, rest[i])
+			remaining := make([]string, 0, len(rest)-1)
+			remaining = append(remaining, rest[:i]...)
+			remaining = append(remaining, rest[i+1:]...)
+			rec(next, remaining)
+		}
+	}
+	rec(nil, tables)
+	return out
+}
+
+// estimateCost sums estimated prefix cardinalities (C_out).
+func (p *Planner) estimateCost(jq *join.JoinQuery, order []string) (float64, error) {
+	var cost float64
+	for k := 2; k <= len(order); k++ {
+		sub := p.subQuery(jq, order[:k])
+		card, err := p.Est.EstimateCard(sub)
+		if err != nil {
+			return 0, err
+		}
+		cost += card
+	}
+	return cost, nil
+}
+
+// subQuery restricts jq to a table subset. A subset without the root is a
+// single child table; it is expressed as a root-predicate-free query on
+// that child (every child row joins exactly one root row, so the
+// cardinality matches the filtered child scan).
+func (p *Planner) subQuery(jq *join.JoinQuery, tables []string) *join.JoinQuery {
+	sub := &join.JoinQuery{Children: map[string]*query.Query{}}
+	root := p.Schema.Root.Name
+	for _, t := range tables {
+		if t == root {
+			sub.Root = jq.Root
+			continue
+		}
+		sub.Children[t] = jq.Children[t]
+	}
+	return sub
+}
+
+// ExecResult reports one plan execution.
+type ExecResult struct {
+	Tuples        int           // final result size
+	Intermediates float64       // Σ intermediate result sizes (C_out)
+	Elapsed       time.Duration // wall-clock execution time
+}
+
+// Execute runs the join order with hash-join semantics over the schema and
+// measures actual intermediate sizes and wall time.
+func Execute(s *join.Schema, jq *join.JoinQuery, order []string) (*ExecResult, error) {
+	start := time.Now()
+	root := s.Root.Name
+
+	// tuple: root row (-1 = not joined yet) plus per-child row (-1).
+	type tuple struct {
+		r    int
+		kids []int
+	}
+	nKids := len(s.Children)
+	childIdx := func(name string) (int, error) {
+		for ci := range s.Children {
+			if s.Children[ci].Table.Name == name {
+				return ci, nil
+			}
+		}
+		return 0, fmt.Errorf("optimizer: unknown table %q", name)
+	}
+	childFilter := func(ci, row int) bool {
+		q := jq.Children[s.Children[ci].Table.Name]
+		return q == nil || q.Matches(row)
+	}
+	rootFilter := func(r int) bool {
+		return jq.Root == nil || jq.Root.Matches(r)
+	}
+
+	var cur []tuple
+	haveRoot := false
+	var intermediates float64
+
+	for step, name := range order {
+		if step == 0 {
+			if name == root {
+				for r := 0; r < s.Root.NumRows(); r++ {
+					if rootFilter(r) {
+						cur = append(cur, tuple{r: r, kids: make([]int, nKids)})
+					}
+				}
+				haveRoot = true
+			} else {
+				ci, err := childIdx(name)
+				if err != nil {
+					return nil, err
+				}
+				child := &s.Children[ci]
+				for row := 0; row < child.Table.NumRows(); row++ {
+					if childFilter(ci, row) {
+						tp := tuple{r: -1, kids: make([]int, nKids)}
+						for k := range tp.kids {
+							tp.kids[k] = -1
+						}
+						tp.kids[ci] = row
+						tp.r = child.FK[row] // remembered for the root join
+						cur = append(cur, tp)
+					}
+				}
+			}
+			continue
+		}
+		var next []tuple
+		if name == root {
+			// Join the root: the FK already identifies the partner.
+			for _, tp := range cur {
+				if rootFilter(tp.r) {
+					next = append(next, tp)
+				}
+			}
+			haveRoot = true
+		} else {
+			ci, err := childIdx(name)
+			if err != nil {
+				return nil, err
+			}
+			if !haveRoot {
+				return nil, fmt.Errorf("optimizer: disconnected prefix before %q", name)
+			}
+			for _, tp := range cur {
+				for _, row := range childRows(s, ci, tp.r) {
+					if childFilter(ci, row) {
+						nt := tuple{r: tp.r, kids: append([]int(nil), tp.kids...)}
+						nt.kids[ci] = row
+						next = append(next, nt)
+					}
+				}
+			}
+		}
+		cur = next
+		intermediates += float64(len(cur))
+	}
+	return &ExecResult{
+		Tuples:        len(cur),
+		Intermediates: intermediates,
+		Elapsed:       time.Since(start),
+	}, nil
+}
+
+// childRows exposes the schema's join index (kept package-local in join).
+func childRows(s *join.Schema, ci, rootRow int) []int {
+	return s.ChildRowsOf(ci, rootRow)
+}
+
+// RunWorkload plans and executes every query of a workload with the
+// planner's estimator, returning the summed execution metrics — the
+// "end-to-end time" of Figure 5.
+func RunWorkload(s *join.Schema, est join.CardEstimator, w *join.JoinWorkload) (totalElapsed time.Duration, totalIntermediates float64, err error) {
+	p := &Planner{Schema: s, Est: est}
+	for _, jq := range w.Queries {
+		plan, err := p.Plan(jq)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := Execute(s, jq, plan.Order)
+		if err != nil {
+			return 0, 0, err
+		}
+		totalElapsed += res.Elapsed
+		totalIntermediates += res.Intermediates
+	}
+	return totalElapsed, totalIntermediates, nil
+}
+
+// Oracle is a CardEstimator that returns exact cardinalities — the
+// optimal-plan reference line in Figure 5.
+type Oracle struct {
+	Schema *join.Schema
+}
+
+// Name implements join.CardEstimator.
+func (o *Oracle) Name() string { return "TrueCard" }
+
+// EstimateCard implements join.CardEstimator exactly.
+func (o *Oracle) EstimateCard(jq *join.JoinQuery) (float64, error) {
+	return o.Schema.ExactCard(jq)
+}

@@ -1,0 +1,135 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/join"
+	"iam/internal/query"
+)
+
+func testSchema() *join.Schema {
+	return join.NewIMDBSchema(dataset.SynthIMDB(500, 1))
+}
+
+func TestValidOrdersExcludeCrossProducts(t *testing.T) {
+	s := testSchema()
+	p := &Planner{Schema: s, Est: &Oracle{Schema: s}}
+	orders := p.validOrders([]string{"title", "movie_info", "cast_info"})
+	if len(orders) != 4 {
+		t.Fatalf("got %d orders, want 4 (cross products pruned)", len(orders))
+	}
+	for _, o := range orders {
+		if o[0] != "title" && o[1] != "title" {
+			t.Fatalf("order %v has a cross-product prefix", o)
+		}
+	}
+}
+
+func TestExecuteMatchesExactCard(t *testing.T) {
+	s := testSchema()
+	w, err := s.GenerateWorkload(join.GenJoinConfig{NumQueries: 15, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Planner{Schema: s, Est: &Oracle{Schema: s}}
+	for i, jq := range w.Queries {
+		plan, err := p.Plan(jq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(s, jq, plan.Order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Tuples) != w.Cards[i] {
+			t.Fatalf("query %d: executed %d tuples, exact card %v (order %v)",
+				i, res.Tuples, w.Cards[i], plan.Order)
+		}
+	}
+}
+
+func TestExecuteAllOrdersSameResult(t *testing.T) {
+	// Every valid join order must produce the same final cardinality.
+	s := testSchema()
+	jq := &join.JoinQuery{
+		Root: query.NewQuery(s.Root),
+		Children: map[string]*query.Query{
+			"movie_info": query.NewQuery(s.Children[0].Table),
+			"cast_info":  query.NewQuery(s.Children[1].Table),
+		},
+	}
+	if err := jq.Root.AddPredicate(query.Predicate{Col: "kind", Op: query.Le, Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	p := &Planner{Schema: s, Est: &Oracle{Schema: s}}
+	orders := p.validOrders(jq.Tables(s))
+	var first int = -1
+	for _, order := range orders {
+		res, err := Execute(s, jq, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first < 0 {
+			first = res.Tuples
+		} else if res.Tuples != first {
+			t.Fatalf("order %v produced %d tuples, others %d", order, res.Tuples, first)
+		}
+	}
+}
+
+// badEstimator inverts cardinalities to force bad plans.
+type badEstimator struct{ s *join.Schema }
+
+func (badEstimator) Name() string { return "Adversarial" }
+func (b badEstimator) EstimateCard(jq *join.JoinQuery) (float64, error) {
+	card, err := b.s.ExactCard(jq)
+	if err != nil {
+		return 0, err
+	}
+	return 1e12 / (card + 1), nil // big becomes small and vice versa
+}
+
+func TestOracleBeatsAdversarialPlans(t *testing.T) {
+	s := testSchema()
+	w, err := s.GenerateWorkload(join.GenJoinConfig{NumQueries: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, interOracle, err := RunWorkload(s, &Oracle{Schema: s}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, interBad, err := RunWorkload(s, badEstimator{s}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle's plans must produce no more intermediate tuples.
+	if interOracle > interBad {
+		t.Fatalf("oracle intermediates %v exceed adversarial %v", interOracle, interBad)
+	}
+}
+
+func TestPlanSingleTable(t *testing.T) {
+	s := testSchema()
+	p := &Planner{Schema: s, Est: &Oracle{Schema: s}}
+	jq := &join.JoinQuery{Root: query.NewQuery(s.Root), Children: map[string]*query.Query{}}
+	plan, err := p.Plan(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Order) != 1 || plan.Order[0] != "title" {
+		t.Fatalf("plan %v", plan.Order)
+	}
+	res, err := Execute(s, jq, plan.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != s.Root.NumRows() {
+		t.Fatalf("tuples %d", res.Tuples)
+	}
+	if math.IsNaN(res.Intermediates) {
+		t.Fatal("NaN intermediates")
+	}
+}

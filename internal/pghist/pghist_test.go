@@ -1,0 +1,135 @@
+package pghist
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/estimator"
+	"iam/internal/query"
+)
+
+func TestSingleColumnRangeAccuracy(t *testing.T) {
+	// With only one predicated column the independence assumption is moot,
+	// so the histogram itself must be accurate.
+	tb := dataset.SynthTWI(8000, 1)
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 2, MinFilters: 1, MaxFilters: 1})
+	ev, err := estimator.Evaluate(e, w, tb.NumRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.Median > 1.6 {
+		t.Fatalf("median q-error on 1-filter queries %v: %v", ev.Summary.Median, ev.Summary)
+	}
+}
+
+func TestIndependenceAssumptionHurtsOnCorrelatedData(t *testing.T) {
+	// Two perfectly correlated columns: independence must misestimate the
+	// conjunction noticeably.
+	n := 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i) / float64(n)
+		b[i] = a[i]
+	}
+	tb := &dataset.Table{Name: "corr", Columns: []*dataset.Column{
+		{Name: "a", Kind: dataset.Continuous, Floats: a},
+		{Name: "b", Kind: dataset.Continuous, Floats: b},
+	}}
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "a", Op: query.Le, Value: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddPredicate(query.Predicate{Col: "b", Op: query.Le, Value: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Exec(q) // 0.1
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independence predicts ≈ 0.01, an underestimate of ~10×.
+	if got > truth/2 {
+		t.Fatalf("expected strong underestimation, got %v (truth %v)", got, truth)
+	}
+}
+
+func TestMCVsCaptureHeavyHitters(t *testing.T) {
+	// One dominant categorical value: the MCV list must make point
+	// predicates on it accurate.
+	n := 2000
+	ints := make([]int, n)
+	for i := range ints {
+		if i%10 != 0 {
+			ints[i] = 3 // 90% of rows
+		} else {
+			ints[i] = i % 7
+		}
+	}
+	other := make([]float64, n)
+	for i := range other {
+		other[i] = float64(i)
+	}
+	tb := &dataset.Table{Name: "heavy", Columns: []*dataset.Column{
+		{Name: "c", Kind: dataset.Categorical, Ints: ints, Card: 7},
+		{Name: "v", Kind: dataset.Continuous, Floats: other},
+	}}
+	e, err := New(tb, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "c", Op: query.Eq, Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	truth := query.Exec(q)
+	got, err := e.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.02 {
+		t.Fatalf("MCV estimate %v vs truth %v", got, truth)
+	}
+}
+
+func TestHistOverlapEdgeCases(t *testing.T) {
+	bounds := []float64{0, 1, 2, 3, 4}
+	full := query.Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoInc: true, HiInc: true}
+	if got := histOverlap(bounds, &full); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("full overlap = %v", got)
+	}
+	empty := query.Interval{Lo: 10, Hi: 20, LoInc: true, HiInc: true}
+	if got := histOverlap(bounds, &empty); got != 0 {
+		t.Fatalf("disjoint overlap = %v", got)
+	}
+	half := query.Interval{Lo: 0, Hi: 2, LoInc: true, HiInc: true}
+	if got := histOverlap(bounds, &half); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half overlap = %v", got)
+	}
+	// Degenerate bucket of repeated values.
+	deg := []float64{5, 5, 5}
+	point := query.Interval{Lo: 5, Hi: 5, LoInc: true, HiInc: true}
+	if got := histOverlap(deg, &point); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("degenerate overlap = %v", got)
+	}
+}
+
+func TestSizeBytesPositive(t *testing.T) {
+	tb := dataset.SynthHIGGS(1000, 3)
+	e, err := New(tb, Config{Buckets: 50, MCVs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

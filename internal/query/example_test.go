@@ -1,0 +1,38 @@
+package query_test
+
+import (
+	"fmt"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+func ExampleParse() {
+	t := &dataset.Table{
+		Name: "points",
+		Columns: []*dataset.Column{
+			{Name: "kind", Kind: dataset.Categorical, Ints: []int{0, 1, 1, 2}, Card: 3},
+			{Name: "v", Kind: dataset.Continuous, Floats: []float64{1, 2, 3, 4}},
+		},
+	}
+	q, err := query.Parse(t, "v >= 2 AND kind = 1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s -> selectivity %.2f\n", q, query.Exec(q))
+	// Output: kind = 1 AND v >= 2 -> selectivity 0.50
+}
+
+func ExampleExecDisjunction() {
+	t := &dataset.Table{
+		Name: "points",
+		Columns: []*dataset.Column{
+			{Name: "v", Kind: dataset.Continuous, Floats: []float64{1, 2, 3, 4, 5}},
+			{Name: "w", Kind: dataset.Continuous, Floats: []float64{5, 4, 3, 2, 1}},
+		},
+	}
+	low, _ := query.Parse(t, "v <= 1")
+	high, _ := query.Parse(t, "v >= 5")
+	fmt.Printf("%.1f\n", query.ExecDisjunction(low, high))
+	// Output: 0.4
+}

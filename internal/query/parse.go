@@ -1,0 +1,85 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iam/internal/dataset"
+)
+
+// Parse builds a query from a SQL-ish conjunction such as
+//
+//	"latitude <= 40 AND longitude >= -100 AND activity_code = 3"
+//
+// Supported operators: =, !=, <, <=, >, >=. ≠ predicates must be the only
+// predicate rewritten by the caller via SplitNe; Parse rejects them here to
+// keep estimation semantics explicit.
+func Parse(t *dataset.Table, s string) (*Query, error) {
+	q := NewQuery(t)
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "true") {
+		return q, nil
+	}
+	parts := splitAnd(s)
+	for _, part := range parts {
+		pred, err := parsePredicate(part)
+		if err != nil {
+			return nil, err
+		}
+		if err := q.AddPredicate(pred); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// splitAnd splits on the AND keyword (case-insensitive).
+func splitAnd(s string) []string {
+	var out []string
+	rest := s
+	for {
+		idx := indexFold(rest, " and ")
+		if idx < 0 {
+			out = append(out, strings.TrimSpace(rest))
+			return out
+		}
+		out = append(out, strings.TrimSpace(rest[:idx]))
+		rest = rest[idx+5:]
+	}
+}
+
+func indexFold(s, sub string) int {
+	return strings.Index(strings.ToLower(s), sub)
+}
+
+var opTable = []struct {
+	tok string
+	op  Op
+}{
+	// Longest first so "<=" is not read as "<".
+	{"<=", Le}, {">=", Ge}, {"!=", Ne}, {"<>", Ne}, {"=", Eq}, {"<", Lt}, {">", Gt},
+}
+
+func parsePredicate(s string) (Predicate, error) {
+	for _, o := range opTable {
+		idx := strings.Index(s, o.tok)
+		if idx < 0 {
+			continue
+		}
+		col := strings.TrimSpace(s[:idx])
+		valStr := strings.TrimSpace(s[idx+len(o.tok):])
+		if col == "" || valStr == "" {
+			return Predicate{}, fmt.Errorf("query: malformed predicate %q", s)
+		}
+		if o.op == Ne {
+			return Predicate{}, fmt.Errorf("query: rewrite %q with SplitNe before parsing", s)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("query: value in %q: %w", s, err)
+		}
+		return Predicate{Col: col, Op: o.op, Value: v}, nil
+	}
+	return Predicate{}, fmt.Errorf("query: no operator in predicate %q", s)
+}

@@ -1,0 +1,229 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iam/internal/dataset"
+)
+
+func tinyTable() *dataset.Table {
+	return &dataset.Table{
+		Name: "tiny",
+		Columns: []*dataset.Column{
+			{Name: "cat", Kind: dataset.Categorical, Ints: []int{0, 1, 2, 1, 0}, Card: 3},
+			{Name: "val", Kind: dataset.Continuous, Floats: []float64{1.0, 2.0, 3.0, 4.0, 5.0}},
+		},
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3, LoInc: true, HiInc: false}
+	cases := map[float64]bool{0.5: false, 1: true, 2: true, 3: false, 4: false}
+	for v, want := range cases {
+		if iv.Contains(v) != want {
+			t.Fatalf("Contains(%v) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 10, LoInc: true, HiInc: true}
+	b := Interval{Lo: 5, Hi: 15, LoInc: false, HiInc: true}
+	got, ok := a.Intersect(b)
+	if !ok || got.Lo != 5 || got.LoInc || got.Hi != 10 || !got.HiInc {
+		t.Fatalf("intersect = %+v ok=%v", got, ok)
+	}
+	_, ok = a.Intersect(Interval{Lo: 11, Hi: 20, LoInc: true, HiInc: true})
+	if ok {
+		t.Fatal("disjoint intervals should not intersect")
+	}
+	// Point intersection with an exclusive side is empty.
+	_, ok = Interval{Lo: 0, Hi: 5, LoInc: true, HiInc: false}.
+		Intersect(Interval{Lo: 5, Hi: 9, LoInc: true, HiInc: true})
+	if ok {
+		t.Fatal("touching exclusive endpoint should be empty")
+	}
+}
+
+func TestAddPredicateAndExec(t *testing.T) {
+	tb := tinyTable()
+	q := NewQuery(tb)
+	if err := q.AddPredicate(Predicate{Col: "cat", Op: Eq, Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Exec(q); got != 0.4 {
+		t.Fatalf("sel(cat=1) = %v, want 0.4", got)
+	}
+	if err := q.AddPredicate(Predicate{Col: "val", Op: Ge, Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Exec(q); got != 0.2 {
+		t.Fatalf("sel(cat=1 AND val>=3) = %v, want 0.2", got)
+	}
+}
+
+func TestAddPredicateConjunctionSameColumn(t *testing.T) {
+	tb := tinyTable()
+	q := NewQuery(tb)
+	mustAdd(t, q, Predicate{Col: "val", Op: Ge, Value: 2})
+	mustAdd(t, q, Predicate{Col: "val", Op: Le, Value: 4})
+	if got := Exec(q); got != 0.6 {
+		t.Fatalf("sel(2<=val<=4) = %v, want 0.6", got)
+	}
+	// Contradictory predicates yield an empty interval, selectivity 0.
+	mustAdd(t, q, Predicate{Col: "val", Op: Ge, Value: 10})
+	if got := Exec(q); got != 0 {
+		t.Fatalf("contradictory query sel = %v, want 0", got)
+	}
+}
+
+func mustAdd(t *testing.T, q *Query, p Predicate) {
+	t.Helper()
+	if err := q.AddPredicate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPredicateErrors(t *testing.T) {
+	q := NewQuery(tinyTable())
+	if err := q.AddPredicate(Predicate{Col: "nope", Op: Eq, Value: 1}); err == nil {
+		t.Fatal("expected unknown column error")
+	}
+	if err := q.AddPredicate(Predicate{Col: "val", Op: Ne, Value: 1}); err == nil {
+		t.Fatal("expected Ne rejection")
+	}
+}
+
+func TestSplitNeInclusionExclusion(t *testing.T) {
+	tb := tinyTable()
+	q := NewQuery(tb)
+	lt, gt, err := SplitNe(q, "val", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Exec(lt) + Exec(gt)
+	if got != 0.8 {
+		t.Fatalf("sel(val != 3) = %v, want 0.8", got)
+	}
+}
+
+func TestExecDisjunction(t *testing.T) {
+	tb := tinyTable()
+	q1 := NewQuery(tb)
+	mustAdd(t, q1, Predicate{Col: "val", Op: Le, Value: 2})
+	q2 := NewQuery(tb)
+	mustAdd(t, q2, Predicate{Col: "cat", Op: Eq, Value: 2})
+	// val<=2 matches rows 0,1; cat=2 matches row 2 → union 3/5.
+	if got := ExecDisjunction(q1, q2); got != 0.6 {
+		t.Fatalf("disjunction sel = %v, want 0.6", got)
+	}
+	// Inclusion–exclusion identity.
+	both := q1.Clone()
+	mustAdd(t, both, Predicate{Col: "cat", Op: Eq, Value: 2})
+	ie := Exec(q1) + Exec(q2) - Exec(both)
+	if math.Abs(ie-0.6) > 1e-12 {
+		t.Fatalf("inclusion-exclusion = %v, want 0.6", ie)
+	}
+}
+
+func TestGenerateWorkloadBounds(t *testing.T) {
+	tb := dataset.SynthWISDM(2000, 1)
+	w := Generate(tb, GenConfig{NumQueries: 100, Seed: 7})
+	if len(w.Queries) != 100 || len(w.TrueSel) != 100 {
+		t.Fatalf("workload sizes %d/%d", len(w.Queries), len(w.TrueSel))
+	}
+	for i, q := range w.Queries {
+		nf := q.NumFilters()
+		if nf < 1 || nf > tb.NumCols() {
+			t.Fatalf("query %d has %d filters", i, nf)
+		}
+		if w.TrueSel[i] < 0 || w.TrueSel[i] > 1 {
+			t.Fatalf("query %d true sel %v", i, w.TrueSel[i])
+		}
+		// Re-execution must agree (determinism of Exec).
+		if got := Exec(q); got != w.TrueSel[i] {
+			t.Fatalf("query %d re-exec %v != %v", i, got, w.TrueSel[i])
+		}
+	}
+}
+
+func TestGenerateRespectsFilterConfig(t *testing.T) {
+	tb := dataset.SynthWISDM(500, 2)
+	w := Generate(tb, GenConfig{NumQueries: 50, Seed: 3, MinFilters: 2, MaxFilters: 3})
+	for _, q := range w.Queries {
+		if nf := q.NumFilters(); nf < 2 || nf > 3 {
+			t.Fatalf("filters = %d, want 2..3", nf)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tb := dataset.SynthTWI(500, 2)
+	a := Generate(tb, GenConfig{NumQueries: 20, Seed: 5})
+	b := Generate(tb, GenConfig{NumQueries: 20, Seed: 5})
+	for i := range a.Queries {
+		if a.Queries[i].String() != b.Queries[i].String() {
+			t.Fatal("same seed generated different workloads")
+		}
+	}
+}
+
+func TestMatchesAgainstBruteForceProperty(t *testing.T) {
+	// Property: Exec equals a naive per-row evaluation with independently
+	// constructed predicate logic.
+	tb := dataset.SynthWISDM(300, 9)
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		w := Generate(tb, GenConfig{NumQueries: 1, Seed: seed})
+		q := w.Queries[0]
+		count := 0
+		for i := 0; i < tb.NumRows(); i++ {
+			match := true
+			for j, r := range q.Ranges {
+				if r == nil {
+					continue
+				}
+				c := tb.Columns[j]
+				var v float64
+				if c.Kind == dataset.Categorical {
+					v = float64(c.Ints[i])
+				} else {
+					v = c.Floats[i]
+				}
+				lowOK := v > r.Lo || (v == r.Lo && r.LoInc)
+				highOK := v < r.Hi || (v == r.Hi && r.HiInc)
+				if !(lowOK && highOK) {
+					match = false
+					break
+				}
+			}
+			if match {
+				count++
+			}
+		}
+		return math.Abs(w.TrueSel[0]-float64(count)/float64(tb.NumRows())) < 1e-12
+	}
+	for i := 0; i < 25; i++ {
+		if !f(rng.Int63()) {
+			t.Fatal("Exec disagrees with brute-force evaluation")
+		}
+	}
+	if err := quick.Check(func(s int64) bool { return f(s) }, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	tb := tinyTable()
+	q := NewQuery(tb)
+	if q.String() != "TRUE" {
+		t.Fatalf("empty query string = %q", q.String())
+	}
+	mustAdd(t, q, Predicate{Col: "val", Op: Le, Value: 3})
+	if q.String() != "val <= 3" {
+		t.Fatalf("string = %q", q.String())
+	}
+}

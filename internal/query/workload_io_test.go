@@ -1,0 +1,59 @@
+package query
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iam/internal/dataset"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	tb := dataset.SynthWISDM(1500, 1)
+	w := Generate(tb, GenConfig{NumQueries: 40, Seed: 2})
+	var buf bytes.Buffer
+	if err := w.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(tb, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries) != len(w.Queries) {
+		t.Fatalf("round-trip changed query count %d -> %d", len(w.Queries), len(back.Queries))
+	}
+	for i := range w.Queries {
+		if back.TrueSel[i] != w.TrueSel[i] {
+			t.Fatalf("query %d selectivity changed", i)
+		}
+		// Semantics must be identical: re-execution matches.
+		if got := Exec(back.Queries[i]); got != w.TrueSel[i] {
+			t.Fatalf("query %d re-exec %v vs recorded %v (%s)", i, got, w.TrueSel[i], back.Queries[i])
+		}
+	}
+}
+
+func TestReadWorkloadSkipsCommentsAndBlanks(t *testing.T) {
+	tb := dataset.SynthTWI(200, 3)
+	in := "# a comment\n\n0.5\tlatitude <= 40\n"
+	w, err := ReadWorkload(tb, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 1 || w.TrueSel[0] != 0.5 {
+		t.Fatalf("parsed %d queries", len(w.Queries))
+	}
+}
+
+func TestReadWorkloadErrors(t *testing.T) {
+	tb := dataset.SynthTWI(100, 4)
+	for _, in := range []string{
+		"no-tab-here\n",
+		"abc\tlatitude <= 40\n",
+		"0.5\tnope <= 40\n",
+	} {
+		if _, err := ReadWorkload(tb, strings.NewReader(in)); err == nil {
+			t.Fatalf("expected error for %q", in)
+		}
+	}
+}

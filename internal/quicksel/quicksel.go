@@ -1,0 +1,275 @@
+// Package quicksel implements the QuickSel baseline (paper §6.1.2, after
+// Park et al.): a uniform mixture model whose kernels are the boxes of
+// training queries. Mixture weights are fitted to the observed training
+// selectivities by projected-gradient least squares on the probability
+// simplex, and a new query is estimated as Σ_j w_j·vol(q ∩ box_j)/vol(box_j)
+// — the per-box uniformity assumption behind its large errors on skewed,
+// high-dimensional data.
+package quicksel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// Config controls model fitting.
+type Config struct {
+	// MaxKernels caps the number of mixture components (default 256);
+	// kernels are sampled from the training queries.
+	MaxKernels int
+	// Iters is the projected-gradient iteration count (default 400).
+	Iters int
+	Seed  int64
+}
+
+// box is a normalized hyper-rectangle in [0,1]^d.
+type box struct {
+	lo, hi []float64
+}
+
+func (b *box) volume() float64 {
+	v := 1.0
+	for j := range b.lo {
+		v *= math.Max(b.hi[j]-b.lo[j], 1e-9)
+	}
+	return v
+}
+
+// overlap returns vol(b ∩ q)/vol(b).
+func (b *box) overlap(q *box) float64 {
+	f := 1.0
+	for j := range b.lo {
+		lo := math.Max(b.lo[j], q.lo[j])
+		hi := math.Min(b.hi[j], q.hi[j])
+		if hi <= lo {
+			return 0
+		}
+		f *= (hi - lo) / math.Max(b.hi[j]-b.lo[j], 1e-9)
+	}
+	return f
+}
+
+// Estimator is the fitted uniform mixture model.
+type Estimator struct {
+	table   *dataset.Table
+	colLo   []float64
+	colSpan []float64
+	kernels []box
+	weights []float64
+}
+
+// New fits QuickSel to a training workload (queries with true
+// selectivities).
+func New(t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error) {
+	if len(train.Queries) == 0 || len(train.Queries) != len(train.TrueSel) {
+		return nil, fmt.Errorf("quicksel: needs a labelled training workload")
+	}
+	if cfg.MaxKernels <= 0 {
+		cfg.MaxKernels = 256
+	}
+	iters := cfg.Iters
+	if iters <= 0 {
+		iters = 400
+	}
+	e := &Estimator{table: t}
+	e.colLo = make([]float64, t.NumCols())
+	e.colSpan = make([]float64, t.NumCols())
+	for j, c := range t.Columns {
+		if c.Kind == dataset.Categorical {
+			e.colLo[j] = 0
+			e.colSpan[j] = math.Max(float64(c.Card-1), 1)
+			// Point predicates on categoricals need nonzero width; the
+			// normalization maps code k to k/span and we widen point
+			// boxes by half a code below.
+			continue
+		}
+		lo, hi := c.MinMax()
+		e.colLo[j] = lo
+		e.colSpan[j] = math.Max(hi-lo, 1e-9)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Kernels: a uniform subset of the training query boxes plus the unit
+	// box (so total mass can always be explained).
+	idx := rng.Perm(len(train.Queries))
+	nk := cfg.MaxKernels - 1
+	if nk > len(idx) {
+		nk = len(idx)
+	}
+	e.kernels = append(e.kernels, unitBox(t.NumCols()))
+	for _, i := range idx[:nk] {
+		e.kernels = append(e.kernels, e.queryBox(train.Queries[i]))
+	}
+
+	// Least squares on the simplex: minimize ‖A w − s‖².
+	nq := len(train.Queries)
+	a := make([][]float64, nq)
+	for i, q := range train.Queries {
+		qb := e.queryBox(q)
+		row := make([]float64, len(e.kernels))
+		for j := range e.kernels {
+			row[j] = e.kernels[j].overlap(&qb)
+		}
+		a[i] = row
+	}
+	// Precompute the Gram matrix G = AᵀA and b = Aᵀs so each projected-
+	// gradient step is O(nk²), and derive the step size 1/λmax(G) (the
+	// Lipschitz constant of the gradient) by power iteration.
+	nk2 := len(e.kernels)
+	g := vecmath.NewMatrix(nk2, nk2)
+	bvec := make([]float64, nk2)
+	for i := 0; i < nq; i++ {
+		row := a[i]
+		for x := 0; x < nk2; x++ {
+			if row[x] == 0 {
+				continue
+			}
+			grow := g.Row(x)
+			for y := 0; y < nk2; y++ {
+				grow[y] += row[x] * row[y]
+			}
+			bvec[x] += row[x] * train.TrueSel[i]
+		}
+	}
+	lambda := powerIterate(g, cfg.Seed)
+	step := 1 / math.Max(lambda, 1e-9)
+
+	w := make([]float64, nk2)
+	for j := range w {
+		w[j] = 1 / float64(nk2)
+	}
+	grad := make([]float64, nk2)
+	for it := 0; it < iters; it++ {
+		for x := 0; x < nk2; x++ {
+			grad[x] = vecmath.Dot(g.Row(x), w) - bvec[x]
+		}
+		vecmath.Axpy(-step, grad, w)
+		projectSimplex(w)
+	}
+	e.weights = w
+	return e, nil
+}
+
+// powerIterate estimates the largest eigenvalue of the PSD matrix g.
+func powerIterate(g *vecmath.Matrix, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed + 99))
+	n := g.Rows
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() + 0.1
+	}
+	next := make([]float64, n)
+	var lambda float64
+	for it := 0; it < 30; it++ {
+		for i := 0; i < n; i++ {
+			next[i] = vecmath.Dot(g.Row(i), v)
+		}
+		norm := math.Sqrt(vecmath.Dot(next, next))
+		if norm == 0 {
+			return 0
+		}
+		lambda = norm
+		for i := range v {
+			v[i] = next[i] / norm
+		}
+	}
+	return lambda
+}
+
+func unitBox(d int) box {
+	b := box{lo: make([]float64, d), hi: make([]float64, d)}
+	for j := range b.hi {
+		b.hi[j] = 1
+	}
+	return b
+}
+
+// queryBox converts a query into a normalized box (unqueried dims span
+// [0, 1]).
+func (e *Estimator) queryBox(q *query.Query) box {
+	d := e.table.NumCols()
+	b := unitBox(d)
+	for j, r := range q.Ranges {
+		if r == nil {
+			continue
+		}
+		lo, hi := r.Lo, r.Hi
+		if math.IsInf(lo, -1) {
+			lo = e.colLo[j]
+		}
+		if math.IsInf(hi, 1) {
+			hi = e.colLo[j] + e.colSpan[j]
+		}
+		nlo := (lo - e.colLo[j]) / e.colSpan[j]
+		nhi := (hi - e.colLo[j]) / e.colSpan[j]
+		// Give point/categorical predicates half-a-code width.
+		if e.table.Columns[j].Kind == dataset.Categorical {
+			half := 0.5 / e.colSpan[j]
+			nlo -= half
+			nhi += half
+		}
+		b.lo[j] = vecmath.Clamp(nlo, 0, 1)
+		b.hi[j] = vecmath.Clamp(nhi, 0, 1)
+		if b.hi[j] <= b.lo[j] {
+			b.hi[j] = b.lo[j] // empty box: zero volume on this dim
+		}
+	}
+	return b
+}
+
+// projectSimplex projects w onto {w ≥ 0, Σw = 1} (Duchi et al.).
+func projectSimplex(w []float64) {
+	n := len(w)
+	sorted := append([]float64(nil), w...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var cum, theta float64
+	k := 0
+	for i := 0; i < n; i++ {
+		cum += sorted[i]
+		t := (cum - 1) / float64(i+1)
+		if sorted[i]-t > 0 {
+			k = i + 1
+			theta = t
+		}
+	}
+	if k == 0 {
+		for i := range w {
+			w[i] = 1 / float64(n)
+		}
+		return
+	}
+	for i := range w {
+		w[i] = math.Max(w[i]-theta, 0)
+	}
+}
+
+// Name implements estimator.Estimator.
+func (e *Estimator) Name() string { return "QuickSel" }
+
+// SizeBytes reports kernel + weight storage.
+func (e *Estimator) SizeBytes() int {
+	d := e.table.NumCols()
+	return 8 * (len(e.kernels)*2*d + len(e.weights))
+}
+
+// Estimate evaluates the mixture on the query box.
+func (e *Estimator) Estimate(q *query.Query) (float64, error) {
+	if q.Table != e.table {
+		return 0, fmt.Errorf("quicksel: query targets table %q", q.Table.Name)
+	}
+	qb := e.queryBox(q)
+	var sel float64
+	for j := range e.kernels {
+		if e.weights[j] == 0 {
+			continue
+		}
+		sel += e.weights[j] * e.kernels[j].overlap(&qb)
+	}
+	return vecmath.Clamp(sel, 0, 1), nil
+}

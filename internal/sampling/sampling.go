@@ -1,0 +1,86 @@
+// Package sampling implements the classic uniform-row-sample selectivity
+// estimator (paper §6.1.2 "Sampling"): a portion of tuples is materialized
+// and each query is answered by scanning the sample. The sample fraction is
+// chosen to match a space budget, as the paper does for fair comparison.
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+// Estimator holds a uniform sample of the table.
+type Estimator struct {
+	table *dataset.Table
+	rows  [][]float64 // sampled rows as raw values (codes for categorical)
+}
+
+// New samples `size` rows uniformly without replacement.
+func New(t *dataset.Table, size int, seed int64) (*Estimator, error) {
+	n := t.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty table")
+	}
+	if size <= 0 || size > n {
+		size = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n)[:size]
+	e := &Estimator{table: t, rows: make([][]float64, size)}
+	for i, ri := range idx {
+		row := make([]float64, t.NumCols())
+		for j, c := range t.Columns {
+			if c.Kind == dataset.Categorical {
+				row[j] = float64(c.Ints[ri])
+			} else {
+				row[j] = c.Floats[ri]
+			}
+		}
+		e.rows[i] = row
+	}
+	return e, nil
+}
+
+// NewWithBudget sizes the sample so it occupies roughly budgetBytes
+// (8 bytes per value), mirroring the paper's space-matched configuration.
+func NewWithBudget(t *dataset.Table, budgetBytes int, seed int64) (*Estimator, error) {
+	perRow := 8 * t.NumCols()
+	size := budgetBytes / perRow
+	if size < 1 {
+		size = 1
+	}
+	return New(t, size, seed)
+}
+
+// Name implements estimator.Estimator.
+func (e *Estimator) Name() string { return "Sampling" }
+
+// SizeBytes reports the materialized sample size.
+func (e *Estimator) SizeBytes() int { return 8 * len(e.rows) * e.table.NumCols() }
+
+// Estimate scans the sample.
+func (e *Estimator) Estimate(q *query.Query) (float64, error) {
+	if q.Table != e.table {
+		return 0, fmt.Errorf("sampling: query targets table %q", q.Table.Name)
+	}
+	count := 0
+	for _, row := range e.rows {
+		ok := true
+		for j, r := range q.Ranges {
+			if r == nil {
+				continue
+			}
+			if !r.Contains(row[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return float64(count) / float64(len(e.rows)), nil
+}

@@ -1,0 +1,75 @@
+package spn
+
+import (
+	"math"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+// TestExpectationMatchesBruteForce checks E[g(X)·1(X∈q)] against a direct
+// data-side computation on categorical data, where the SPN's leaves are
+// exact frequency tables.
+func TestExpectationMatchesBruteForce(t *testing.T) {
+	n := 4000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = i % 5
+		b[i] = (i * 7) % 3 // independent of a
+	}
+	tb := &dataset.Table{Name: "t", Columns: []*dataset.Column{
+		{Name: "a", Kind: dataset.Categorical, Ints: a, Card: 5},
+		{Name: "b", Kind: dataset.Categorical, Ints: b, Card: 3},
+	}}
+	e, err := New(tb, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "a", Op: query.Le, Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	g := map[int]func(float64) float64{
+		1: func(v float64) float64 { return 1 / (v + 1) }, // over column b
+	}
+	got, err := e.EstimateExpectation(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < n; i++ {
+		if a[i] <= 2 {
+			want += 1 / (float64(b[i]) + 1)
+		}
+	}
+	want /= float64(n)
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("expectation %v vs data %v", got, want)
+	}
+}
+
+// TestExpectationIdentityReducesToEstimate: with no transforms the
+// expectation equals the plain probability estimate.
+func TestExpectationIdentityReducesToEstimate(t *testing.T) {
+	tb := dataset.SynthWISDM(3000, 2)
+	e, err := New(tb, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Generate(tb, query.GenConfig{NumQueries: 20, Seed: 4, SkipExec: true})
+	for i, q := range w.Queries {
+		a, err := e.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.EstimateExpectation(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("query %d: estimate %v vs identity expectation %v", i, a, b)
+		}
+	}
+}

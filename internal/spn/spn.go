@@ -1,0 +1,524 @@
+// Package spn implements the DeepDB baseline (paper §6.1.2): a sum-product
+// network learned from data. Structure learning alternates column splits
+// (groups of mutually dependent columns found by normalized mutual
+// information → Product nodes, i.e. an independence assumption across
+// groups) and row splits (2-means clustering → Sum nodes); leaves are
+// per-column histograms. Range queries are evaluated bottom-up in one pass.
+package spn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/vecmath"
+)
+
+// Config controls structure learning.
+type Config struct {
+	// MinRows stops row splitting below this cluster size (default 400).
+	MinRows int
+	// DepThreshold is the normalized-MI threshold above which two columns
+	// are considered dependent (default 0.08).
+	DepThreshold float64
+	// LeafBins is the histogram resolution at the leaves (default 64).
+	LeafBins int
+	Seed     int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MinRows <= 0 {
+		c.MinRows = 400
+	}
+	if c.DepThreshold <= 0 {
+		c.DepThreshold = 0.08
+	}
+	if c.LeafBins <= 0 {
+		c.LeafBins = 64
+	}
+}
+
+// node is an SPN node: exactly one of sum/product/leaf is set.
+type node struct {
+	// Sum node.
+	weights  []float64
+	children []*node
+	// Product node reuses children with per-child column scopes.
+	scopes [][]int
+	isProd bool
+	// Leaf.
+	leafCol  int
+	leafHist *leafHist
+}
+
+// leafHist is a per-column histogram leaf.
+type leafHist struct {
+	identity bool // categorical: direct frequency table
+	freqs    []float64
+	lo, hi   []float64 // bin value bounds (non-identity)
+	mass     []float64 // bin masses
+}
+
+// Estimator is the learned SPN.
+type Estimator struct {
+	table *dataset.Table
+	root  *node
+	cfg   Config
+}
+
+// New learns an SPN over t.
+func New(t *dataset.Table, cfg Config) (*Estimator, error) {
+	cfg.fillDefaults()
+	if t.NumRows() == 0 {
+		return nil, fmt.Errorf("spn: empty table")
+	}
+	e := &Estimator{table: t, cfg: cfg}
+	rows := make([]int, t.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, t.NumCols())
+	for j := range cols {
+		cols[j] = j
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e.root = e.learn(rows, cols, rng, 0)
+	return e, nil
+}
+
+// value returns the raw value of (row, col) with categorical codes as
+// floats.
+func (e *Estimator) value(ri, ci int) float64 {
+	c := e.table.Columns[ci]
+	if c.Kind == dataset.Categorical {
+		return float64(c.Ints[ri])
+	}
+	return c.Floats[ri]
+}
+
+// learn recursively builds the SPN for the given row/column scope.
+func (e *Estimator) learn(rows, cols []int, rng *rand.Rand, depth int) *node {
+	if len(cols) == 1 {
+		return e.makeLeaf(rows, cols[0])
+	}
+	if len(rows) < e.cfg.MinRows || depth > 20 {
+		return e.productOfLeaves(rows, cols)
+	}
+	// Try a column split by dependence clustering.
+	groups := e.dependenceGroups(rows, cols)
+	if len(groups) > 1 {
+		n := &node{isProd: true}
+		for _, g := range groups {
+			n.children = append(n.children, e.learn(rows, g, rng, depth+1))
+			n.scopes = append(n.scopes, g)
+		}
+		return n
+	}
+	// Row split by 2-means.
+	left, right := e.twoMeans(rows, cols, rng)
+	if len(left) == 0 || len(right) == 0 {
+		return e.productOfLeaves(rows, cols)
+	}
+	total := float64(len(rows))
+	return &node{
+		weights:  []float64{float64(len(left)) / total, float64(len(right)) / total},
+		children: []*node{e.learn(left, cols, rng, depth+1), e.learn(right, cols, rng, depth+1)},
+		scopes:   [][]int{cols, cols},
+	}
+}
+
+func (e *Estimator) productOfLeaves(rows, cols []int) *node {
+	n := &node{isProd: true}
+	for _, c := range cols {
+		n.children = append(n.children, e.makeLeaf(rows, c))
+		n.scopes = append(n.scopes, []int{c})
+	}
+	return n
+}
+
+// makeLeaf builds a histogram leaf for one column over the given rows.
+func (e *Estimator) makeLeaf(rows []int, ci int) *node {
+	c := e.table.Columns[ci]
+	lh := &leafHist{}
+	if c.Kind == dataset.Categorical {
+		lh.identity = true
+		lh.freqs = make([]float64, c.Card)
+		for _, r := range rows {
+			lh.freqs[c.Ints[r]]++
+		}
+		vecmath.Normalize(lh.freqs)
+		return &node{leafCol: ci, leafHist: lh}
+	}
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = c.Floats[r]
+	}
+	sort.Float64s(vals)
+	nb := e.cfg.LeafBins
+	if nb > len(vals) {
+		nb = len(vals)
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	lh.lo = make([]float64, nb)
+	lh.hi = make([]float64, nb)
+	lh.mass = make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		loPos := b * len(vals) / nb
+		hiPos := (b+1)*len(vals)/nb - 1
+		lh.lo[b] = vals[loPos]
+		lh.hi[b] = vals[hiPos]
+		lh.mass[b] = float64(hiPos - loPos + 1)
+	}
+	vecmath.Normalize(lh.mass)
+	return &node{leafCol: ci, leafHist: lh}
+}
+
+// dependenceGroups partitions cols into connected components of the
+// "dependent" graph (normalized MI above threshold) computed on a row
+// subsample.
+func (e *Estimator) dependenceGroups(rows, cols []int) [][]int {
+	sample := rows
+	if len(sample) > 2000 {
+		sample = rows[:2000]
+	}
+	const bins = 16
+	// Bin each column on the sample.
+	codes := make([][]int, len(cols))
+	for k, ci := range cols {
+		vals := make([]float64, len(sample))
+		for i, r := range sample {
+			vals[i] = e.value(r, ci)
+		}
+		codes[k] = binCodes(vals, bins)
+	}
+	// Union-find over dependence edges.
+	parent := make([]int, len(cols))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			if normalizedMI(codes[i], codes[j], bins) > e.cfg.DepThreshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for k, ci := range cols {
+		r := find(k)
+		groups[r] = append(groups[r], ci)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// binCodes rank-bins values into at most `bins` codes.
+func binCodes(vals []float64, bins int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+	out := make([]int, len(vals))
+	for rank, i := range idx {
+		out[i] = rank * bins / len(vals)
+		if out[i] >= bins {
+			out[i] = bins - 1
+		}
+	}
+	return out
+}
+
+// normalizedMI is MI(x, y)/√(H(x)·H(y)) ∈ [0, 1].
+func normalizedMI(xs, ys []int, bins int) float64 {
+	n := len(xs)
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	py := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		joint[xs[i]*bins+ys[i]]++
+		px[xs[i]]++
+		py[ys[i]]++
+	}
+	inv := 1 / float64(n)
+	var mi, hx, hy float64
+	for _, c := range px {
+		if c > 0 {
+			p := c * inv
+			hx -= p * math.Log(p)
+		}
+	}
+	for _, c := range py {
+		if c > 0 {
+			p := c * inv
+			hy -= p * math.Log(p)
+		}
+	}
+	for x := 0; x < bins; x++ {
+		for y := 0; y < bins; y++ {
+			c := joint[x*bins+y]
+			if c <= 0 {
+				continue
+			}
+			p := c * inv
+			mi += p * math.Log(p/(px[x]*inv*py[y]*inv))
+		}
+	}
+	if hx <= 0 || hy <= 0 {
+		return 0
+	}
+	return mi / math.Sqrt(hx*hy)
+}
+
+// twoMeans clusters rows into two groups on normalized column values.
+func (e *Estimator) twoMeans(rows, cols []int, rng *rand.Rand) (left, right []int) {
+	d := len(cols)
+	// Normalization stats per column.
+	lo := make([]float64, d)
+	span := make([]float64, d)
+	for k, ci := range cols {
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, r := range rows {
+			v := e.value(r, ci)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		lo[k] = mn
+		span[k] = math.Max(mx-mn, 1e-9)
+	}
+	feat := func(r int, k int) float64 {
+		return (e.value(r, cols[k]) - lo[k]) / span[k]
+	}
+	// Init centroids from two random rows.
+	c0 := make([]float64, d)
+	c1 := make([]float64, d)
+	r0 := rows[rng.Intn(len(rows))]
+	r1 := rows[rng.Intn(len(rows))]
+	for k := 0; k < d; k++ {
+		c0[k] = feat(r0, k)
+		c1[k] = feat(r1, k)
+	}
+	assign := make([]bool, len(rows)) // true → cluster 1
+	for iter := 0; iter < 8; iter++ {
+		var n0, n1 float64
+		s0 := make([]float64, d)
+		s1 := make([]float64, d)
+		for i, r := range rows {
+			var d0, d1 float64
+			for k := 0; k < d; k++ {
+				f := feat(r, k)
+				d0 += (f - c0[k]) * (f - c0[k])
+				d1 += (f - c1[k]) * (f - c1[k])
+			}
+			assign[i] = d1 < d0
+			if assign[i] {
+				n1++
+				for k := 0; k < d; k++ {
+					s1[k] += feat(r, k)
+				}
+			} else {
+				n0++
+				for k := 0; k < d; k++ {
+					s0[k] += feat(r, k)
+				}
+			}
+		}
+		if n0 == 0 || n1 == 0 {
+			break
+		}
+		for k := 0; k < d; k++ {
+			c0[k] = s0[k] / n0
+			c1[k] = s1[k] / n1
+		}
+	}
+	for i, r := range rows {
+		if assign[i] {
+			right = append(right, r)
+		} else {
+			left = append(left, r)
+		}
+	}
+	return left, right
+}
+
+// Name implements estimator.Estimator.
+func (e *Estimator) Name() string { return "DeepDB" }
+
+// SizeBytes reports the SPN parameter storage.
+func (e *Estimator) SizeBytes() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.leafHist != nil {
+			lh := n.leafHist
+			return 8 * (len(lh.freqs) + len(lh.lo) + len(lh.hi) + len(lh.mass))
+		}
+		s := 8 * len(n.weights)
+		for _, c := range n.children {
+			s += walk(c)
+		}
+		return s
+	}
+	return walk(e.root)
+}
+
+// Estimate evaluates the SPN bottom-up on the query box.
+func (e *Estimator) Estimate(q *query.Query) (float64, error) {
+	if q.Table != e.table {
+		return 0, fmt.Errorf("spn: query targets table %q", q.Table.Name)
+	}
+	return vecmath.Clamp(e.eval(e.root, q), 0, 1), nil
+}
+
+func (e *Estimator) eval(n *node, q *query.Query) float64 {
+	if n.leafHist != nil {
+		return leafMass(n.leafHist, q.Ranges[n.leafCol])
+	}
+	if n.isProd {
+		p := 1.0
+		for _, c := range n.children {
+			p *= e.eval(c, q)
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
+	}
+	var s float64
+	for i, c := range n.children {
+		s += n.weights[i] * e.eval(c, q)
+	}
+	return s
+}
+
+// EstimateExpectation computes E[Π_j g_j(X_j) · 1(X ∈ q)] under the SPN,
+// where g maps column indices to per-value transforms (identity for absent
+// columns). DeepDB uses this to evaluate fanout-corrected join estimates:
+// g[fanoutCol] = 1/value. Transforms on product/sum nodes distribute because
+// product-node children have disjoint scopes.
+func (e *Estimator) EstimateExpectation(q *query.Query, g map[int]func(float64) float64) (float64, error) {
+	if q.Table != e.table {
+		return 0, fmt.Errorf("spn: query targets table %q", q.Table.Name)
+	}
+	return e.evalExpect(e.root, q, g), nil
+}
+
+func (e *Estimator) evalExpect(n *node, q *query.Query, g map[int]func(float64) float64) float64 {
+	if n.leafHist != nil {
+		return leafExpect(n.leafHist, q.Ranges[n.leafCol], g[n.leafCol])
+	}
+	if n.isProd {
+		p := 1.0
+		for _, c := range n.children {
+			p *= e.evalExpect(c, q, g)
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
+	}
+	var s float64
+	for i, c := range n.children {
+		s += n.weights[i] * e.evalExpect(c, q, g)
+	}
+	return s
+}
+
+// leafExpect is leafMass with a per-value transform applied (bins use their
+// midpoint value as the representative for g).
+func leafExpect(lh *leafHist, r *query.Interval, g func(float64) float64) float64 {
+	if g == nil {
+		return leafMass(lh, r)
+	}
+	if lh.identity {
+		var s float64
+		for code, f := range lh.freqs {
+			v := float64(code)
+			if r == nil || r.Contains(v) {
+				s += f * g(v)
+			}
+		}
+		return s
+	}
+	var s float64
+	for b := range lh.mass {
+		lo, hi := lh.lo[b], lh.hi[b]
+		mid := (lo + hi) / 2
+		if r == nil {
+			s += lh.mass[b] * g(mid)
+			continue
+		}
+		if hi < r.Lo || lo > r.Hi {
+			continue
+		}
+		width := hi - lo
+		if width <= 0 {
+			if r.Contains(lo) {
+				s += lh.mass[b] * g(lo)
+			}
+			continue
+		}
+		a := math.Max(lo, r.Lo)
+		bb := math.Min(hi, r.Hi)
+		if bb > a {
+			s += lh.mass[b] * (bb - a) / width * g(mid)
+		}
+	}
+	return s
+}
+
+// leafMass returns the histogram mass admitted by r (nil → 1).
+func leafMass(lh *leafHist, r *query.Interval) float64 {
+	if r == nil {
+		return 1
+	}
+	if lh.identity {
+		var s float64
+		for code, f := range lh.freqs {
+			if r.Contains(float64(code)) {
+				s += f
+			}
+		}
+		return s
+	}
+	var s float64
+	for b := range lh.mass {
+		lo, hi := lh.lo[b], lh.hi[b]
+		if hi < r.Lo || lo > r.Hi {
+			continue
+		}
+		width := hi - lo
+		if width <= 0 {
+			if r.Contains(lo) {
+				s += lh.mass[b]
+			}
+			continue
+		}
+		a := math.Max(lo, r.Lo)
+		bb := math.Min(hi, r.Hi)
+		if bb > a {
+			s += lh.mass[b] * (bb - a) / width
+		}
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSymEigenvaluesDiagonal(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, -1)
+	a.Set(2, 2, 5)
+	ev := SymEigenvalues(a)
+	sort.Float64s(ev)
+	want := []float64{-1, 2, 5}
+	for i, w := range want {
+		if !almostEq(ev[i], w, 1e-10) {
+			t.Fatalf("ev = %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestSymEigenvaluesKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 2})
+	ev := SymEigenvalues(a)
+	sort.Float64s(ev)
+	if !almostEq(ev[0], 1, 1e-10) || !almostEq(ev[1], 3, 1e-10) {
+		t.Fatalf("ev = %v, want [1 3]", ev)
+	}
+}
+
+func TestSymEigenvaluesTraceAndFrobenius(t *testing.T) {
+	// Eigenvalues of a random symmetric matrix must preserve the trace and
+	// the Frobenius norm (sum of squares).
+	rng := rand.New(rand.NewSource(42))
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	var trace, frob float64
+	for i := 0; i < n; i++ {
+		trace += a.At(i, i)
+		for j := 0; j < n; j++ {
+			frob += a.At(i, j) * a.At(i, j)
+		}
+	}
+	ev := SymEigenvalues(a)
+	var evSum, evSq float64
+	for _, v := range ev {
+		evSum += v
+		evSq += v * v
+	}
+	if !almostEq(trace, evSum, 1e-8) {
+		t.Fatalf("trace %v != Σλ %v", trace, evSum)
+	}
+	if !almostEq(frob, evSq, 1e-8) {
+		t.Fatalf("‖A‖²_F %v != Σλ² %v", frob, evSq)
+	}
+}
+
+func TestSymEigenvaluesCorrelationMatrixBounds(t *testing.T) {
+	// A perfectly correlated 3-column correlation matrix (all ones) has
+	// eigenvalues {3, 0, 0}.
+	a := NewMatrix(3, 3)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	ev := SymEigenvalues(a)
+	sort.Float64s(ev)
+	if !almostEq(ev[2], 3, 1e-9) || math.Abs(ev[0]) > 1e-9 || math.Abs(ev[1]) > 1e-9 {
+		t.Fatalf("ev = %v, want [0 0 3]", ev)
+	}
+}

@@ -1,0 +1,335 @@
+// Package vecmath provides the small dense linear-algebra and numerical
+// kernels shared by the neural-network engine, the Gaussian mixture models,
+// and the statistical estimators in this repository.
+//
+// Everything operates on float64. Matrices are dense, row-major, and sized at
+// construction; the package favours explicit loops over cleverness so the
+// hot paths stay allocation-free and easy to audit.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a slice aliasing row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero resets every element to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from a, b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("vecmath: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	n4 := dst.Cols - dst.Cols%4
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < n4; j += 4 {
+				drow[j] += av * brow[j]
+				drow[j+1] += av * brow[j+1]
+				drow[j+2] += av * brow[j+2]
+				drow[j+3] += av * brow[j+3]
+			}
+			for j := n4; j < dst.Cols; j++ {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b, where a is n×r and b is n×c; dst is r×c.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("vecmath: matmulATB shape mismatch")
+	}
+	dst.Zero()
+	for n := 0; n < a.Rows; n++ {
+		arow := a.Row(n)
+		brow := b.Row(n)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ, where a is n×c and b is m×c; dst is n×m.
+// The inner dot product is unrolled four-wide — this is the hottest kernel
+// of the neural-network engine.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("vecmath: matmulABT shape mismatch")
+	}
+	c := a.Cols
+	c4 := c - c%4
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s0, s1, s2, s3 float64
+			for k := 0; k < c4; k += 4 {
+				s0 += arow[k] * brow[k]
+				s1 += arow[k+1] * brow[k+1]
+				s2 += arow[k+2] * brow[k+2]
+				s3 += arow[k+3] * brow[k+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for k := c4; k < c; k++ {
+				s += arow[k] * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vecmath: dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vecmath: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element of x. It panics on empty input.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("vecmath: max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of x (first on ties).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("vecmath: argmax of empty slice")
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// Softmax writes softmax(logits) into out (which may alias logits). It is
+// numerically stable under large logits.
+func Softmax(out, logits []float64) {
+	if len(out) != len(logits) {
+		panic("vecmath: softmax length mismatch")
+	}
+	m := Max(logits)
+	var z float64
+	for i, v := range logits {
+		e := math.Exp(v - m)
+		out[i] = e
+		z += e
+	}
+	inv := 1 / z
+	for i := range out {
+		out[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	m := Max(x)
+	if math.IsInf(m, -1) {
+		return math.Inf(-1)
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Normalize scales x in place so it sums to 1. If the sum is not positive it
+// sets the uniform distribution instead and returns false.
+func Normalize(x []float64) bool {
+	s := Sum(x)
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		u := 1 / float64(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return false
+	}
+	Scale(1/s, x)
+	return true
+}
+
+const (
+	invSqrt2   = 0.7071067811865476  // 1/√2
+	invSqrt2Pi = 0.39894228040143265 // 1/√(2π)
+)
+
+// NormalPDF returns the density of N(mu, sigma²) at x.
+func NormalPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return invSqrt2Pi / sigma * math.Exp(-0.5*z*z)
+}
+
+// NormalLogPDF returns the log-density of N(mu, sigma²) at x.
+func NormalLogPDF(x, mu, sigma float64) float64 {
+	z := (x - mu) / sigma
+	return -0.5*z*z - math.Log(sigma) - 0.9189385332046727 // log √(2π)
+}
+
+// NormalCDF returns P(X ≤ x) for X ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/sigma*invSqrt2))
+}
+
+// NormalRangeMass returns P(lo ≤ X ≤ hi) for X ~ N(mu, sigma²). A reversed
+// interval yields zero.
+func NormalRangeMass(lo, hi, mu, sigma float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	m := NormalCDF(hi, mu, sigma) - NormalCDF(lo, mu, sigma)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted, using linear
+// interpolation between order statistics. sorted must be ascending and
+// non-empty.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("vecmath: quantile of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Variance returns the population variance of x (0 for len < 2).
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	mu := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - mu
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

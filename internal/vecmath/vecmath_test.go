@@ -1,0 +1,282 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := NewMatrix(2, 2)
+	MatMul(c, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEq(c.Data[i], w, 1e-12) {
+			t.Fatalf("matmul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
+}
+
+func TestMatMulATBAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(5, 4)
+	b := NewMatrix(5, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := NewMatrix(4, 3)
+	MatMulATB(got, a, b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			var want float64
+			for n := 0; n < 5; n++ {
+				want += a.At(n, i) * b.At(n, j)
+			}
+			if !almostEq(got.At(i, j), want, 1e-10) {
+				t.Fatalf("ATB[%d][%d] = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatMulABTAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(4, 6)
+	b := NewMatrix(3, 6)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := NewMatrix(4, 3)
+	MatMulABT(got, a, b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			var want float64
+			for k := 0; k < 6; k++ {
+				want += a.At(i, k) * b.At(j, k)
+			}
+			if !almostEq(got.At(i, j), want, 1e-10) {
+				t.Fatalf("ABT[%d][%d] = %v, want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float64, len(raw))
+		for i, v := range raw {
+			// Keep logits finite but allow a wide range.
+			logits[i] = math.Mod(v, 500)
+			if math.IsNaN(logits[i]) {
+				logits[i] = 0
+			}
+		}
+		out := make([]float64, len(logits))
+		Softmax(out, logits)
+		var s float64
+		for _, p := range out {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			s += p
+		}
+		return almostEq(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStableUnderHugeLogits(t *testing.T) {
+	logits := []float64{1000, 1001, 999}
+	out := make([]float64, 3)
+	Softmax(out, logits)
+	if !almostEq(Sum(out), 1, 1e-9) {
+		t.Fatalf("softmax sum = %v", Sum(out))
+	}
+	if ArgMax(out) != 1 {
+		t.Fatalf("argmax = %d, want 1", ArgMax(out))
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	x := []float64{-1, 0, 2.5}
+	var direct float64
+	for _, v := range x {
+		direct += math.Exp(v)
+	}
+	if !almostEq(LogSumExp(x), math.Log(direct), 1e-12) {
+		t.Fatalf("lse = %v, want %v", LogSumExp(x), math.Log(direct))
+	}
+	// Stability: values that would overflow exp directly.
+	big := []float64{700, 710, 705}
+	got := LogSumExp(big)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("lse overflowed: %v", got)
+	}
+}
+
+func TestNormalizeFallsBackToUniform(t *testing.T) {
+	x := []float64{0, 0, 0}
+	if Normalize(x) {
+		t.Fatal("expected Normalize to report failure on zero vector")
+	}
+	for _, v := range x {
+		if !almostEq(v, 1.0/3, 1e-12) {
+			t.Fatalf("uniform fallback = %v", x)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+	}
+	for _, c := range cases {
+		got := NormalCDF(c.x, 0, 1)
+		if !almostEq(got, c.want, 1e-9) {
+			t.Fatalf("cdf(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Numerically integrate the pdf and compare with the cdf difference.
+	mu, sigma := 1.5, 0.7
+	lo, hi := -1.0, 3.0
+	n := 20000
+	h := (hi - lo) / float64(n)
+	var integral float64
+	for i := 0; i < n; i++ {
+		x := lo + (float64(i)+0.5)*h
+		integral += NormalPDF(x, mu, sigma) * h
+	}
+	want := NormalRangeMass(lo, hi, mu, sigma)
+	if !almostEq(integral, want, 1e-6) {
+		t.Fatalf("∫pdf = %v, cdf mass = %v", integral, want)
+	}
+}
+
+func TestNormalLogPDFMatchesPDF(t *testing.T) {
+	for _, x := range []float64{-3, 0, 0.5, 10} {
+		lp := NormalLogPDF(x, 1, 2)
+		p := NormalPDF(x, 1, 2)
+		if !almostEq(math.Exp(lp), p, 1e-12) {
+			t.Fatalf("exp(logpdf(%v)) = %v, pdf = %v", x, math.Exp(lp), p)
+		}
+	}
+}
+
+func TestNormalRangeMassReversedInterval(t *testing.T) {
+	if m := NormalRangeMass(2, 1, 0, 1); m != 0 {
+		t.Fatalf("reversed interval mass = %v, want 0", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(x, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(x, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(x, 0.5); got != 3 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := Quantile(x, 0.25); got != 2 {
+		t.Fatalf("q0.25 = %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 101)
+	for i := range x {
+		x[i] = rng.Float64() * 100
+	}
+	sort.Float64s(x)
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := Quantile(x, q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestArgMaxFirstOnTies(t *testing.T) {
+	if got := ArgMax([]float64{3, 1, 3}); got != 0 {
+		t.Fatalf("argmax tie = %d, want 0", got)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(x), 5, 1e-12) {
+		t.Fatalf("mean = %v", Mean(x))
+	}
+	if !almostEq(Variance(x), 4, 1e-12) {
+		t.Fatalf("variance = %v", Variance(x))
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestAxpyScaleSum(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Axpy(2, []float64{1, 1, 1}, y)
+	if y[0] != 3 || y[1] != 4 || y[2] != 5 {
+		t.Fatalf("axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if !almostEq(Sum(y), 6, 1e-12) {
+		t.Fatalf("sum = %v", Sum(y))
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
