@@ -8,13 +8,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"iam/internal/atomicfile"
 	"iam/internal/bench"
 )
 
@@ -24,7 +28,13 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each report as CSV into this directory")
 	flag.Parse()
 
+	// Ctrl-C cancels the model training inside the current experiment and
+	// stops the run before the next one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := bench.NewSuite(bench.DefaultConfig())
+	suite.Ctx = ctx
 	experiments := []struct {
 		name string
 		run  func() *bench.Report
@@ -84,6 +94,10 @@ func main() {
 		if !want[e.name] {
 			continue
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: interrupted")
+			os.Exit(130)
+		}
 		start := time.Now()
 		report := e.run()
 		fmt.Println(report.String())
@@ -93,13 +107,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
 				os.Exit(1)
 			}
-			f, err := os.Create(filepath.Join(*csvDir, e.name+".csv"))
-			if err == nil {
-				err = report.WriteCSV(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
+			err := atomicfile.WriteFile(filepath.Join(*csvDir, e.name+".csv"), report.WriteCSV)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchrunner:", err)
 				os.Exit(1)

@@ -11,22 +11,36 @@
 //
 // All data is generated deterministically from -seed, so results are
 // reproducible.
+//
+// Training is fault tolerant: Ctrl-C (SIGINT/SIGTERM) stops the run at the
+// next mini-batch; with -checkpoint set, the last completed epoch survives
+// on disk and -resume continues from it. -guard wraps the IAM estimator in
+// a fallback cascade (IAM → sampling → Postgres histogram) so a failing
+// model degrades instead of erroring out.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"iam/internal/atomicfile"
 	"iam/internal/core"
 	"iam/internal/dataset"
 	"iam/internal/estimator"
+	"iam/internal/guard"
 	"iam/internal/join"
 	"iam/internal/naru"
 	"iam/internal/pghist"
 	"iam/internal/query"
+	"iam/internal/sampling"
 )
 
 func main() {
@@ -46,11 +60,25 @@ func main() {
 		nq     = fs.Int("queries", 200, "workload size (eval)")
 		ests   = fs.String("estimators", "IAM,Neurocard,Postgres", "comma-separated roster (eval)")
 		epochs = fs.Int("epochs", 8, "training epochs")
-		saveTo = fs.String("save", "", "save the trained IAM model to this file")
+		saveTo = fs.String("save", "", "save the trained IAM model to this file (atomic write)")
 		loadFr = fs.String("load", "", "load a previously saved IAM model instead of training")
+		ckpt   = fs.String("checkpoint", "", "write an epoch-granular training checkpoint to this file")
+		resume = fs.Bool("resume", false, "resume IAM training from -checkpoint if it exists")
+		guardQ = fs.Bool("guard", false, "wrap IAM in the fallback cascade IAM → sampling → Postgres")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+
+	// Ctrl-C cancels training between mini-batches; with -checkpoint the
+	// last completed epoch is flushed before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := trainOpts{
+		epochs: *epochs, seed: *seed,
+		loadFrom: *loadFr, saveTo: *saveTo,
+		checkpoint: *ckpt, resume: *resume,
 	}
 
 	var t *dataset.Table
@@ -78,9 +106,9 @@ func main() {
 		}
 	case "estimate":
 		q := parseOrDie(t, *qstr)
-		m := obtainIAM(t, *epochs, *seed, *loadFr, *saveTo)
+		e := obtainEstimator(ctx, t, opts, *guardQ)
 		start := time.Now()
-		est, err := m.Estimate(q)
+		est, err := e.Estimate(q)
 		die(err)
 		lat := time.Since(start)
 		truth := query.Exec(q)
@@ -93,7 +121,7 @@ func main() {
 			die(fmt.Errorf("agg requires -col"))
 		}
 		q := parseOrDie(t, *qstr)
-		m := obtainIAM(t, *epochs, *seed, *loadFr, *saveTo)
+		m := obtainIAM(ctx, t, opts)
 		avg, err := m.EstimateAvg(q, *col)
 		die(err)
 		sum, err := m.EstimateSum(q, *col)
@@ -102,14 +130,18 @@ func main() {
 		fmt.Printf("AVG(%s) ≈ %.6g\n", *col, avg)
 		fmt.Printf("SUM(%s) ≈ %.6g\n", *col, sum)
 	case "eval":
-		w := query.Generate(t, query.GenConfig{NumQueries: *nq, Seed: *seed + 1})
+		w, err := query.Generate(t, query.GenConfig{NumQueries: *nq, Seed: *seed + 1})
+		die(err)
 		for _, label := range strings.Split(*ests, ",") {
 			label = strings.TrimSpace(label)
-			e := buildEstimator(label, t, *epochs, *seed)
+			e := buildEstimator(ctx, label, t, opts, *guardQ)
 			ev, err := estimator.Evaluate(e, w, t.NumRows())
 			die(err)
 			fmt.Printf("%-10s %s  (%.2fms/query)\n", label, ev.Summary,
 				float64(ev.AvgLatency.Microseconds())/1000)
+			if g, ok := e.(*guard.Guarded); ok {
+				fmt.Fprintf(os.Stderr, "%s\n", g)
+			}
 		}
 	case "join":
 		runJoin(*rows, *seed, *nq, *epochs)
@@ -183,43 +215,90 @@ func parseOrDie(t *dataset.Table, s string) *query.Query {
 	return q
 }
 
+type trainOpts struct {
+	epochs     int
+	seed       int64
+	loadFrom   string
+	saveTo     string
+	checkpoint string
+	resume     bool
+}
+
 // obtainIAM loads a saved model when -load is given, otherwise trains
-// (optionally saving the result).
-func obtainIAM(t *dataset.Table, epochs int, seed int64, loadFrom, saveTo string) *core.Model {
-	if loadFrom != "" {
-		f, err := os.Open(loadFrom)
+// (optionally checkpointing per epoch, and atomically saving the result).
+func obtainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
+	if o.loadFrom != "" {
+		f, err := os.Open(o.loadFrom)
 		die(err)
 		defer f.Close()
 		m, err := core.Load(f, t)
 		die(err)
-		fmt.Fprintf(os.Stderr, "loaded model from %s\n", loadFrom)
+		fmt.Fprintf(os.Stderr, "loaded model from %s\n", o.loadFrom)
 		return m
 	}
-	m := trainIAM(t, epochs, seed)
-	if saveTo != "" {
-		f, err := os.Create(saveTo)
-		die(err)
-		die(m.Save(f))
-		die(f.Close())
-		fmt.Fprintf(os.Stderr, "saved model to %s\n", saveTo)
+	m := trainIAM(ctx, t, o)
+	if o.saveTo != "" {
+		die(atomicfile.WriteFile(o.saveTo, func(w io.Writer) error {
+			return m.Save(w)
+		}))
+		fmt.Fprintf(os.Stderr, "saved model to %s\n", o.saveTo)
 	}
 	return m
 }
 
-func trainIAM(t *dataset.Table, epochs int, seed int64) *core.Model {
-	fmt.Fprintf(os.Stderr, "training IAM on %s (%d rows, %d epochs)...\n", t.Name, t.NumRows(), epochs)
-	m, err := core.Train(t, core.Config{Epochs: epochs, Seed: seed, Hidden: []int{64, 32, 32, 64}})
+// obtainEstimator returns the IAM model, optionally wrapped in the guard
+// cascade with a sampling estimator and a Postgres histogram as fallbacks.
+func obtainEstimator(ctx context.Context, t *dataset.Table, o trainOpts, guarded bool) estimator.Estimator {
+	m := obtainIAM(ctx, t, o)
+	if !guarded {
+		return m
+	}
+	return guardedCascade(t, m, o.seed)
+}
+
+// guardedCascade builds the production-shaped fallback chain: the learned
+// model first, a uniform sample if it fails, and the histogram — which
+// cannot realistically fail — as the terminal tier.
+func guardedCascade(t *dataset.Table, m estimator.Estimator, seed int64) estimator.Estimator {
+	samp, err := sampling.New(t, 2000, seed+5)
+	die(err)
+	hist, err := pghist.New(t, pghist.Config{})
+	die(err)
+	g, err := guard.New(guard.Config{Timeout: 2 * time.Second}, m, samp, hist)
+	die(err)
+	return g
+}
+
+func trainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
+	if o.resume && o.checkpoint != "" {
+		if _, err := os.Stat(o.checkpoint); err == nil {
+			fmt.Fprintf(os.Stderr, "resuming IAM training from %s\n", o.checkpoint)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "training IAM on %s (%d rows, %d epochs)...\n", t.Name, t.NumRows(), o.epochs)
+	m, err := core.TrainContext(ctx, t, core.Config{
+		Epochs: o.epochs, Seed: o.seed, Hidden: []int{64, 32, 32, 64},
+		CheckpointPath: o.checkpoint, Resume: o.resume,
+	})
+	if errors.Is(err, context.Canceled) {
+		if o.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; last completed epoch checkpointed at %s (rerun with -resume)\n", o.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted")
+		}
+		os.Exit(130)
+	}
 	die(err)
 	return m
 }
 
-func buildEstimator(label string, t *dataset.Table, epochs int, seed int64) estimator.Estimator {
+func buildEstimator(ctx context.Context, label string, t *dataset.Table, o trainOpts, guarded bool) estimator.Estimator {
 	switch label {
 	case "IAM":
-		return trainIAM(t, epochs, seed)
+		return obtainEstimator(ctx, t, o, guarded)
 	case "Neurocard":
 		fmt.Fprintf(os.Stderr, "training Neurocard...\n")
-		m, err := naru.Train(t, naru.Config{Epochs: epochs, Seed: seed, Hidden: []int{64, 32, 32, 64}})
+		m, err := naru.TrainContext(ctx, t, naru.Config{Epochs: o.epochs, Seed: o.seed, Hidden: []int{64, 32, 32, 64}})
 		die(err)
 		return m
 	case "Postgres":

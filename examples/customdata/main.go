@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"iam/internal/atomicfile"
 	"iam/internal/core"
 	"iam/internal/dataset"
 	"iam/internal/query"
@@ -58,19 +59,15 @@ func main() {
 		log.Fatal(err)
 	}
 	modelPath := filepath.Join(dir, "sensors.iam")
-	mf, err := os.Create(modelPath)
-	if err != nil {
+	// Atomic write: a crash mid-save can never leave a torn model file.
+	if err := atomicfile.WriteFile(modelPath, model.Save); err != nil {
 		log.Fatal(err)
 	}
-	if err := model.Save(mf); err != nil {
-		log.Fatal(err)
-	}
-	mf.Close()
 	info, _ := os.Stat(modelPath)
 	fmt.Printf("saved model to %s (%d KB on disk)\n", modelPath, info.Size()/1024)
 
 	// 4. Reload and estimate — e.g. inside a query optimizer process.
-	mf, err = os.Open(modelPath)
+	mf, err := os.Open(modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}

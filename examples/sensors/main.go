@@ -30,7 +30,7 @@ func main() {
 	fmt.Printf("AR columns after GMM reduction: %v\n\n", model.ARColumns())
 
 	// A batch of monitoring queries: per-activity acceleration bands.
-	workload := query.Generate(sensors, query.GenConfig{NumQueries: 64, Seed: 5})
+	workload := query.MustGenerate(sensors, query.GenConfig{NumQueries: 64, Seed: 5})
 
 	// Single-query loop vs batched inference.
 	start := time.Now()

@@ -126,7 +126,7 @@ func New(cards []int, hidden []int, embedDim int, seed int64) (*Model, error) {
 // Every column's output head is first initialized at the smoothed log
 // marginal frequencies, which calibrates rare values' probabilities from
 // step zero — crucial for tail selectivities on skewed columns.
-func (m *Model) Fit(rows [][]int, cfg nn.TrainConfig) []float64 {
+func (m *Model) Fit(rows [][]int, cfg nn.TrainConfig) ([]float64, error) {
 	m.InitMarginals(rows)
 	cfg.Wildcard = true
 	return m.Net.Fit(rows, cfg)

@@ -29,7 +29,9 @@ func trainedModel(t *testing.T) (*Model, [][]int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Fit(rows, nn.TrainConfig{Epochs: 20, BatchSize: 128, LR: 5e-3, Seed: 3})
+	if _, err := m.Fit(rows, nn.TrainConfig{Epochs: 20, BatchSize: 128, LR: 5e-3, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
 	return m, rows
 }
 
@@ -256,13 +258,17 @@ func TestFactoredSamplingMatchesUnfactored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mRaw.Fit(raw, nn.TrainConfig{Epochs: 10, BatchSize: 128, LR: 5e-3, Seed: 12})
+	if _, err := mRaw.Fit(raw, nn.TrainConfig{Epochs: 10, BatchSize: 128, LR: 5e-3, Seed: 12}); err != nil {
+		t.Fatal(err)
+	}
 
 	mFac, err := New([]int{3, spec.Bases[0], spec.Bases[1]}, []int{32, 32}, 16, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mFac.Fit(fac, nn.TrainConfig{Epochs: 10, BatchSize: 128, LR: 5e-3, Seed: 14})
+	if _, err := mFac.Fit(fac, nn.TrainConfig{Epochs: 10, BatchSize: 128, LR: 5e-3, Seed: 14}); err != nil {
+		t.Fatal(err)
+	}
 
 	lo, hi := 15, 40
 	trueCount := 0

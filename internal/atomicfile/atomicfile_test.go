@@ -1,0 +1,84 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("hello"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteFileReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	for _, content := range []string{"first version", "v2"} {
+		content := content
+		err := WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("content = %q, want full replacement", got)
+	}
+}
+
+// TestWriteFileFailurePreservesOld simulates a crash mid-write (the write
+// callback errors halfway): the previous file contents must survive intact
+// and the temp file must be cleaned up.
+func TestWriteFileFailurePreservesOld(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good data")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "torn half-wri") // partial bytes hit the temp file
+		return fmt.Errorf("injected crash")
+	})
+	if err == nil {
+		t.Fatal("want the injected error back")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "good data" {
+		t.Fatalf("previous contents damaged: (%q, %v)", got, rerr)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("failed write left its temp file behind")
+	}
+}
+
+func TestWriteFileBadDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want an error for an unwritable destination")
+	}
+}

@@ -80,7 +80,7 @@ func TestBayesNetWorkloadWISDM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

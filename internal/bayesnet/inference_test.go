@@ -73,7 +73,7 @@ func TestMessagePassingMatchesBruteForce(t *testing.T) {
 		return total
 	}
 
-	w := query.Generate(tb, query.GenConfig{NumQueries: 25, Seed: 2, SkipExec: true})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 25, Seed: 2, SkipExec: true})
 	for i, q := range w.Queries {
 		got, err := e.Estimate(q)
 		if err != nil {

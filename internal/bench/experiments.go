@@ -245,7 +245,7 @@ func (s *Suite) Figure6() *Report {
 			maxErrs = append(maxErrs, maxQError(m, qs, truth, t.NumRows()))
 			return true
 		}
-		_, err := core.Train(t, cfg)
+		_, err := s.trainIAM(t, cfg)
 		must(err)
 		curves[name] = maxErrs
 	}
@@ -313,7 +313,7 @@ func (s *Suite) DomainReductionTable(name string) *Report {
 		cfg.Components = k
 		cfg.ReducerFactory = factory
 		cfg.Epochs = (s.Cfg.Epochs + 1) / 2 // sweep at half budget
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)
@@ -356,7 +356,7 @@ func (s *Suite) Figure7() *Report {
 			cfg := s.iamCfg(s.Cfg.Seed + 1100)
 			cfg.Components = k
 			cfg.Epochs = (s.Cfg.Epochs + 1) / 2 // sweep at half budget
-			m, err := core.Train(t, cfg)
+			m, err := s.trainIAM(t, cfg)
 			must(err)
 			ev, err := estimator.Evaluate(m, w, t.NumRows())
 			must(err)
@@ -379,7 +379,7 @@ func (s *Suite) Table12() *Report {
 			cfg := s.iamCfg(s.Cfg.Seed + 1200)
 			cfg.Components = k
 			cfg.Epochs = 1 // size depends only on architecture
-			m, err := core.Train(s.Table(name), cfg)
+			m, err := s.trainIAM(s.Table(name), cfg)
 			must(err)
 			row = append(row, float64(m.SizeBytes())/1024)
 		}
@@ -403,7 +403,7 @@ func (s *Suite) AblationBiasCorrection() *Report {
 	}{{"corrected (IAM)", false}, {"uncorrected", true}} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1300)
 		cfg.Uncorrected = mode.uncorrected
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)
@@ -431,7 +431,7 @@ func (s *Suite) AblationMassModes() *Report {
 	} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1400)
 		cfg.MassMode = mode.mm
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)
@@ -456,7 +456,7 @@ func (s *Suite) AblationJointVsSeparate() *Report {
 	}{{"joint end-to-end (IAM)", false}, {"separate", true}} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1500)
 		cfg.SeparateTraining = mode.separate
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -70,6 +71,9 @@ func DefaultConfig() Config {
 // several experiments can share them.
 type Suite struct {
 	Cfg Config
+	// Ctx, when non-nil, cancels in-progress model training (and with it
+	// the experiment) when the caller shuts down, e.g. on SIGINT.
+	Ctx context.Context
 
 	tables     map[string]*dataset.Table
 	workloads  map[string]*query.Workload
@@ -130,9 +134,10 @@ func (s *Suite) Workload(name string) *query.Workload {
 	if w, ok := s.workloads[name]; ok {
 		return w
 	}
-	w := query.Generate(s.Table(name), query.GenConfig{
+	w, err := query.Generate(s.Table(name), query.GenConfig{
 		NumQueries: s.Cfg.TestQueries, Seed: s.Cfg.Seed + 100,
 	})
+	must(err)
 	s.workloads[name] = w
 	return w
 }
@@ -142,11 +147,25 @@ func (s *Suite) TrainWorkload(name string) *query.Workload {
 	if w, ok := s.trainWLs[name]; ok {
 		return w
 	}
-	w := query.Generate(s.Table(name), query.GenConfig{
+	w, err := query.Generate(s.Table(name), query.GenConfig{
 		NumQueries: s.Cfg.TrainQueries, Seed: s.Cfg.Seed + 200,
 	})
+	must(err)
 	s.trainWLs[name] = w
 	return w
+}
+
+// context returns the suite's cancellation context (Background by default).
+func (s *Suite) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// trainIAM is core.TrainContext under the suite's cancellation context.
+func (s *Suite) trainIAM(t *dataset.Table, cfg core.Config) (*core.Model, error) {
+	return core.TrainContext(s.context(), t, cfg)
 }
 
 // iamCfg builds the IAM configuration at suite scale.
@@ -185,7 +204,7 @@ func (s *Suite) IAM(name string) *core.Model {
 	if m, ok := s.iamModels[name]; ok {
 		return m
 	}
-	m, err := core.Train(s.Table(name), s.iamCfg(s.Cfg.Seed+300))
+	m, err := s.trainIAM(s.Table(name), s.iamCfg(s.Cfg.Seed+300))
 	if err != nil {
 		panic(fmt.Sprintf("bench: training IAM on %s: %v", name, err))
 	}

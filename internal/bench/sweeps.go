@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"iam/internal/core"
 	"iam/internal/estimator"
 	"iam/internal/gmm"
 	"iam/internal/query"
@@ -26,7 +25,7 @@ func (s *Suite) GMMSampleSweep() *Report {
 	for _, S := range []int{100, 1000, 10000, 50000} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1700)
 		cfg.GMMSamples = S
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)
@@ -99,7 +98,7 @@ func (s *Suite) AblationExhaustive() *Report {
 	}{{"sampling (S_p paths)", 0}, {"exhaustive enumeration", 200000}} {
 		cfg := s.iamCfg(s.Cfg.Seed + 2000)
 		cfg.ExhaustiveLimit = mode.limit
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)
@@ -122,10 +121,11 @@ func (s *Suite) QueryDistributionSweep() *Report {
 	iamModel := s.IAM("wisdm")
 	ncModel := s.Neurocard("wisdm")
 	for _, nf := range []int{1, 2, 3, 5} {
-		w := query.Generate(t, query.GenConfig{
+		w, err := query.Generate(t, query.GenConfig{
 			NumQueries: s.Cfg.TestQueries / 2, Seed: s.Cfg.Seed + int64(nf)*13,
 			MinFilters: nf, MaxFilters: nf,
 		})
+		must(err)
 		for _, e := range []estimator.Estimator{iamModel, ncModel} {
 			ev, err := estimator.Evaluate(e, w, t.NumRows())
 			must(err)
@@ -150,7 +150,7 @@ func (s *Suite) ProgressiveSampleSweep() *Report {
 	for _, sp := range []int{50, 200, 800, 2000} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1800)
 		cfg.NumSamples = sp
-		m, err := core.Train(t, cfg)
+		m, err := s.trainIAM(t, cfg)
 		must(err)
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
 		must(err)

@@ -16,7 +16,7 @@ func benchModel(b *testing.B) (*Model, *dataset.Table, *query.Workload) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
 	return m, tb, w
 }
 

@@ -18,7 +18,7 @@ func TestExhaustiveModeOnTWI(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w := query.Generate(tb, query.GenConfig{NumQueries: 40, Seed: 50})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 40, Seed: 50})
 	for i, q := range w.Queries {
 		exact, err := m.Estimate(q)
 		if err != nil {

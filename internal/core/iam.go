@@ -10,14 +10,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"sync"
 
 	"iam/internal/ar"
 	"iam/internal/dataset"
 	"iam/internal/gmm"
+	"iam/internal/guard/faultinject"
 	"iam/internal/nn"
 	"iam/internal/query"
 	"iam/internal/vecmath"
@@ -99,6 +102,26 @@ type Config struct {
 	// training early. The model is fully usable for estimation inside the
 	// callback (Figure 6 evaluates per-epoch max q-error this way).
 	OnEpoch func(epoch int, m *Model, gmmNLL, arNLL float64) bool
+
+	// CheckpointPath, when set, makes joint training write an epoch-
+	// granular checkpoint to this file after every completed epoch
+	// (atomically: temp file + fsync + rename), and on cancellation. The
+	// checkpoint contains the full model plus AR and GMM optimizer state.
+	CheckpointPath string
+	// Resume, with CheckpointPath set and the file present, restores the
+	// checkpoint and continues training from the next epoch instead of
+	// starting over. Epoch shuffles and wildcard masks derive from
+	// (Seed, epoch), so a resumed run replays exactly the batches an
+	// uninterrupted run would have seen.
+	Resume bool
+	// MaxRetries bounds the divergence watchdog's rollback budget across
+	// the run: each NaN/Inf epoch loss rolls parameters back to the last
+	// good epoch and halves the learning rates, at most this many times.
+	// 0 means the default of 3; negative disables retries.
+	MaxRetries int
+	// MaxGradNorm, when positive, additionally treats an AR mini-batch
+	// gradient L2 norm above it (or NaN) as a divergence event.
+	MaxGradNorm float64
 }
 
 // AutoComponents requests automatic per-column component-count selection.
@@ -205,9 +228,22 @@ type Model struct {
 
 // Train fits IAM on table t.
 func Train(t *dataset.Table, cfg Config) (*Model, error) {
+	return TrainContext(context.Background(), t, cfg)
+}
+
+// TrainContext is Train with cancellation and deadlines: cancelling ctx
+// stops the training loop between mini-batches. If a checkpoint path is
+// configured, the state of the last completed epoch is flushed there before
+// returning, so the run can later resume with Config.Resume.
+func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, error) {
 	cfg.fillDefaults()
 	if t.NumRows() == 0 {
 		return nil, fmt.Errorf("core: empty table")
+	}
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		if _, err := os.Stat(cfg.CheckpointPath); err == nil {
+			return resumeTraining(ctx, t, cfg)
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -273,17 +309,21 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 	m.estRNG = rand.New(rand.NewSource(cfg.Seed + 8))
 	m.massDirty = true
 
+	var trainErr error
 	if cfg.SeparateTraining || cfg.ReducerFactory != nil {
-		m.trainSeparate(rng)
+		trainErr = m.trainSeparate(ctx, rng)
 	} else {
-		m.trainJoint(rng)
+		trainErr = m.trainJoint(ctx, 0, 1, 0)
+	}
+	if trainErr != nil {
+		return nil, trainErr
 	}
 	m.massDirty = true
 	return m, nil
 }
 
 // encodeRow writes the AR codes of table row ri into dst.
-func (m *Model) encodeRow(ri int, dst []int) {
+func (m *Model) encodeRow(ri int, dst []int) error {
 	for ci := range m.cols {
 		info := &m.cols[ci]
 		c := m.table.Columns[ci]
@@ -293,53 +333,165 @@ func (m *Model) encodeRow(ri int, dst []int) {
 		case kindReduced:
 			dst[info.arFirst] = info.reducer.Assign(c.Floats[ri])
 		case kindPassthrough:
-			dst[info.arFirst] = m.rawCode(ci, ri)
+			code, err := m.rawCode(ci, ri)
+			if err != nil {
+				return err
+			}
+			dst[info.arFirst] = code
 		case kindFactored:
-			info.factor.SplitInto(dst[info.arFirst:info.arFirst+info.arCount], m.rawCode(ci, ri))
+			code, err := m.rawCode(ci, ri)
+			if err != nil {
+				return err
+			}
+			info.factor.SplitInto(dst[info.arFirst:info.arFirst+info.arCount], code)
+		}
+	}
+	return nil
+}
+
+// rawCode returns the ordinal code of a non-GMM column value at row ri. The
+// encoder is built from the very column it encodes, so an error here means
+// the table mutated underneath the model — reported, not panicked, so one
+// bad row cannot kill a whole training run.
+func (m *Model) rawCode(ci, ri int) (int, error) {
+	c := m.table.Columns[ci]
+	if c.Kind == dataset.Categorical {
+		return c.Ints[ri], nil
+	}
+	code, err := m.cols[ci].enc.EncodeFloat(c.Floats[ri])
+	if err != nil {
+		return 0, fmt.Errorf("core: encoding column %q row %d: %w", c.Name, ri, err)
+	}
+	return code, nil
+}
+
+// epochRNG derives the deterministic RNG of one joint-training epoch from
+// (seed, epoch) alone, so a run resumed from an epoch checkpoint replays
+// exactly the shuffles and wildcard masks of an uninterrupted run.
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
+}
+
+// jointState snapshots everything the joint optimizer mutates: AR parameters
+// with Adam state, and per-GMM trainer state. The divergence watchdog rolls
+// back to one; checkpoints embed one.
+type jointState struct {
+	AR  *nn.TrainState
+	GMM []*gmm.TrainerState // one per kindGMM column, in column order
+}
+
+func (m *Model) captureJoint() *jointState {
+	st := &jointState{AR: m.arm.Net.CaptureState()}
+	for ci := range m.cols {
+		if m.cols[ci].kind == kindGMM && m.cols[ci].trainer != nil {
+			st.GMM = append(st.GMM, m.cols[ci].trainer.CaptureState())
+		}
+	}
+	return st
+}
+
+func (m *Model) restoreJoint(st *jointState) error {
+	if err := m.arm.Net.RestoreState(st.AR); err != nil {
+		return err
+	}
+	j := 0
+	for ci := range m.cols {
+		if m.cols[ci].kind != kindGMM || m.cols[ci].trainer == nil {
+			continue
+		}
+		if j >= len(st.GMM) {
+			return fmt.Errorf("core: joint state has %d GMM trainers, model needs more", len(st.GMM))
+		}
+		if err := m.cols[ci].trainer.RestoreState(st.GMM[j]); err != nil {
+			return err
+		}
+		j++
+	}
+	return nil
+}
+
+// setGMMLR updates every GMM trainer's learning rate (watchdog backoff).
+func (m *Model) setGMMLR(lr float64) {
+	for ci := range m.cols {
+		if m.cols[ci].kind == kindGMM && m.cols[ci].trainer != nil {
+			m.cols[ci].trainer.SetLR(lr)
 		}
 	}
 }
 
-// rawCode returns the ordinal code of a non-GMM column value at row ri.
-func (m *Model) rawCode(ci, ri int) int {
-	c := m.table.Columns[ci]
-	if c.Kind == dataset.Categorical {
-		return c.Ints[ri]
+func (m *Model) retryBudget() int {
+	switch {
+	case m.cfg.MaxRetries == 0:
+		return 3
+	case m.cfg.MaxRetries < 0:
+		return 0
+	default:
+		return m.cfg.MaxRetries
 	}
-	code, err := m.cols[ci].enc.EncodeFloat(c.Floats[ri])
-	if err != nil {
-		panic(err) // encoder was built from this very column
-	}
-	return code
 }
 
 // trainJoint runs the end-to-end loop of §4.3: every mini-batch first takes
 // one SGD step on each GMM (loss_GMM) and then one AR step on the freshly
 // re-encoded batch (loss_AR), so all parameters follow Eq. 6 together.
-func (m *Model) trainJoint(rng *rand.Rand) {
+//
+// The loop is fault tolerant. A divergence watchdog validates every epoch:
+// NaN/Inf GMM or AR loss (or an exploding AR gradient when MaxGradNorm is
+// set) restores the last good epoch's parameters and optimizer state, halves
+// the learning rates and retries, up to the retry budget. With a checkpoint
+// path configured, each completed epoch is persisted atomically; cancelling
+// ctx discards the partial epoch, flushes a checkpoint of the last completed
+// one, and returns promptly.
+func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64, retries int) error {
 	cfg := m.cfg
 	n := m.table.NumRows()
 	nAR := len(m.arm.Cards)
 	sess := m.arm.Net.NewSession(cfg.BatchSize)
 	dLogits := vecmath.NewMatrix(cfg.BatchSize, logitDim(m.arm))
 
-	idx := rng.Perm(n)
 	inputs := makeRows(cfg.BatchSize, nAR)
 	targets := makeRows(cfg.BatchSize, nAR)
 
-	// Calibrate every output head at the (initial-assignment) log marginal
-	// frequencies; assignments drift slightly as the GMMs train jointly,
-	// but rare components start orders of magnitude closer to truth.
-	initRows := makeRows(n, nAR)
-	for ri := 0; ri < n; ri++ {
-		m.encodeRow(ri, initRows[ri])
+	if startEpoch == 0 {
+		// Calibrate every output head at the (initial-assignment) log
+		// marginal frequencies; assignments drift slightly as the GMMs train
+		// jointly, but rare components start orders of magnitude closer to
+		// truth. Skipped on resume: the checkpoint carries trained heads.
+		initRows := makeRows(n, nAR)
+		for ri := 0; ri < n; ri++ {
+			if err := m.encodeRow(ri, initRows[ri]); err != nil {
+				return err
+			}
+		}
+		m.arm.InitMarginals(initRows)
 	}
-	m.arm.InitMarginals(initRows)
 
-	for e := 0; e < cfg.Epochs; e++ {
+	budget := m.retryBudget()
+	m.setGMMLR(cfg.GMMLR * lrScale)
+	good := m.captureJoint()
+	checkpoint := func(nextEpoch int) error {
+		if cfg.CheckpointPath == "" {
+			return nil
+		}
+		return m.writeCheckpoint(cfg.CheckpointPath, nextEpoch, lrScale, retries)
+	}
+	for e := startEpoch; e < cfg.Epochs; e++ {
+		erng := epochRNG(cfg.Seed, e)
+		idx := erng.Perm(n)
 		var arNLL, gmmNLL float64
 		var seen int
+		diverged := false
 		for start := 0; start < n; start += cfg.BatchSize {
+			if ctx.Err() != nil {
+				// Discard the partial epoch so the checkpoint sits exactly
+				// on an epoch boundary; resuming replays epoch e in full.
+				if err := m.restoreJoint(good); err != nil {
+					return err
+				}
+				if err := checkpoint(e); err != nil {
+					return err
+				}
+				return ctx.Err()
+			}
 			end := start + cfg.BatchSize
 			if end > n {
 				end = n
@@ -372,34 +524,75 @@ func (m *Model) trainJoint(rng *rand.Rand) {
 
 			// AR step on the re-encoded batch with wildcard masking.
 			for i, ri := range batchIdx {
-				m.encodeRow(ri, targets[i])
+				if err := m.encodeRow(ri, targets[i]); err != nil {
+					return err
+				}
 				copy(inputs[i], targets[i])
-				k := rng.Intn(nAR + 1)
-				for _, c := range rng.Perm(nAR)[:k] {
+				k := erng.Intn(nAR + 1)
+				for _, c := range erng.Perm(nAR)[:k] {
 					inputs[i][c] = m.arm.Net.MaskToken(c)
 				}
 			}
 			sess.Forward(inputs[:b])
 			dl := &vecmath.Matrix{Rows: b, Cols: dLogits.Cols, Data: dLogits.Data[:b*dLogits.Cols]}
-			arNLL += sess.CrossEntropyGrad(targets[:b], dl)
+			nll := sess.CrossEntropyGrad(targets[:b], dl)
+			if math.IsNaN(nll) || math.IsInf(nll, 0) {
+				diverged = true // stepping on poisoned logits is pointless
+				break
+			}
+			arNLL += nll
 			m.arm.Net.ZeroGrad()
 			sess.Backward(dl)
-			m.arm.Net.AdamStep(cfg.LR, 1/float64(b))
+			if cfg.MaxGradNorm > 0 {
+				if gn := m.arm.Net.GradNorm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
+					diverged = true
+					break
+				}
+			}
+			m.arm.Net.AdamStep(cfg.LR*lrScale, 1/float64(b))
 			seen += b
 		}
-		m.GMMLosses = append(m.GMMLosses, gmmNLL/float64(seen))
-		m.ARLosses = append(m.ARLosses, arNLL/float64(seen))
-		m.massDirty = true
-		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, m, gmmNLL/float64(seen), arNLL/float64(seen)) {
-			return
+		gmmMean, arMean := math.NaN(), math.NaN()
+		if seen > 0 {
+			gmmMean, arMean = gmmNLL/float64(seen), arNLL/float64(seen)
 		}
-		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		if faultinject.Fires("core.train.nanloss") {
+			arMean = math.NaN()
+		}
+		if diverged || !isFinite(gmmMean) || !isFinite(arMean) {
+			if err := m.restoreJoint(good); err != nil {
+				return err
+			}
+			if retries >= budget {
+				return fmt.Errorf("core: joint training diverged at epoch %d (gmm=%v ar=%v) after %d rollback(s)",
+					e, gmmMean, arMean, retries)
+			}
+			retries++
+			lrScale /= 2
+			m.setGMMLR(cfg.GMMLR * lrScale)
+			e-- // retry the same epoch from the last good state
+			continue
+		}
+		m.GMMLosses = append(m.GMMLosses, gmmMean)
+		m.ARLosses = append(m.ARLosses, arMean)
+		m.massDirty = true
+		good = m.captureJoint()
+		if err := checkpoint(e + 1); err != nil {
+			return err
+		}
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, m, gmmMean, arMean) {
+			return nil
+		}
 	}
+	return nil
 }
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // trainSeparate is the §4.3 "Separate Training" baseline: GMMs first, then
-// the AR model on frozen assignments.
-func (m *Model) trainSeparate(rng *rand.Rand) {
+// the AR model on frozen assignments. Cancelling ctx stops between batches;
+// the AR phase inherits the nn watchdog.
+func (m *Model) trainSeparate(ctx context.Context, rng *rand.Rand) error {
 	cfg := m.cfg
 	for ci := range m.cols {
 		if m.cols[ci].kind != kindGMM {
@@ -412,6 +605,9 @@ func (m *Model) trainSeparate(rng *rand.Rand) {
 		for e := 0; e < cfg.Epochs; e++ {
 			var nll float64
 			for start := 0; start < len(idx); start += cfg.BatchSize {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				end := start + cfg.BatchSize
 				if end > len(idx) {
 					end = len(idx)
@@ -430,11 +626,16 @@ func (m *Model) trainSeparate(rng *rand.Rand) {
 	n := m.table.NumRows()
 	rows := makeRows(n, len(m.arm.Cards))
 	for ri := 0; ri < n; ri++ {
-		m.encodeRow(ri, rows[ri])
+		if err := m.encodeRow(ri, rows[ri]); err != nil {
+			return err
+		}
 	}
-	m.ARLosses = m.arm.Fit(rows, nn.TrainConfig{
+	var err error
+	m.ARLosses, err = m.arm.Fit(rows, nn.TrainConfig{
 		LR: cfg.LR, BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 2,
+		Ctx: ctx, MaxRetries: cfg.MaxRetries, MaxGradNorm: cfg.MaxGradNorm,
 	})
+	return err
 }
 
 func makeRows(n, cols int) [][]int {

@@ -60,7 +60,7 @@ func TestIAMReducesDomains(t *testing.T) {
 
 func TestIAMAccuracyOnTWI(t *testing.T) {
 	m, tb := trainTWI(t, fastCfg())
-	w := query.Generate(tb, query.GenConfig{NumQueries: 120, Seed: 12})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 120, Seed: 12})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestIAMMixedSchemaWISDM(t *testing.T) {
 			t.Fatalf("AR cards = %v, want %v", cards, want)
 		}
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 14})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 14})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -164,7 +164,7 @@ func TestMassModesAgree(t *testing.T) {
 		}
 		models[name] = m
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 30, Seed: 16})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 30, Seed: 16})
 	for i, q := range w.Queries {
 		est := map[string]float64{}
 		for name, m := range models {
@@ -187,7 +187,7 @@ func TestSeparateTraining(t *testing.T) {
 	cfg := fastCfg()
 	cfg.SeparateTraining = true
 	m, tb := trainTWI(t, cfg)
-	w := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 17})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 17})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestSeparateTraining(t *testing.T) {
 
 func TestEstimateBatchMatchesSingle(t *testing.T) {
 	m, tb := trainTWI(t, fastCfg())
-	w := query.Generate(tb, query.GenConfig{NumQueries: 8, Seed: 18})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 8, Seed: 18})
 	batch, err := m.EstimateBatch(w.Queries)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/guard/faultinject"
+	"iam/internal/query"
+)
+
+// TestWatchdogRecoversFromNaNLoss injects a single NaN epoch loss and checks
+// that the divergence watchdog rolls back, retries, and still completes the
+// full run with finite losses and a queryable model.
+func TestWatchdogRecoversFromNaNLoss(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("core.train.nanloss", 1)
+
+	tb := dataset.SynthTWI(2000, 21)
+	cfg := fastCfg()
+	cfg.Epochs = 4
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatalf("training should survive one injected NaN epoch: %v", err)
+	}
+	if len(m.ARLosses) != cfg.Epochs {
+		t.Fatalf("recorded %d AR epoch losses, want %d (rolled-back epoch must be replayed)",
+			len(m.ARLosses), cfg.Epochs)
+	}
+	for i, l := range m.ARLosses {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("AR loss %d = %v; watchdog let a poisoned epoch through", i, l)
+		}
+	}
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 10, Seed: 22})
+	for _, q := range w.Queries {
+		sel, err := m.Estimate(q)
+		if err != nil || math.IsNaN(sel) || sel < 0 || sel > 1 {
+			t.Fatalf("post-recovery estimate broken: (%v, %v)", sel, err)
+		}
+	}
+}
+
+// TestWatchdogBudgetExhausted arms more faults than the retry budget allows
+// and checks training fails with a descriptive error instead of looping.
+func TestWatchdogBudgetExhausted(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm("core.train.nanloss", 100)
+
+	tb := dataset.SynthTWI(1500, 23)
+	cfg := fastCfg()
+	cfg.Epochs = 3
+	cfg.MaxRetries = 2
+	_, err := Train(tb, cfg)
+	if err == nil {
+		t.Fatal("want an error once the rollback budget is exhausted")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("undiagnostic error: %v", err)
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted kills a checkpointed run partway
+// (via context cancellation), resumes it from the checkpoint, and checks the
+// resumed run reaches the same final losses as a never-interrupted run with
+// the same seed. The per-epoch RNG derivation makes this deterministic.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	tb := dataset.SynthTWI(2000, 25)
+	cfg := fastCfg()
+	cfg.Epochs = 4
+
+	ref, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "train.ckpt")
+	cfgB := cfg
+	cfgB.CheckpointPath = ckpt
+	ctx, cancel := context.WithCancel(context.Background())
+	cfgB.OnEpoch = func(e int, m *Model, gmmNLL, arNLL float64) bool {
+		if e == 1 {
+			cancel() // "kill" after two completed epochs
+		}
+		return true
+	}
+	if _, err := TrainContext(ctx, tb, cfgB); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+
+	cfgB.OnEpoch = nil
+	cfgB.Resume = true
+	resumed, err := Train(tb, cfgB)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+
+	refFinal := ref.ARLosses[len(ref.ARLosses)-1]
+	resFinal := resumed.ARLosses[len(resumed.ARLosses)-1]
+	if math.Abs(refFinal-resFinal) > 1e-6*math.Max(1, math.Abs(refFinal)) {
+		t.Fatalf("resumed final AR loss %v != uninterrupted %v", resFinal, refFinal)
+	}
+
+	// The two models should also agree at query time.
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 15, Seed: 26})
+	for i, q := range w.Queries {
+		a, err := ref.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := resumed.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-6 {
+			t.Fatalf("query %d: ref %v vs resumed %v", i, a, b)
+		}
+	}
+}
+
+// TestCancelLeavesLoadableCheckpoint cancels training mid-run and verifies
+// the flushed checkpoint loads as a complete, queryable model reporting the
+// right resume epoch.
+func TestCancelLeavesLoadableCheckpoint(t *testing.T) {
+	tb := dataset.SynthTWI(1500, 27)
+	ckpt := filepath.Join(t.TempDir(), "cancel.ckpt")
+	cfg := fastCfg()
+	cfg.Epochs = 5
+	cfg.CheckpointPath = ckpt
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.OnEpoch = func(e int, m *Model, gmmNLL, arNLL float64) bool {
+		if e == 0 {
+			cancel()
+		}
+		return true
+	}
+	if _, err := TrainContext(ctx, tb, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	m, next, err := LoadCheckpoint(ckpt, tb)
+	if err != nil {
+		t.Fatalf("checkpoint unusable after cancellation: %v", err)
+	}
+	if next != 1 {
+		t.Fatalf("next epoch = %d, want 1 (one epoch completed before cancel)", next)
+	}
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 5, Seed: 28})
+	for _, q := range w.Queries {
+		sel, err := m.Estimate(q)
+		if err != nil || math.IsNaN(sel) || sel < 0 || sel > 1 {
+			t.Fatalf("checkpointed model estimate broken: (%v, %v)", sel, err)
+		}
+	}
+}
+
+// TestResumeWithoutInterruptionIsNoop resumes a checkpoint whose run already
+// finished: training must not re-run any epochs.
+func TestResumeWithoutInterruptionIsNoop(t *testing.T) {
+	tb := dataset.SynthTWI(1500, 29)
+	ckpt := filepath.Join(t.TempDir(), "done.ckpt")
+	cfg := fastCfg()
+	cfg.Epochs = 2
+	cfg.CheckpointPath = ckpt
+	if _, err := Train(tb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	epochs := 0
+	cfg.OnEpoch = func(e int, m *Model, gmmNLL, arNLL float64) bool { epochs++; return true }
+	if _, err := Train(tb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 0 {
+		t.Fatalf("resume of a finished run re-ran %d epochs", epochs)
+	}
+}
+
+// TestTruncatedModelFileFailsLoad corrupts a saved model by truncation and
+// checks Load reports a clear error rather than succeeding or panicking.
+func TestTruncatedModelFileFailsLoad(t *testing.T) {
+	tb := dataset.SynthTWI(1500, 31)
+	cfg := fastCfg()
+	cfg.Epochs = 1
+	m, err := Train(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := Load(g, tb); err == nil {
+		t.Fatal("Load accepted a truncated model file")
+	}
+}

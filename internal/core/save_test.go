@@ -30,7 +30,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.SizeBytes() != m.SizeBytes() {
 		t.Fatalf("size mismatch after load: %d vs %d", loaded.SizeBytes(), m.SizeBytes())
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 20, Seed: 42, SkipExec: true})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 20, Seed: 42, SkipExec: true})
 	for i, q := range w.Queries {
 		a, err := m.Estimate(q)
 		if err != nil {

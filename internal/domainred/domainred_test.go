@@ -119,7 +119,7 @@ func TestUMMCoversData(t *testing.T) {
 // tail (Tables 9-11's shape).
 func TestAlternativesInsideIAM(t *testing.T) {
 	tb := dataset.SynthHIGGS(4000, 7)
-	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 8})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 8})
 
 	base := core.Config{
 		Components: 20,

@@ -1,0 +1,87 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQErrorNonFinite pins down the metric's behavior on the estimates a
+// broken model actually emits: NaN and ±Inf must map to finite q-errors (via
+// the floor) instead of poisoning the whole summary.
+func TestQErrorNonFinite(t *testing.T) {
+	const floor = 1e-3
+	// NaN and -Inf estimates are floored, so the q-error equals act/floor.
+	for _, est := range []float64{math.NaN(), math.Inf(-1), 0, -0.5} {
+		got := QError(0.1, est, floor)
+		if want := 0.1 / floor; got != want {
+			t.Fatalf("QError(0.1, %v) = %v, want %v (floored)", est, got, want)
+		}
+	}
+	// A +Inf estimate is a real (infinite) overestimate: the ratio est/act
+	// is +Inf, which Summarize must then survive.
+	if got := QError(0.1, math.Inf(1), floor); !math.IsInf(got, 1) {
+		t.Fatalf("QError(0.1, +Inf) = %v, want +Inf", got)
+	}
+	// NaN *actual* is a workload bug, but it must not crash; flooring both
+	// sides yields 1 (NaN comparisons are false, so act is left as NaN —
+	// document the resulting NaN instead of silently asserting otherwise).
+	if got := QError(math.NaN(), 0.5, floor); !math.IsNaN(got) && got < 1 {
+		t.Fatalf("QError(NaN, 0.5) = %v", got)
+	}
+}
+
+func TestQErrorZeroFloor(t *testing.T) {
+	// A non-positive floor must be replaced, never divided by.
+	got := QError(0, 0, 0)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("QError(0,0,0) = %v, want finite", got)
+	}
+	if got != 1 {
+		t.Fatalf("QError(0,0,0) = %v, want 1 (both floored to the same value)", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Mean != 0 || s.Median != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero value", s)
+	}
+	s = Summarize([]float64{})
+	if s != (Summary{}) {
+		t.Fatalf("Summarize(empty) = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeSingleElement(t *testing.T) {
+	s := Summarize([]float64{2.5})
+	if s.Mean != 2.5 || s.Median != 2.5 || s.P95 != 2.5 || s.P99 != 2.5 || s.Max != 2.5 {
+		t.Fatalf("Summarize([2.5]) = %+v, want every quantile 2.5", s)
+	}
+}
+
+func TestSummarizeWithInf(t *testing.T) {
+	// One +Inf q-error (an unbounded overestimate) must surface in Max and
+	// Mean but leave the median of the remaining mass meaningful.
+	errs := []float64{1, 1.2, 1.5, 2, math.Inf(1)}
+	s := Summarize(errs)
+	if !math.IsInf(s.Max, 1) {
+		t.Fatalf("Max = %v, want +Inf", s.Max)
+	}
+	if !math.IsInf(s.Mean, 1) {
+		t.Fatalf("Mean = %v, want +Inf (one unbounded error dominates)", s.Mean)
+	}
+	if math.IsNaN(s.Median) || math.IsInf(s.Median, 0) {
+		t.Fatalf("Median = %v, want finite", s.Median)
+	}
+	if s.Median < 1 || s.Median > 2 {
+		t.Fatalf("Median = %v, want within the finite errors", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	errs := []float64{3, 1, 2}
+	_ = Summarize(errs)
+	if errs[0] != 3 || errs[1] != 1 || errs[2] != 2 {
+		t.Fatalf("Summarize sorted the caller's slice: %v", errs)
+	}
+}

@@ -69,7 +69,7 @@ func (exactEstimator) Estimate(q *query.Query) (float64, error) {
 
 func TestEvaluateWithExactEstimator(t *testing.T) {
 	tb := dataset.SynthTWI(1000, 3)
-	w := query.Generate(tb, query.GenConfig{NumQueries: 50, Seed: 4})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 50, Seed: 4})
 	ev, err := Evaluate(exactEstimator{}, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestEstimateDisjunctionOverlapping(t *testing.T) {
 
 func TestEvaluateMismatchedWorkload(t *testing.T) {
 	tb := dataset.SynthTWI(100, 7)
-	w := query.Generate(tb, query.GenConfig{NumQueries: 5, Seed: 1, SkipExec: true})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 5, Seed: 1, SkipExec: true})
 	if _, err := Evaluate(exactEstimator{}, w, 100); err == nil {
 		t.Fatal("expected error for workload without ground truth")
 	}

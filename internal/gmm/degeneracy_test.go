@@ -1,0 +1,141 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func finiteModel(t *testing.T, m *Model) {
+	t.Helper()
+	for j := 0; j < m.K(); j++ {
+		if math.IsNaN(m.Weights[j]) || math.IsNaN(m.Means[j]) || math.IsNaN(m.Sigmas[j]) ||
+			math.IsInf(m.Means[j], 0) || math.IsInf(m.Sigmas[j], 0) {
+			t.Fatalf("component %d not finite: w=%v mu=%v sigma=%v",
+				j, m.Weights[j], m.Means[j], m.Sigmas[j])
+		}
+		if m.Sigmas[j] <= 0 {
+			t.Fatalf("component %d has non-positive sigma %v", j, m.Sigmas[j])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitEMConstantData is the hardest degeneracy case: every value is
+// identical, so all but one component loses its responsibility mass. EM must
+// neither NaN out nor leave vanishing-weight stale components, and the fit
+// must still put its density at the data point.
+func TestFitEMConstantData(t *testing.T) {
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = 3.25
+	}
+	rng := rand.New(rand.NewSource(71))
+	m, _ := FitEM(values, 4, 30, rng)
+	finiteModel(t, m)
+	if pdf := m.PDF(3.25); math.IsNaN(pdf) || pdf <= 0 {
+		t.Fatalf("PDF at the only data value = %v", pdf)
+	}
+	if ll := m.LogLikelihood(3.25); math.IsNaN(ll) || math.IsInf(ll, 0) {
+		t.Fatalf("log-likelihood at the data value = %v", ll)
+	}
+}
+
+// TestFitEMTwoPointData fits K=5 components to data with only two distinct
+// values: three components must be reseeded rather than collapsing, and the
+// fitted mixture should concentrate its mass near the two modes.
+func TestFitEMTwoPointData(t *testing.T) {
+	values := make([]float64, 600)
+	for i := range values {
+		if i%3 == 0 {
+			values[i] = -1
+		} else {
+			values[i] = 4
+		}
+	}
+	rng := rand.New(rand.NewSource(73))
+	m, nll := FitEM(values, 5, 40, rng)
+	finiteModel(t, m)
+	if math.IsNaN(nll) || math.IsInf(nll, 0) {
+		t.Fatalf("NLL = %v", nll)
+	}
+	// Density at the modes must dominate density in the dead zone between.
+	if m.PDF(-1) < 10*m.PDF(1.5) || m.PDF(4) < 10*m.PDF(1.5) {
+		t.Fatalf("mixture failed to concentrate: pdf(-1)=%v pdf(1.5)=%v pdf(4)=%v",
+			m.PDF(-1), m.PDF(1.5), m.PDF(4))
+	}
+}
+
+// TestEMReseedRevivesDeadComponent checks the reseeding mechanism directly:
+// a component parked far from all data (zero responsibility mass) must be
+// moved back onto a data point by emRefine rather than left to rot.
+func TestEMReseedRevivesDeadComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	values := make([]float64, 400)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 0.5
+	}
+	m := &Model{
+		Weights: []float64{0.5, 0.5 - 1e-12, 1e-12},
+		Means:   []float64{-0.3, 0.3, 1e9}, // third component sees no data
+		Sigmas:  []float64{0.5, 0.5, 1e-3},
+	}
+	emRefine(m, values, 10, 0, rng)
+	finiteModel(t, m)
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if m.Means[2] < lo || m.Means[2] > hi {
+		t.Fatalf("dead component was not reseeded into the data range: mean %v not in [%v, %v]",
+			m.Means[2], lo, hi)
+	}
+}
+
+// TestSGDTrainerSetLR exercises the watchdog's learning-rate backoff hook.
+func TestSGDTrainerSetLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	values := make([]float64, 256)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+	}
+	m := InitKMeansPP(values, 3, rng)
+	tr := NewSGDTrainer(m, 0.05)
+	tr.Step(values[:128])
+	tr.SetLR(0.025)
+	loss := tr.Step(values[128:])
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss after SetLR = %v", loss)
+	}
+}
+
+// TestTrainerStateRoundTrip snapshots mid-training optimizer state, perturbs
+// the trainer, restores, and checks the next step is bit-identical to a
+// trainer that was never perturbed.
+func TestTrainerStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	values := make([]float64, 512)
+	for i := range values {
+		values[i] = rng.NormFloat64()*2 + 1
+	}
+	m := InitKMeansPP(values, 4, rng)
+	tr := NewSGDTrainer(m, 0.05)
+	tr.Step(values[:256])
+
+	snap := tr.CaptureState()
+	ref := tr.Step(values[256:]) // the "uninterrupted" next step
+
+	if err := tr.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Step(values[256:]); got != ref {
+		t.Fatalf("replayed step loss %v != original %v", got, ref)
+	}
+
+	other := NewSGDTrainer(InitKMeansPP(values, 5, rng), 0.05)
+	if err := other.RestoreState(snap); err == nil {
+		t.Fatal("RestoreState accepted a snapshot with a different K")
+	}
+}

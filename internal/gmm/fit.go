@@ -126,16 +126,25 @@ func InitKMeansPP(values []float64, k int, rng *rand.Rand) *Model {
 // It returns the fitted model and the final mean NLL.
 func FitEM(values []float64, k, iters int, rng *rand.Rand) (*Model, float64) {
 	m := InitKMeansPP(values, k, rng)
-	return emRefine(m, values, iters, 0), m.NLL(values)
+	return emRefine(m, values, iters, 0, rng), m.NLL(values)
 }
 
 // emRefine runs EM in place. alpha0 > 0 adds a sparse Dirichlet MAP prior on
-// the weights (used by SelectK to prune components).
-func emRefine(m *Model, values []float64, iters int, alpha0 float64) *Model {
+// the weights (used by SelectK to prune components — those are *meant* to
+// lose their mass, so degenerate components are not reseeded in that mode).
+// With alpha0 == 0 and a non-nil rng, a component whose responsibility mass
+// collapses (empty-cluster degeneracy on pathological data such as constant
+// or two-point columns) is re-seeded at a random data point with a generic
+// width instead of being left with a vanishing weight and stale variance.
+func emRefine(m *Model, values []float64, iters int, alpha0 float64, rng *rand.Rand) *Model {
 	n := len(values)
 	k := m.K()
 	resp := make([]float64, k)
-	floor := dataSpread(values) * sigmaFloorFrac
+	spread := dataSpread(values)
+	floor := spread * sigmaFloorFrac
+	// A component is degenerate when it holds less than a millionth of its
+	// fair share of the responsibility mass.
+	degenerate := 1e-6 * float64(n) / float64(k)
 	prevNLL := math.Inf(1)
 	for it := 0; it < iters; it++ {
 		wSum := make([]float64, k)
@@ -162,6 +171,15 @@ func emRefine(m *Model, values []float64, iters int, alpha0 float64) *Model {
 			}
 		}
 		for j := 0; j < k; j++ {
+			if alpha0 == 0 && rng != nil && wSum[j] < degenerate {
+				// Empty-cluster degeneracy: restart the component at a
+				// random data point with a generic width and a small (but
+				// live) weight, giving it a chance to claim mass again.
+				m.Means[j] = values[rng.Intn(n)]
+				m.Sigmas[j] = math.Max(floor, spread/float64(k)/6)
+				m.Weights[j] = 1 / float64(n)
+				continue
+			}
 			w := wSum[j]
 			if alpha0 > 0 {
 				// MAP with Dirichlet(α0) prior: components whose effective
@@ -233,7 +251,7 @@ func SelectK(values []float64, kMax, sampleSize int, rng *rand.Rand) int {
 	worse := 0
 	for k := 1; k <= kMax; k++ {
 		m := InitKMeansPP(sample, k, rng)
-		emRefine(m, sample, 30, 0)
+		emRefine(m, sample, 30, 0, rng)
 		params := float64(3*k - 1) // k means + k sigmas + (k−1) free weights
 		bic := 2*n*m.NLL(sample) + params*math.Log(n)
 		if bic < bestBIC {
@@ -301,6 +319,10 @@ func NewSGDTrainer(m *Model, lr float64) *SGDTrainer {
 	t.floor = minSig * 1e-2
 	return t
 }
+
+// SetLR changes the trainer's learning rate (used by the divergence
+// watchdog's backoff during joint training).
+func (t *SGDTrainer) SetLR(lr float64) { t.lr = lr }
 
 // Step performs one Adam update on a mini-batch and returns the batch mean
 // NLL *before* the update. The wrapped Model is kept in sync.

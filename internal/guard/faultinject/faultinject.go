@@ -1,0 +1,162 @@
+// Package faultinject is a deterministic fault-injection harness for
+// resilience tests. Production code places named sites on its failure-prone
+// paths (`if faultinject.Fires("core.train.nanloss") { … }`); tests arm a
+// site for an exact number of firings and the code misbehaves exactly that
+// often, with zero configuration races and no randomness. When nothing is
+// armed the fast path is a single atomic load, so shipping the sites in
+// production builds costs nothing measurable.
+//
+// The package also provides ready-made faulty estimators (panicking,
+// NaN-returning, erroring, slow, valid) used to drive the guard cascade in
+// tests and demos.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iam/internal/query"
+)
+
+var (
+	armed int32 // non-zero while any site is armed (fast-path gate)
+	mu    sync.Mutex
+	sites map[string]int // remaining firings per site
+)
+
+// Arm makes site fire `times` times (≤ 0 disarms it). Subsequent Fires calls
+// consume one firing each until the budget is exhausted.
+func Arm(site string, times int) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = map[string]int{}
+	}
+	if times <= 0 {
+		delete(sites, site)
+	} else {
+		sites[site] = times
+	}
+	atomic.StoreInt32(&armed, int32(len(sites)))
+}
+
+// Reset disarms every site. Tests should defer it.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = nil
+	atomic.StoreInt32(&armed, 0)
+}
+
+// Fires reports whether site should misbehave now, consuming one firing.
+// With nothing armed it is a single atomic load.
+func Fires(site string) bool {
+	if atomic.LoadInt32(&armed) == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n, ok := sites[site]
+	if !ok {
+		return false
+	}
+	if n <= 1 {
+		delete(sites, site)
+	} else {
+		sites[site] = n - 1
+	}
+	atomic.StoreInt32(&armed, int32(len(sites)))
+	return true
+}
+
+// --- Faulty estimators for cascade tests ---
+
+// PanicEstimator panics on every call after Healthy successful calls.
+type PanicEstimator struct {
+	Label   string
+	Value   float64 // returned while healthy
+	Healthy int
+	calls   int
+}
+
+func (p *PanicEstimator) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "panicky"
+}
+
+func (p *PanicEstimator) Estimate(q *query.Query) (float64, error) {
+	p.calls++
+	if p.calls > p.Healthy {
+		panic(fmt.Sprintf("%s: injected panic on call %d", p.Name(), p.calls))
+	}
+	return p.Value, nil
+}
+
+// BadValueEstimator returns a fixed invalid estimate (NaN, Inf, or
+// out-of-range) without erroring — the silent-garbage failure mode.
+type BadValueEstimator struct {
+	Label string
+	Value float64
+}
+
+func (b *BadValueEstimator) Name() string {
+	if b.Label != "" {
+		return b.Label
+	}
+	return "badvalue"
+}
+
+func (b *BadValueEstimator) Estimate(q *query.Query) (float64, error) { return b.Value, nil }
+
+// ErrEstimator fails every call with an explicit error.
+type ErrEstimator struct{ Label string }
+
+func (e *ErrEstimator) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "erroring"
+}
+
+func (e *ErrEstimator) Estimate(q *query.Query) (float64, error) {
+	return 0, fmt.Errorf("%s: injected failure", e.Name())
+}
+
+// SlowEstimator sleeps before answering — drives per-query timeouts.
+type SlowEstimator struct {
+	Label string
+	Delay time.Duration
+	Value float64
+}
+
+func (s *SlowEstimator) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "slow"
+}
+
+func (s *SlowEstimator) Estimate(q *query.Query) (float64, error) {
+	time.Sleep(s.Delay)
+	return s.Value, nil
+}
+
+// ConstEstimator always succeeds with a fixed valid selectivity — the
+// terminal fallback in tests.
+type ConstEstimator struct {
+	Label string
+	Value float64
+}
+
+func (c *ConstEstimator) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "const"
+}
+
+func (c *ConstEstimator) Estimate(q *query.Query) (float64, error) { return c.Value, nil }

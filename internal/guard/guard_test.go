@@ -1,0 +1,200 @@
+package guard
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"iam/internal/dataset"
+	"iam/internal/guard/faultinject"
+	"iam/internal/query"
+)
+
+func testQuery(t *testing.T) *query.Query {
+	t.Helper()
+	tb := &dataset.Table{
+		Name: "t",
+		Columns: []*dataset.Column{
+			{Name: "x", Kind: dataset.Continuous, Floats: []float64{1, 2, 3, 4}},
+		},
+	}
+	q := query.NewQuery(tb)
+	if err := q.AddPredicate(query.Predicate{Col: "x", Op: query.Le, Value: 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestGuardedPanicFallsThrough(t *testing.T) {
+	g, err := New(Config{},
+		&faultinject.PanicEstimator{Label: "primary"},
+		&faultinject.ConstEstimator{Label: "fallback", Value: 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery(t)
+	sel, err := g.Estimate(q)
+	if err != nil {
+		t.Fatalf("cascade surfaced an error despite a healthy fallback: %v", err)
+	}
+	if sel != 0.25 {
+		t.Fatalf("got %v, want fallback's 0.25", sel)
+	}
+	st := g.Stats()
+	if st[0].Panics != 1 || st[0].Served != 0 {
+		t.Fatalf("primary stats = %+v, want 1 panic, 0 served", st[0])
+	}
+	if st[1].Served != 1 {
+		t.Fatalf("fallback stats = %+v, want 1 served", st[1])
+	}
+}
+
+func TestGuardedRejectsInvalidValues(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.5} {
+		g, err := New(Config{},
+			&faultinject.BadValueEstimator{Label: "bad", Value: bad},
+			&faultinject.ConstEstimator{Label: "ok", Value: 0.5},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := g.Estimate(testQuery(t))
+		if err != nil || sel != 0.5 {
+			t.Fatalf("bad=%v: got (%v, %v), want fallback 0.5", bad, sel, err)
+		}
+		if st := g.Stats(); st[0].Invalid != 1 {
+			t.Fatalf("bad=%v: invalid counter = %d, want 1", bad, st[0].Invalid)
+		}
+	}
+}
+
+func TestGuardedTimeout(t *testing.T) {
+	g, err := New(Config{Timeout: 20 * time.Millisecond},
+		&faultinject.SlowEstimator{Label: "slow", Delay: 2 * time.Second, Value: 0.9},
+		&faultinject.ConstEstimator{Label: "fast", Value: 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sel, err := g.Estimate(testQuery(t))
+	if err != nil || sel != 0.1 {
+		t.Fatalf("got (%v, %v), want fast fallback 0.1", sel, err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cascade waited %v for the slow estimator; timeout did not bite", elapsed)
+	}
+	if st := g.Stats(); st[0].Timeouts != 1 {
+		t.Fatalf("timeout counter = %d, want 1", st[0].Timeouts)
+	}
+}
+
+func TestGuardedErrorCascadeOrder(t *testing.T) {
+	g, err := New(Config{},
+		&faultinject.ErrEstimator{Label: "t1"},
+		&faultinject.ErrEstimator{Label: "t2"},
+		&faultinject.ConstEstimator{Label: "t3", Value: 0.33},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := g.Estimate(testQuery(t))
+	if err != nil || sel != 0.33 {
+		t.Fatalf("got (%v, %v), want 0.33 from the third tier", sel, err)
+	}
+	st := g.Stats()
+	if st[0].Errors != 1 || st[1].Errors != 1 || st[2].Served != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGuardedAllTiersFail(t *testing.T) {
+	g, err := New(Config{},
+		&faultinject.ErrEstimator{Label: "a"},
+		&faultinject.BadValueEstimator{Label: "b", Value: math.NaN()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Estimate(testQuery(t)); err == nil {
+		t.Fatal("want an error when every tier fails")
+	} else if !strings.Contains(err.Error(), "all 2 estimators failed") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if g.Exhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", g.Exhausted())
+	}
+}
+
+func TestGuardedRecoversAfterTransientFault(t *testing.T) {
+	// Healthy for 2 calls, then panics; the cascade must transparently
+	// switch to the fallback without ever surfacing a failure.
+	primary := &faultinject.PanicEstimator{Label: "iam", Value: 0.7, Healthy: 2}
+	g, err := New(Config{},
+		primary,
+		&faultinject.ConstEstimator{Label: "hist", Value: 0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery(t)
+	want := []float64{0.7, 0.7, 0.2, 0.2}
+	for i, w := range want {
+		sel, err := g.Estimate(q)
+		if err != nil || sel != w {
+			t.Fatalf("call %d: got (%v, %v), want %v", i, sel, err, w)
+		}
+	}
+	st := g.Stats()
+	if st[0].Served != 2 || st[0].Panics != 2 || st[1].Served != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGuardedBatchFallsThroughPerQuery(t *testing.T) {
+	g, err := New(Config{},
+		&faultinject.ErrEstimator{Label: "flaky"},
+		&faultinject.ConstEstimator{Label: "safe", Value: 0.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testQuery(t)
+	sels, err := g.EstimateBatch([]*query.Query{q, q, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sels {
+		if s != 0.4 {
+			t.Fatalf("batch[%d] = %v, want 0.4", i, s)
+		}
+	}
+	if st := g.Stats(); st[1].Served != 3 {
+		t.Fatalf("fallback served = %d, want 3", st[1].Served)
+	}
+}
+
+func TestGuardedName(t *testing.T) {
+	g, err := New(Config{}, &faultinject.ConstEstimator{Label: "IAM", Value: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "guarded(IAM)" {
+		t.Fatalf("name = %q", g.Name())
+	}
+	g2, err := New(Config{Name: "prod"}, &faultinject.ConstEstimator{Value: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name() != "prod" {
+		t.Fatalf("name = %q", g2.Name())
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for empty cascade")
+	}
+	if !strings.Contains(g.String(), "served=") {
+		t.Fatalf("String() = %q", g.String())
+	}
+}

@@ -240,9 +240,11 @@ func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 			rows[i] = backing[i*len(cards) : (i+1)*len(cards)]
 			e.encodeRow(i, rows[i])
 		}
-		arm.Fit(rows, nn.TrainConfig{
+		if _, err := arm.Fit(rows, nn.TrainConfig{
 			LR: cfg.LR, BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 2,
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	e.sessCap = cfg.NumSamples

@@ -1,0 +1,20 @@
+package join
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain skips this package under -short: every test here trains models
+// for seconds at a time, which is what -short (notably the CI race pass)
+// exists to avoid.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if testing.Short() {
+		fmt.Println("skipping join tests in -short mode (model training)")
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}

@@ -14,7 +14,7 @@ func TestKDEOnSmoothData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 3})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -31,8 +31,8 @@ func TestBandwidthTuningDoesNotHurt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 6})
-	test := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
+	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 6})
+	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
 	before, err := estimator.Evaluate(e, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@
 package naru
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -92,6 +93,12 @@ type Model struct {
 
 // Train fits the model on t.
 func Train(t *dataset.Table, cfg Config) (*Model, error) {
+	return TrainContext(context.Background(), t, cfg)
+}
+
+// TrainContext is Train with cancellation: cancelling ctx stops the training
+// loop between mini-batches and returns the context's error.
+func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, error) {
 	cfg.fillDefaults()
 	if t.NumRows() == 0 {
 		return nil, fmt.Errorf("naru: empty table")
@@ -141,12 +148,17 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 		backing := make([]int, n*len(cards))
 		for i := range rows {
 			rows[i] = backing[i*len(cards) : (i+1)*len(cards)]
-			m.encodeRow(i, rows[i])
+			if err := m.encodeRow(i, rows[i]); err != nil {
+				return nil, err
+			}
 		}
-		m.Losses = arm.Fit(rows, nn.TrainConfig{
+		m.Losses, err = arm.Fit(rows, nn.TrainConfig{
 			LR: cfg.LR, BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 2,
-			OnEpoch: cfg.OnEpoch,
+			OnEpoch: cfg.OnEpoch, Ctx: ctx,
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	m.sessCap = cfg.NumSamples
@@ -156,28 +168,28 @@ func Train(t *dataset.Table, cfg Config) (*Model, error) {
 }
 
 // encodeRow writes AR codes for table row ri.
-func (m *Model) encodeRow(ri int, dst []int) {
+func (m *Model) encodeRow(ri int, dst []int) error {
 	for _, ci := range m.order {
 		info := &m.cols[ci]
-		code := m.rawCode(ci, ri)
+		code, err := m.rawCode(ci, ri)
+		if err != nil {
+			return fmt.Errorf("naru: encoding row %d: %w", ri, err)
+		}
 		if info.factored {
 			info.factor.SplitInto(dst[info.arFirst:info.arFirst+info.arCount], code)
 		} else {
 			dst[info.arFirst] = code
 		}
 	}
+	return nil
 }
 
-func (m *Model) rawCode(ci, ri int) int {
+func (m *Model) rawCode(ci, ri int) (int, error) {
 	c := m.table.Columns[ci]
 	if c.Kind == dataset.Categorical {
-		return c.Ints[ri]
+		return c.Ints[ri], nil
 	}
-	code, err := m.cols[ci].enc.EncodeFloat(c.Floats[ri])
-	if err != nil {
-		panic(err)
-	}
-	return code
+	return m.cols[ci].enc.EncodeFloat(c.Floats[ri])
 }
 
 // Name implements estimator.Estimator.

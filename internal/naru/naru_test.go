@@ -47,7 +47,7 @@ func TestNeurocardAccuracyWISDM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 80, Seed: 4})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 4})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestColumnOrderAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 40, Seed: 6})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 40, Seed: 6})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

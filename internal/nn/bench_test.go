@@ -50,7 +50,9 @@ func BenchmarkResMADETrainBatch(b *testing.B) {
 	rows := randRows(2560, cards, rand.New(rand.NewSource(3)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Fit(rows, TrainConfig{Epochs: 1, BatchSize: 256, Seed: 4})
+		if _, err := net.Fit(rows, TrainConfig{Epochs: 1, BatchSize: 256, Seed: 4}); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(len(rows)*b.N)/b.Elapsed().Seconds(), "rows/s")
 }

@@ -9,6 +9,15 @@ import (
 	"iam/internal/vecmath"
 )
 
+func mustFit(t *testing.T, net *ResMADE, data [][]int, cfg TrainConfig) []float64 {
+	t.Helper()
+	losses, err := net.Fit(data, cfg)
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return losses
+}
+
 func smallNet(t *testing.T, cards []int, seed int64) *ResMADE {
 	t.Helper()
 	net, err := NewResMADE(Config{Cards: cards, Hidden: []int{16, 16}, EmbedDim: 8, Seed: seed})
@@ -151,7 +160,10 @@ func TestLearnsJointDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	losses := net.Fit(data, TrainConfig{Epochs: 12, BatchSize: 128, LR: 5e-3, Seed: 6})
+	losses, fitErr := net.Fit(data, TrainConfig{Epochs: 12, BatchSize: 128, LR: 5e-3, Seed: 6})
+	if fitErr != nil {
+		t.Fatalf("Fit: %v", fitErr)
+	}
 	if losses[len(losses)-1] >= losses[0] {
 		t.Fatalf("training did not reduce loss: %v", losses)
 	}
@@ -188,7 +200,7 @@ func TestWildcardMarginalization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net.Fit(data, TrainConfig{Epochs: 15, BatchSize: 128, LR: 5e-3, Seed: 9, Wildcard: true})
+	mustFit(t, net, data, TrainConfig{Epochs: 15, BatchSize: 128, LR: 5e-3, Seed: 9, Wildcard: true})
 
 	sess := net.NewSession(1)
 	sess.Forward([][]int{{net.MaskToken(0), 0}})
@@ -280,7 +292,7 @@ func TestNLLDecreasesWithTraining(t *testing.T) {
 	net := smallNet(t, []int{4, 4}, 14)
 	sess := net.NewSession(256)
 	before := net.NLL(sess, data)
-	net.Fit(data, TrainConfig{Epochs: 8, BatchSize: 128, LR: 5e-3, Seed: 15})
+	mustFit(t, net, data, TrainConfig{Epochs: 8, BatchSize: 128, LR: 5e-3, Seed: 15})
 	after := net.NLL(sess, data)
 	if after >= before {
 		t.Fatalf("NLL did not decrease: %v -> %v", before, after)
@@ -299,7 +311,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for i := range data {
 		data[i] = []int{rng.Intn(4), rng.Intn(5), rng.Intn(6)}
 	}
-	net.Fit(data, TrainConfig{Epochs: 2, BatchSize: 64, Seed: 18})
+	mustFit(t, net, data, TrainConfig{Epochs: 2, BatchSize: 64, Seed: 18})
 
 	var buf bytes.Buffer
 	if err := net.Save(&buf); err != nil {
@@ -350,7 +362,7 @@ func TestMaskedWeightsStayZero(t *testing.T) {
 	for i := range data {
 		data[i] = []int{rng.Intn(3), rng.Intn(3), rng.Intn(3)}
 	}
-	net.Fit(data, TrainConfig{Epochs: 3, BatchSize: 64, Seed: 23})
+	mustFit(t, net, data, TrainConfig{Epochs: 3, BatchSize: 64, Seed: 23})
 	check := func(l *maskedLinear) {
 		for i, m := range l.mask.Data {
 			if m == 0 && l.w.Data[i] != 0 {

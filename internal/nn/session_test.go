@@ -76,7 +76,7 @@ func TestFitEarlyStop(t *testing.T) {
 	}
 	net := smallNet(t, []int{3, 3}, 55)
 	calls := 0
-	losses := net.Fit(data, TrainConfig{
+	losses := mustFit(t, net, data, TrainConfig{
 		Epochs: 10, BatchSize: 64, Seed: 56,
 		OnEpoch: func(e int, nll float64) bool {
 			calls++

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainState is a deep copy of every mutable training quantity of a ResMADE:
+// parameters, Adam first/second moments, and the Adam step counter. The
+// divergence watchdog rolls back to the last good TrainState after a NaN/Inf
+// epoch, and checkpoints embed one so a resumed run continues with exactly
+// the optimizer state an uninterrupted run would have had. All fields are
+// exported so the struct gob-encodes.
+type TrainState struct {
+	Embeds  [][]float64
+	DEmbedM [][]float64
+	DEmbedV [][]float64
+	// Per layer (hidden layers in order, then the output layer).
+	Weights [][]float64
+	Biases  [][]float64
+	WM, WV  [][]float64
+	BM, BV  [][]float64
+	Step    int
+}
+
+// allLayers returns the hidden layers followed by the output layer.
+func (n *ResMADE) allLayers() []*maskedLinear {
+	return append(append([]*maskedLinear(nil), n.layers...), n.outLayer)
+}
+
+// CaptureState deep-copies the current parameters and optimizer state.
+func (n *ResMADE) CaptureState() *TrainState {
+	st := &TrainState{Step: n.step}
+	for i := range n.embeds {
+		st.Embeds = append(st.Embeds, append([]float64(nil), n.embeds[i].Data...))
+		st.DEmbedM = append(st.DEmbedM, append([]float64(nil), n.mEmb[i].Data...))
+		st.DEmbedV = append(st.DEmbedV, append([]float64(nil), n.vEmb[i].Data...))
+	}
+	for _, l := range n.allLayers() {
+		st.Weights = append(st.Weights, append([]float64(nil), l.w.Data...))
+		st.Biases = append(st.Biases, append([]float64(nil), l.b...))
+		st.WM = append(st.WM, append([]float64(nil), l.mw.Data...))
+		st.WV = append(st.WV, append([]float64(nil), l.vw.Data...))
+		st.BM = append(st.BM, append([]float64(nil), l.mb...))
+		st.BV = append(st.BV, append([]float64(nil), l.vb...))
+	}
+	return st
+}
+
+// RestoreState copies a previously captured state back into the network. The
+// state must come from a structurally identical network.
+func (n *ResMADE) RestoreState(st *TrainState) error {
+	layers := n.allLayers()
+	if len(st.Embeds) != len(n.embeds) || len(st.Weights) != len(layers) {
+		return fmt.Errorf("nn: train state shape mismatch (%d/%d embeds, %d/%d layers)",
+			len(st.Embeds), len(n.embeds), len(st.Weights), len(layers))
+	}
+	for i := range n.embeds {
+		if len(st.Embeds[i]) != len(n.embeds[i].Data) {
+			return fmt.Errorf("nn: train state embedding %d size mismatch", i)
+		}
+		copy(n.embeds[i].Data, st.Embeds[i])
+		copy(n.mEmb[i].Data, st.DEmbedM[i])
+		copy(n.vEmb[i].Data, st.DEmbedV[i])
+	}
+	for i, l := range layers {
+		if len(st.Weights[i]) != len(l.w.Data) || len(st.Biases[i]) != len(l.b) {
+			return fmt.Errorf("nn: train state layer %d size mismatch", i)
+		}
+		copy(l.w.Data, st.Weights[i])
+		copy(l.b, st.Biases[i])
+		copy(l.mw.Data, st.WM[i])
+		copy(l.vw.Data, st.WV[i])
+		copy(l.mb, st.BM[i])
+		copy(l.vb, st.BV[i])
+	}
+	n.step = st.Step
+	return nil
+}
+
+// GradNorm returns the L2 norm of all accumulated gradients (embeddings,
+// hidden layers, output layer). NaN/Inf gradients make the result non-finite,
+// so a single check covers both explosion and numeric corruption.
+func (n *ResMADE) GradNorm() float64 {
+	var ss float64
+	for _, d := range n.dEmbeds {
+		for _, v := range d.Data {
+			ss += v * v
+		}
+	}
+	for _, l := range n.allLayers() {
+		for _, v := range l.dw.Data {
+			ss += v * v
+		}
+		for _, v := range l.db {
+			ss += v * v
+		}
+	}
+	return math.Sqrt(ss)
+}

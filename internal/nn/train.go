@@ -1,9 +1,12 @@
 package nn
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
+	"iam/internal/guard/faultinject"
 	"iam/internal/vecmath"
 )
 
@@ -20,6 +23,29 @@ type TrainConfig struct {
 	// OnEpoch, when non-nil, is invoked after every epoch with the mean
 	// training NLL (nats/tuple); returning false stops training early.
 	OnEpoch func(epoch int, nll float64) bool
+
+	// Ctx, when non-nil, is polled between mini-batches; cancelling it
+	// stops training promptly and Fit returns the losses so far together
+	// with the context's error.
+	Ctx context.Context
+	// MaxRetries bounds the divergence watchdog's retry budget across the
+	// whole run: each NaN/Inf epoch loss (or exploding gradient) rolls the
+	// parameters back to the last good epoch and halves the learning rate,
+	// at most this many times. 0 means the default of 3; negative disables
+	// retries (the first divergence fails training).
+	MaxRetries int
+	// MaxGradNorm, when positive, treats any mini-batch whose gradient L2
+	// norm exceeds it (or is NaN/Inf) as a divergence event.
+	MaxGradNorm float64
+	// StartEpoch resumes training at this epoch index (used with a state
+	// restored from a checkpoint). Epoch shuffles and wildcard masks are
+	// derived from (Seed, epoch) alone, so a resumed run replays exactly
+	// the batches an uninterrupted run would have seen.
+	StartEpoch int
+	// Checkpoint, when non-nil, is called after every completed epoch with
+	// the epoch index and a snapshot of the full training state; an error
+	// aborts training.
+	Checkpoint func(epoch int, st *TrainState) error
 }
 
 func (c *TrainConfig) fillDefaults() {
@@ -32,6 +58,20 @@ func (c *TrainConfig) fillDefaults() {
 	if c.Epochs <= 0 {
 		c.Epochs = 10
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+}
+
+// epochRNG derives the deterministic RNG of one training epoch. Keying the
+// stream by (seed, epoch) — instead of threading one RNG across epochs —
+// makes checkpoint resumption exact: epoch k's shuffle and wildcard masks
+// are identical whether or not the process restarted before it.
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
 }
 
 // CrossEntropyGrad computes the summed negative log-likelihood of targets
@@ -98,13 +138,17 @@ func maxCard(cards []int) int {
 
 // Fit trains the network on encoded rows by mini-batch Adam on the
 // autoregressive cross-entropy (Eq. 3) and returns per-epoch mean NLLs.
-func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) []float64 {
+//
+// A divergence watchdog guards every epoch: a NaN/Inf epoch loss (or, with
+// MaxGradNorm set, an exploding mini-batch gradient) rolls the parameters and
+// optimizer state back to the last good epoch, halves the learning rate and
+// retries, up to MaxRetries times across the run. Cancelling cfg.Ctx stops
+// training between batches.
+func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	sess := n.NewSession(cfg.BatchSize)
 	dLogits := vecmath.NewMatrix(cfg.BatchSize, n.outDim)
 
-	idx := rng.Perm(len(data))
 	inputs := make([][]int, cfg.BatchSize)
 	inputBacking := make([]int, cfg.BatchSize*n.NumCols())
 	for i := range inputs {
@@ -113,10 +157,19 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) []float64 {
 	targets := make([][]int, 0, cfg.BatchSize)
 
 	var losses []float64
-	for e := 0; e < cfg.Epochs; e++ {
+	lr := cfg.LR
+	retries := 0
+	good := n.CaptureState() // last known-good state (pre-training initially)
+	for e := cfg.StartEpoch; e < cfg.Epochs; e++ {
+		erng := epochRNG(cfg.Seed, e)
+		idx := erng.Perm(len(data))
 		var epochNLL float64
 		var seen int
+		diverged := false
 		for start := 0; start < len(idx); start += cfg.BatchSize {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return losses, cfg.Ctx.Err()
+			}
 			end := start + cfg.BatchSize
 			if end > len(idx) {
 				end = len(idx)
@@ -130,8 +183,8 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) []float64 {
 				copy(in, row)
 				if cfg.Wildcard {
 					// Mask a uniform-size random subset of input columns.
-					k := rng.Intn(n.NumCols() + 1)
-					for _, c := range rng.Perm(n.NumCols())[:k] {
+					k := erng.Intn(n.NumCols() + 1)
+					for _, c := range erng.Perm(n.NumCols())[:k] {
 						in[c] = n.MaskToken(c)
 					}
 				}
@@ -139,20 +192,53 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) []float64 {
 			sess.Forward(inputs[:b])
 			dl := view(dLogits, b)
 			nll := sess.CrossEntropyGrad(targets, dl)
+			if math.IsNaN(nll) || math.IsInf(nll, 0) {
+				diverged = true // further batches would train on poisoned logits
+				break
+			}
 			epochNLL += nll
 			seen += b
 			n.ZeroGrad()
 			sess.Backward(dl)
-			n.AdamStep(cfg.LR, 1/float64(b))
+			if cfg.MaxGradNorm > 0 {
+				if gn := n.GradNorm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
+					diverged = true // skip the update that would apply it
+					break
+				}
+			}
+			n.AdamStep(lr, 1/float64(b))
 		}
-		mean := epochNLL / float64(seen)
+		mean := math.NaN()
+		if seen > 0 {
+			mean = epochNLL / float64(seen)
+		}
+		if faultinject.Fires("nn.fit.nanloss") {
+			mean = math.NaN()
+		}
+		if diverged || math.IsNaN(mean) || math.IsInf(mean, 0) {
+			if restoreErr := n.RestoreState(good); restoreErr != nil {
+				return losses, restoreErr
+			}
+			if retries >= cfg.MaxRetries {
+				return losses, fmt.Errorf("nn: training diverged at epoch %d (loss %v) after %d rollback(s)", e, mean, retries)
+			}
+			retries++
+			lr /= 2
+			e-- // retry the same epoch from the last good state
+			continue
+		}
 		losses = append(losses, mean)
+		good = n.CaptureState()
+		if cfg.Checkpoint != nil {
+			if err := cfg.Checkpoint(e, good); err != nil {
+				return losses, fmt.Errorf("nn: checkpoint after epoch %d: %w", e, err)
+			}
+		}
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, mean) {
 			break
 		}
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 	}
-	return losses
+	return losses, nil
 }
 
 // Dist fills out with the softmax distribution P(col | inputs of batch row r)

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iam/internal/guard/faultinject"
+)
+
+func watchdogData(n int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([][]int, n)
+	for i := range data {
+		data[i] = []int{rng.Intn(4), rng.Intn(5)}
+	}
+	return data
+}
+
+// TestFitWatchdogRecovers injects one NaN epoch loss: the watchdog must roll
+// back, halve the learning rate, replay the epoch, and still finish the full
+// run with finite, decreasing losses.
+func TestFitWatchdogRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	data := watchdogData(400, 41)
+
+	faultinject.Arm("nn.fit.nanloss", 1)
+	got := mustFit(t, smallNet(t, []int{4, 5}, 42), data,
+		TrainConfig{Epochs: 5, BatchSize: 64, Seed: 43})
+	faultinject.Reset()
+
+	if len(got) != 5 {
+		t.Fatalf("got %d losses, want 5 (rolled-back epoch must be replayed)", len(got))
+	}
+	for i, l := range got {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss %d = %v after recovery", i, l)
+		}
+	}
+	if got[len(got)-1] >= got[0] {
+		t.Fatalf("training failed to converge after rollback: first %v, last %v", got[0], got[len(got)-1])
+	}
+}
+
+// TestFitWatchdogBudget checks that persistent divergence fails with a clear
+// error once the retry budget is spent, and that a negative MaxRetries
+// disables retries entirely.
+func TestFitWatchdogBudget(t *testing.T) {
+	defer faultinject.Reset()
+	data := watchdogData(200, 44)
+
+	faultinject.Arm("nn.fit.nanloss", 100)
+	_, err := smallNet(t, []int{4, 5}, 45).Fit(data,
+		TrainConfig{Epochs: 3, BatchSize: 64, Seed: 46, MaxRetries: 2})
+	faultinject.Reset()
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("want a divergence error, got %v", err)
+	}
+
+	faultinject.Arm("nn.fit.nanloss", 1)
+	_, err = smallNet(t, []int{4, 5}, 45).Fit(data,
+		TrainConfig{Epochs: 3, BatchSize: 64, Seed: 46, MaxRetries: -1})
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("MaxRetries < 0 must fail on the first divergence")
+	}
+}
+
+// TestFitGradNormWatchdog sets an absurdly small gradient-norm ceiling so
+// every batch trips it; training must fail after the budget, not loop.
+func TestFitGradNormWatchdog(t *testing.T) {
+	data := watchdogData(200, 47)
+	_, err := smallNet(t, []int{4, 5}, 48).Fit(data,
+		TrainConfig{Epochs: 3, BatchSize: 64, Seed: 49, MaxGradNorm: 1e-12, MaxRetries: 1})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("want a divergence error from the gradient ceiling, got %v", err)
+	}
+}
+
+// TestFitContextCancellation cancels mid-training and checks Fit returns
+// promptly with the context error and the losses accumulated so far.
+func TestFitContextCancellation(t *testing.T) {
+	data := watchdogData(400, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	net := smallNet(t, []int{4, 5}, 51)
+	losses, err := net.Fit(data, TrainConfig{
+		Epochs: 50, BatchSize: 64, Seed: 52, Ctx: ctx,
+		OnEpoch: func(e int, nll float64) bool {
+			if e == 1 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if len(losses) != 2 {
+		t.Fatalf("got %d losses before cancellation, want 2", len(losses))
+	}
+}
+
+// TestFitCheckpointResume restores a mid-run snapshot into a fresh network
+// and continues with StartEpoch; the remaining losses must match the
+// uninterrupted run exactly.
+func TestFitCheckpointResume(t *testing.T) {
+	data := watchdogData(400, 53)
+	cfg := TrainConfig{Epochs: 6, BatchSize: 64, Seed: 54}
+
+	ref := mustFit(t, smallNet(t, []int{4, 5}, 55), data, cfg)
+
+	var snap *TrainState
+	first := cfg
+	first.Epochs = 3
+	first.Checkpoint = func(epoch int, st *TrainState) error { snap = st; return nil }
+	head := mustFit(t, smallNet(t, []int{4, 5}, 55), data, first)
+	if snap == nil {
+		t.Fatal("checkpoint hook never ran")
+	}
+
+	net2 := smallNet(t, []int{4, 5}, 999) // different init — state must fully overwrite it
+	if err := net2.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	rest := cfg
+	rest.StartEpoch = 3
+	tail := mustFit(t, net2, data, rest)
+
+	got := append(append([]float64(nil), head...), tail...)
+	if len(got) != len(ref) {
+		t.Fatalf("resumed run has %d losses, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("loss %d: resumed %v != uninterrupted %v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestRestoreStateShapeMismatch feeds a snapshot from a differently-shaped
+// network and expects a descriptive error, not corruption.
+func TestRestoreStateShapeMismatch(t *testing.T) {
+	a := smallNet(t, []int{4, 5}, 60)
+	b, err := NewResMADE(Config{Cards: []int{4, 5, 6}, Hidden: []int{16, 16}, EmbedDim: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RestoreState(a.CaptureState()); err == nil {
+		t.Fatal("RestoreState accepted a snapshot from a different architecture")
+	}
+}

@@ -17,7 +17,7 @@ func TestSingleColumnRangeAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 2, MinFilters: 1, MaxFilters: 1})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 2, MinFilters: 1, MaxFilters: 1})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

@@ -131,7 +131,7 @@ func TestExecDisjunction(t *testing.T) {
 
 func TestGenerateWorkloadBounds(t *testing.T) {
 	tb := dataset.SynthWISDM(2000, 1)
-	w := Generate(tb, GenConfig{NumQueries: 100, Seed: 7})
+	w := MustGenerate(tb, GenConfig{NumQueries: 100, Seed: 7})
 	if len(w.Queries) != 100 || len(w.TrueSel) != 100 {
 		t.Fatalf("workload sizes %d/%d", len(w.Queries), len(w.TrueSel))
 	}
@@ -152,7 +152,7 @@ func TestGenerateWorkloadBounds(t *testing.T) {
 
 func TestGenerateRespectsFilterConfig(t *testing.T) {
 	tb := dataset.SynthWISDM(500, 2)
-	w := Generate(tb, GenConfig{NumQueries: 50, Seed: 3, MinFilters: 2, MaxFilters: 3})
+	w := MustGenerate(tb, GenConfig{NumQueries: 50, Seed: 3, MinFilters: 2, MaxFilters: 3})
 	for _, q := range w.Queries {
 		if nf := q.NumFilters(); nf < 2 || nf > 3 {
 			t.Fatalf("filters = %d, want 2..3", nf)
@@ -162,8 +162,8 @@ func TestGenerateRespectsFilterConfig(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	tb := dataset.SynthTWI(500, 2)
-	a := Generate(tb, GenConfig{NumQueries: 20, Seed: 5})
-	b := Generate(tb, GenConfig{NumQueries: 20, Seed: 5})
+	a := MustGenerate(tb, GenConfig{NumQueries: 20, Seed: 5})
+	b := MustGenerate(tb, GenConfig{NumQueries: 20, Seed: 5})
 	for i := range a.Queries {
 		if a.Queries[i].String() != b.Queries[i].String() {
 			t.Fatal("same seed generated different workloads")
@@ -177,7 +177,7 @@ func TestMatchesAgainstBruteForceProperty(t *testing.T) {
 	tb := dataset.SynthWISDM(300, 9)
 	rng := rand.New(rand.NewSource(10))
 	f := func(seed int64) bool {
-		w := Generate(tb, GenConfig{NumQueries: 1, Seed: seed})
+		w := MustGenerate(tb, GenConfig{NumQueries: 1, Seed: seed})
 		q := w.Queries[0]
 		count := 0
 		for i := 0; i < tb.NumRows(); i++ {

@@ -84,8 +84,9 @@ type GenConfig struct {
 // draw a set of columns; categorical columns get a uniform domain value and
 // an operator from {=, ≤, ≥}; continuous columns get a uniform value between
 // the column min and max and an operator from {≤, ≥}. Ground truth is
-// computed by exact scan.
-func Generate(t *dataset.Table, cfg GenConfig) *Workload {
+// computed by exact scan. A predicate the table rejects (e.g. a column
+// mutated mid-generation) is reported as an error instead of a panic.
+func Generate(t *dataset.Table, cfg GenConfig) (*Workload, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	minF := cfg.MinFilters
 	if minF <= 0 {
@@ -134,7 +135,7 @@ func Generate(t *dataset.Table, cfg GenConfig) *Workload {
 				}
 			}
 			if err := q.AddPredicate(p); err != nil {
-				panic(err) // generator only emits valid predicates
+				return nil, fmt.Errorf("query: generating workload: %w", err)
 			}
 		}
 		w.Queries = append(w.Queries, q)
@@ -142,6 +143,16 @@ func Generate(t *dataset.Table, cfg GenConfig) *Workload {
 			continue
 		}
 		w.TrueSel = append(w.TrueSel, Exec(q))
+	}
+	return w, nil
+}
+
+// MustGenerate is Generate for callers that treat a generation failure as a
+// programming error (tests, examples): it panics instead of returning one.
+func MustGenerate(t *dataset.Table, cfg GenConfig) *Workload {
+	w, err := Generate(t, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return w
 }

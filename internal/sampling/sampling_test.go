@@ -15,7 +15,7 @@ func TestSamplingAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +33,7 @@ func TestSamplingFullSampleIsExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 30, Seed: 6})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 30, Seed: 6})
 	for i, q := range w.Queries {
 		got, err := e.Estimate(q)
 		if err != nil {

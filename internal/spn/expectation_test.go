@@ -58,7 +58,7 @@ func TestExpectationIdentityReducesToEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 20, Seed: 4, SkipExec: true})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 20, Seed: 4, SkipExec: true})
 	for i, q := range w.Queries {
 		a, err := e.Estimate(q)
 		if err != nil {

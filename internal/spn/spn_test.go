@@ -15,7 +15,7 @@ func TestSPNWorkloadAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.Generate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
+	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

@@ -32,7 +32,7 @@ func skewedTable(n int, seed int64) *dataset.Table {
 
 func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 	tb := skewedTable(4000, 2)
-	train := query.Generate(tb, query.GenConfig{NumQueries: 300, Seed: 3})
+	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 300, Seed: 3})
 	cfg := Config{Base: baseCfg(), QueryEpochs: 6, QueryBatch: 16, QueryLR: 2e-3}
 
 	m, err := TrainUAEQ(tb, train, cfg)
@@ -47,7 +47,7 @@ func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	test := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 4})
+	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 4})
 	evQ, err := estimator.Evaluate(m, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -67,13 +67,13 @@ func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 
 func TestUAEAtLeastMatchesData(t *testing.T) {
 	tb := dataset.SynthTWI(4000, 5)
-	train := query.Generate(tb, query.GenConfig{NumQueries: 200, Seed: 6})
+	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 200, Seed: 6})
 	cfg := Config{Base: baseCfg(), QueryEpochs: 3, QueryBatch: 16}
 	m, err := TrainUAE(tb, train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := query.Generate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
+	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
 	ev, err := estimator.Evaluate(m, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
