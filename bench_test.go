@@ -28,112 +28,116 @@ func sharedSuite() *bench.Suite {
 }
 
 // runReport drives one experiment and prints its table once.
-func runReport(b *testing.B, f func(*bench.Suite) *bench.Report) {
+func runReport(b *testing.B, f func(*bench.Suite) (*bench.Report, error)) {
 	b.Helper()
 	s := sharedSuite()
 	var out *bench.Report
 	for i := 0; i < b.N; i++ {
-		out = f(s)
+		var err error
+		out, err = f(s)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	fmt.Println(out.String())
 }
 
 func BenchmarkTable1DatasetStats(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table1() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table1() })
 }
 
 func BenchmarkTable2ErrorsWISDM(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table2() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table2() })
 }
 
 func BenchmarkTable3ErrorsTWI(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table3() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table3() })
 }
 
 func BenchmarkTable4ErrorsHIGGS(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table4() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table4() })
 }
 
 func BenchmarkTable5ErrorsIMDB(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table5() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table5() })
 }
 
 func BenchmarkFigure4InferenceTime(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure4() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Figure4() })
 }
 
 func BenchmarkTable6ModelSizes(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table6() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table6() })
 }
 
 func BenchmarkTable7BatchInference(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table7() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table7() })
 }
 
 func BenchmarkFigure5EndToEnd(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure5() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Figure5() })
 }
 
 func BenchmarkFigure6TrainingCurve(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure6() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Figure6() })
 }
 
 func BenchmarkTable8TrainingTime(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table8() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table8() })
 }
 
 func BenchmarkTable9DomainRedWISDM(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table9() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table9() })
 }
 
 func BenchmarkTable10DomainRedTWI(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table10() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table10() })
 }
 
 func BenchmarkTable11DomainRedHIGGS(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table11() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table11() })
 }
 
 func BenchmarkFigure7ComponentSweep(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Figure7() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Figure7() })
 }
 
 func BenchmarkTable12ModelSizeVsK(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.Table12() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.Table12() })
 }
 
 func BenchmarkSweepGMMSamples(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.GMMSampleSweep() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.GMMSampleSweep() })
 }
 
 func BenchmarkSweepQueryDistribution(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.QueryDistributionSweep() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.QueryDistributionSweep() })
 }
 
 func BenchmarkSweepProgressiveSamples(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.ProgressiveSampleSweep() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.ProgressiveSampleSweep() })
 }
 
 func BenchmarkAblationBiasCorrection(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationBiasCorrection() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationBiasCorrection() })
 }
 
 func BenchmarkAblationMassModes(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationMassModes() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationMassModes() })
 }
 
 func BenchmarkAblationJointVsSeparate(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationJointVsSeparate() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationJointVsSeparate() })
 }
 
 func BenchmarkAblationColumnOrder(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationColumnOrder() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationColumnOrder() })
 }
 
 func BenchmarkAblationGMMOnly(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationGMMOnly() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationGMMOnly() })
 }
 
 func BenchmarkAblationExhaustive(b *testing.B) {
-	runReport(b, func(s *bench.Suite) *bench.Report { return s.AblationExhaustive() })
+	runReport(b, func(s *bench.Suite) (*bench.Report, error) { return s.AblationExhaustive() })
 }

@@ -37,7 +37,7 @@ func main() {
 	suite.Ctx = ctx
 	experiments := []struct {
 		name string
-		run  func() *bench.Report
+		run  func() (*bench.Report, error)
 	}{
 		{"table1", suite.Table1},
 		{"table2", suite.Table2},
@@ -99,7 +99,15 @@ func main() {
 			os.Exit(130)
 		}
 		start := time.Now()
-		report := e.run()
+		report, err := e.run()
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
 		fmt.Println(report.String())
 		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.name, time.Since(start).Seconds())
 		if *csvDir != "" {

@@ -7,8 +7,8 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -29,11 +29,10 @@ func main() {
 	// 1. Pretend this CSV came from the user's pipeline.
 	csvPath := filepath.Join(dir, "sensors.csv")
 	src := dataset.SynthWISDM(6000, 99)
-	var buf bytes.Buffer
-	if err := dataset.WriteCSV(src, &buf); err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(csvPath, buf.Bytes(), 0o644); err != nil {
+	// Atomic write: a crash mid-export can never leave a torn CSV behind.
+	if err := atomicfile.WriteFile(csvPath, func(w io.Writer) error {
+		return dataset.WriteCSV(src, w)
+	}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%d rows)\n", csvPath, src.NumRows())
@@ -45,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	table, err := dataset.ReadCSV("sensors", f, dataset.CSVOptions{CategoricalMaxDistinct: 64})
-	f.Close()
+	_ = f.Close() // read-only descriptor; nothing to lose
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 	loaded, err := core.Load(mf, table)
-	mf.Close()
+	_ = mf.Close() // read-only descriptor; nothing to lose
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,10 @@ func main() {
 	fmt.Printf("AR columns after GMM reduction: %v\n\n", model.ARColumns())
 
 	// A batch of monitoring queries: per-activity acceleration bands.
-	workload := query.MustGenerate(sensors, query.GenConfig{NumQueries: 64, Seed: 5})
+	workload, err := query.Generate(sensors, query.GenConfig{NumQueries: 64, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Single-query loop vs batched inference.
 	start := time.Now()

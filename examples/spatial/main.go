@@ -79,6 +79,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	act := query.ExecDisjunction(west, east)
+	act, err := query.ExecDisjunction(west, east)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ndisjunction (west coast OR east coast): est=%.4f act=%.4f\n", est, act)
 }

@@ -127,15 +127,17 @@ func New(cards []int, hidden []int, embedDim int, seed int64) (*Model, error) {
 // marginal frequencies, which calibrates rare values' probabilities from
 // step zero — crucial for tail selectivities on skewed columns.
 func (m *Model) Fit(rows [][]int, cfg nn.TrainConfig) ([]float64, error) {
-	m.InitMarginals(rows)
+	if err := m.InitMarginals(rows); err != nil {
+		return nil, err
+	}
 	cfg.Wildcard = true
 	return m.Net.Fit(rows, cfg)
 }
 
 // InitMarginals sets each column's output bias to log((count+½)/(n+½·card)).
-func (m *Model) InitMarginals(rows [][]int) {
+func (m *Model) InitMarginals(rows [][]int) error {
 	if len(rows) == 0 {
-		return
+		return nil
 	}
 	for c, card := range m.Cards {
 		counts := make([]float64, card)
@@ -147,8 +149,11 @@ func (m *Model) InitMarginals(rows [][]int) {
 		for k := range bias {
 			bias[k] = math.Log((counts[k] + 0.5) / (n + 0.5*float64(card)))
 		}
-		m.Net.SetOutputBias(c, bias)
+		if err := m.Net.SetOutputBias(c, bias); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // TupleProb returns the model's point probability of one fully specified
@@ -178,22 +183,25 @@ func maxCard(cards []int) int {
 // Estimate runs unbiased progressive sampling for a single query whose
 // per-column constraints are cons (nil = unqueried, wildcard-skipped). sess
 // must accommodate numSamples rows.
-func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rng *rand.Rand) float64 {
-	res := m.EstimateBatch(sess, [][]Constraint{cons}, numSamples, rng)
-	return res[0]
+func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rng *rand.Rand) (float64, error) {
+	res, err := m.EstimateBatch(sess, [][]Constraint{cons}, numSamples, rng)
+	if err != nil {
+		return 0, err
+	}
+	return res[0], nil
 }
 
 // EstimateBatch estimates a batch of queries at once (paper §5.3, Table 7):
 // the per-query sample sets are stacked into one matrix so every AR column
 // needs a single network forward for the whole batch. sess must accommodate
 // len(consList)·numSamples rows.
-func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) []float64 {
+func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) ([]float64, error) {
 	nCols := len(m.Cards)
 	nq := len(consList)
 	total := nq * numSamples
 	for _, cons := range consList {
 		if len(cons) != nCols {
-			panic(fmt.Sprintf("ar: constraint list has %d entries for %d columns", len(cons), nCols))
+			return nil, fmt.Errorf("ar: constraint list has %d entries for %d columns", len(cons), nCols)
 		}
 	}
 
@@ -275,7 +283,7 @@ func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamp
 		}
 		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
 	}
-	return out
+	return out, nil
 }
 
 // SampleRecord captures one progressive-sampling run for gradient-based

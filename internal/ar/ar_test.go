@@ -35,6 +35,25 @@ func trainedModel(t *testing.T) (*Model, [][]int) {
 	return m, rows
 }
 
+// est runs Estimate and fails the test on error.
+func est(t *testing.T, m *Model, sess *nn.Session, cons []Constraint, s int, rng *rand.Rand) float64 {
+	t.Helper()
+	v, err := m.Estimate(sess, cons, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mustSpec(t *testing.T, card, base int) dataset.FactorSpec {
+	t.Helper()
+	spec, err := dataset.NewFactorSpec(card, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 // exactModelProb enumerates Σ_{t ∈ R} Π_i P̂(t_i | t_<i) by brute force —
 // the quantity progressive sampling estimates.
 func exactModelProb(m *Model, ranges [][2]int) float64 {
@@ -77,7 +96,7 @@ func TestProgressiveSamplingMatchesExactEnumeration(t *testing.T) {
 	}
 	sess := m.Net.NewSession(4000)
 	rng := rand.New(rand.NewSource(4))
-	got := m.Estimate(sess, cons, 4000, rng)
+	got := est(t, m, sess, cons, 4000, rng)
 	if math.Abs(got-exact) > 0.02+0.05*exact {
 		t.Fatalf("progressive sampling %v vs exact %v", got, exact)
 	}
@@ -99,7 +118,7 @@ func TestProgressiveSamplingUnbiasedAcrossSeeds(t *testing.T) {
 	const reps = 60
 	for i := 0; i < reps; i++ {
 		rng := rand.New(rand.NewSource(int64(100 + i)))
-		sum += m.Estimate(sess, cons, 64, rng)
+		sum += est(t, m, sess, cons, 64, rng)
 	}
 	mean := sum / reps
 	if math.Abs(mean-exact) > 0.02+0.05*exact {
@@ -113,7 +132,7 @@ func TestWildcardSkippedColumn(t *testing.T) {
 	cons := []Constraint{nil, RangeConstraint{0, 1}, nil}
 	sess := m.Net.NewSession(2000)
 	rng := rand.New(rand.NewSource(5))
-	got := m.Estimate(sess, cons, 2000, rng)
+	got := est(t, m, sess, cons, 2000, rng)
 
 	// Data frequency of b ∈ {0,1}.
 	count := 0
@@ -133,7 +152,7 @@ func TestEmptyConstraintGivesZero(t *testing.T) {
 	cons := []Constraint{EmptyConstraint{}, nil, nil}
 	sess := m.Net.NewSession(100)
 	rng := rand.New(rand.NewSource(6))
-	if got := m.Estimate(sess, cons, 100, rng); got != 0 {
+	if got := est(t, m, sess, cons, 100, rng); got != 0 {
 		t.Fatalf("empty constraint estimate = %v, want 0", got)
 	}
 }
@@ -148,11 +167,14 @@ func TestEstimateBatchMatchesSingles(t *testing.T) {
 	const s = 1500
 	sess := m.Net.NewSession(len(consList) * s)
 	rng := rand.New(rand.NewSource(7))
-	batch := m.EstimateBatch(sess, consList, s, rng)
+	batch, err := m.EstimateBatch(sess, consList, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for i, cons := range consList {
 		rng2 := rand.New(rand.NewSource(int64(70 + i)))
-		single := m.Estimate(sess, cons, s, rng2)
+		single := est(t, m, sess, cons, s, rng2)
 		if math.Abs(batch[i]-single) > 0.03+0.1*single {
 			t.Fatalf("query %d: batch %v vs single %v", i, batch[i], single)
 		}
@@ -169,8 +191,8 @@ func TestWeightConstraint(t *testing.T) {
 	consW := []Constraint{WeightConstraint{ones}, RangeConstraint{0, 3}, RangeConstraint{0, 4}}
 	consR := []Constraint{RangeConstraint{0, 3}, RangeConstraint{0, 3}, RangeConstraint{0, 4}}
 	sess := m.Net.NewSession(3000)
-	a := m.Estimate(sess, consW, 3000, rand.New(rand.NewSource(8)))
-	b := m.Estimate(sess, consR, 3000, rand.New(rand.NewSource(9)))
+	a := est(t, m, sess, consW, 3000, rand.New(rand.NewSource(8)))
+	b := est(t, m, sess, consR, 3000, rand.New(rand.NewSource(9)))
 	if math.Abs(a-b) > 0.05 {
 		t.Fatalf("weight-of-ones %v vs full range %v", a, b)
 	}
@@ -180,7 +202,7 @@ func TestWeightConstraint(t *testing.T) {
 }
 
 func TestFactoredConstraintFill(t *testing.T) {
-	spec := dataset.NewFactorSpec(100, 10) // digits base 10: code = 10·d0 + d1
+	spec := mustSpec(t, 100, 10) // digits base 10: code = 10·d0 + d1
 	// Range [23, 57]: d0 ∈ [2,5]; d1 depends on d0.
 	fc0 := FactoredConstraint{Spec: spec, Part: 0, FirstCol: 0, Lo: 23, Hi: 57}
 	w0 := make([]float64, spec.Bases[0])
@@ -219,7 +241,7 @@ func TestFactoredConstraintFill(t *testing.T) {
 }
 
 func TestFactoredConstraintSingleDigitRange(t *testing.T) {
-	spec := dataset.NewFactorSpec(100, 10)
+	spec := mustSpec(t, 100, 10)
 	// Range [44, 46] stays within one MSB digit.
 	fc1 := FactoredConstraint{Spec: spec, Part: 1, FirstCol: 0, Lo: 44, Hi: 46}
 	w := make([]float64, 10)
@@ -242,7 +264,7 @@ func TestFactoredSamplingMatchesUnfactored(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	n := 5000
 	const card = 64
-	spec := dataset.NewFactorSpec(card, 8)
+	spec := mustSpec(t, card, 8)
 	raw := make([][]int, n)
 	fac := make([][]int, n)
 	for i := range raw {
@@ -280,10 +302,10 @@ func TestFactoredSamplingMatchesUnfactored(t *testing.T) {
 	want := float64(trueCount) / float64(n)
 
 	sessRaw := mRaw.Net.NewSession(2000)
-	gotRaw := mRaw.Estimate(sessRaw,
+	gotRaw := est(t, mRaw, sessRaw,
 		[]Constraint{nil, RangeConstraint{lo, hi}}, 2000, rand.New(rand.NewSource(15)))
 	sessFac := mFac.Net.NewSession(2000)
-	gotFac := mFac.Estimate(sessFac,
+	gotFac := est(t, mFac, sessFac,
 		[]Constraint{
 			nil,
 			FactoredConstraint{Spec: spec, Part: 0, FirstCol: 1, Lo: lo, Hi: hi},

@@ -2,14 +2,12 @@ package ar
 
 import (
 	"testing"
-
-	"iam/internal/dataset"
 )
 
 // TestFactoredConstraintThreeParts exercises a three-subcolumn
 // factorization: code = 100·d0 + 10·d1 + d2 over a domain of 1000.
 func TestFactoredConstraintThreeParts(t *testing.T) {
-	spec := dataset.NewFactorSpec(1000, 10)
+	spec := mustSpec(t, 1000, 10)
 	if len(spec.Bases) != 3 {
 		t.Fatalf("bases = %v, want 3 digits", spec.Bases)
 	}
@@ -52,7 +50,7 @@ func TestFactoredConstraintThreeParts(t *testing.T) {
 // digit combinations admitted by the per-part constraints yields exactly
 // the codes in [lo, hi].
 func TestFactoredEnumerationCoversExactlyTheRange(t *testing.T) {
-	spec := dataset.NewFactorSpec(1000, 10)
+	spec := mustSpec(t, 1000, 10)
 	lo, hi := 237, 581
 	admitted := map[int]bool{}
 	w0 := make([]float64, 10)

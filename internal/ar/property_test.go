@@ -31,7 +31,10 @@ func TestEstimatesAlwaysProbabilities(t *testing.T) {
 			}
 			cons[i] = RangeConstraint{Lo: lo, Hi: hi}
 		}
-		est := m.Estimate(sess, cons, 128, rng)
+		est, err := m.Estimate(sess, cons, 128, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return est >= 0 && est <= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -44,7 +47,7 @@ func TestAllWildcardIsOne(t *testing.T) {
 	m, _ := trainedModel(t)
 	sess := m.Net.NewSession(16)
 	rng := rand.New(rand.NewSource(100))
-	if got := m.Estimate(sess, make([]Constraint, 3), 16, rng); got != 1 {
+	if got := est(t, m, sess, make([]Constraint, 3), 16, rng); got != 1 {
 		t.Fatalf("all-wildcard estimate %v, want exactly 1", got)
 	}
 }
@@ -66,7 +69,10 @@ func TestRecordConsistentWithEstimate(t *testing.T) {
 	m, _ := trainedModel(t)
 	cons := [][]Constraint{{RangeConstraint{0, 2}, nil, RangeConstraint{1, 3}}}
 	sess := m.Net.NewSession(512)
-	a := m.EstimateBatch(sess, cons, 512, rand.New(rand.NewSource(7)))
+	a, err := m.EstimateBatch(sess, cons, 512, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := m.EstimateBatchRecord(sess, cons, 512, rand.New(rand.NewSource(7)))
 	if a[0] != rec.Est[0] {
 		t.Fatalf("EstimateBatch %v != EstimateBatchRecord %v under same seed", a[0], rec.Est[0])

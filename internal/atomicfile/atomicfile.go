@@ -24,7 +24,7 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	}
 	defer func() {
 		if err != nil {
-			f.Close()
+			_ = f.Close() // already failing; the write error wins
 			os.Remove(tmp)
 		}
 	}()
@@ -45,7 +45,7 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	// is already safe, only the directory entry may be replayed.
 	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
 		dir.Sync()
-		dir.Close()
+		_ = dir.Close() // read-only descriptor
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestChowLiuPicksCorrelatedEdges(t *testing.T) {
@@ -80,7 +81,7 @@ func TestBayesNetWorkloadWISDM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 2})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

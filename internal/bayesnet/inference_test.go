@@ -7,6 +7,7 @@ import (
 
 	"iam/internal/dataset"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 // TestMessagePassingMatchesBruteForce compares tree inference against an
@@ -73,7 +74,7 @@ func TestMessagePassingMatchesBruteForce(t *testing.T) {
 		return total
 	}
 
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 25, Seed: 2, SkipExec: true})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 25, Seed: 2, SkipExec: true})
 	for i, q := range w.Queries {
 		got, err := e.Estimate(q)
 		if err != nil {

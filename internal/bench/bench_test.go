@@ -23,7 +23,10 @@ func tinyConfig() Config {
 
 func TestTable1(t *testing.T) {
 	s := NewSuite(tinyConfig())
-	r := s.Table1()
+	r, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4 datasets", len(r.Rows))
 	}
@@ -37,7 +40,10 @@ func TestTable1(t *testing.T) {
 
 func TestErrorTableSmoke(t *testing.T) {
 	s := NewSuite(tinyConfig())
-	r := s.Table3() // TWI is the cheapest (2 columns)
+	r, err := s.Table3() // TWI is the cheapest (2 columns)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != len(EstimatorNames()) {
 		t.Fatalf("rows = %d, want %d", len(r.Rows), len(EstimatorNames()))
 	}
@@ -46,13 +52,25 @@ func TestErrorTableSmoke(t *testing.T) {
 
 func TestModelCachingAcrossExperiments(t *testing.T) {
 	s := NewSuite(tinyConfig())
-	a := s.IAM("twi")
-	b := s.IAM("twi")
+	a, err := s.IAM("twi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.IAM("twi")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Fatal("IAM model rebuilt instead of cached")
 	}
-	e1 := s.Estimators("twi")
-	e2 := s.Estimators("twi")
+	e1, err := s.Estimators("twi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := s.Estimators("twi")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e1["IAM"] != e2["IAM"] {
 		t.Fatal("estimator roster rebuilt")
 	}
@@ -65,7 +83,10 @@ func TestFigure6Smoke(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Epochs = 3
 	s := NewSuite(cfg)
-	r := s.Figure6()
+	r, err := s.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d, want one per epoch", len(r.Rows))
 	}
@@ -73,7 +94,10 @@ func TestFigure6Smoke(t *testing.T) {
 
 func TestTable12Smoke(t *testing.T) {
 	s := NewSuite(tinyConfig())
-	r := s.Table12()
+	r, err := s.Table12()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 5 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}

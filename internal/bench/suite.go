@@ -110,9 +110,9 @@ func NewSuite(cfg Config) *Suite {
 func SingleTableDatasets() []string { return []string{"wisdm", "twi", "higgs"} }
 
 // Table returns (building on demand) a synthetic dataset by name.
-func (s *Suite) Table(name string) *dataset.Table {
+func (s *Suite) Table(name string) (*dataset.Table, error) {
 	if t, ok := s.tables[name]; ok {
-		return t
+		return t, nil
 	}
 	var t *dataset.Table
 	switch name {
@@ -123,36 +123,48 @@ func (s *Suite) Table(name string) *dataset.Table {
 	case "higgs":
 		t = dataset.SynthHIGGS(s.Cfg.Rows, s.Cfg.Seed+2)
 	default:
-		panic("bench: unknown dataset " + name)
+		return nil, fmt.Errorf("bench: unknown dataset %q", name)
 	}
 	s.tables[name] = t
-	return t
+	return t, nil
 }
 
 // Workload returns the evaluation workload of a dataset.
-func (s *Suite) Workload(name string) *query.Workload {
+func (s *Suite) Workload(name string) (*query.Workload, error) {
 	if w, ok := s.workloads[name]; ok {
-		return w
+		return w, nil
 	}
-	w, err := query.Generate(s.Table(name), query.GenConfig{
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := query.Generate(t, query.GenConfig{
 		NumQueries: s.Cfg.TestQueries, Seed: s.Cfg.Seed + 100,
 	})
-	must(err)
+	if err != nil {
+		return nil, err
+	}
 	s.workloads[name] = w
-	return w
+	return w, nil
 }
 
 // TrainWorkload returns the training workload for query-driven estimators.
-func (s *Suite) TrainWorkload(name string) *query.Workload {
+func (s *Suite) TrainWorkload(name string) (*query.Workload, error) {
 	if w, ok := s.trainWLs[name]; ok {
-		return w
+		return w, nil
 	}
-	w, err := query.Generate(s.Table(name), query.GenConfig{
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := query.Generate(t, query.GenConfig{
 		NumQueries: s.Cfg.TrainQueries, Seed: s.Cfg.Seed + 200,
 	})
-	must(err)
+	if err != nil {
+		return nil, err
+	}
 	s.trainWLs[name] = w
-	return w
+	return w, nil
 }
 
 // context returns the suite's cancellation context (Background by default).
@@ -200,29 +212,37 @@ func (s *Suite) naruCfg(seed int64) naru.Config {
 }
 
 // IAM returns the trained IAM model of a dataset.
-func (s *Suite) IAM(name string) *core.Model {
+func (s *Suite) IAM(name string) (*core.Model, error) {
 	if m, ok := s.iamModels[name]; ok {
-		return m
+		return m, nil
 	}
-	m, err := s.trainIAM(s.Table(name), s.iamCfg(s.Cfg.Seed+300))
+	t, err := s.Table(name)
 	if err != nil {
-		panic(fmt.Sprintf("bench: training IAM on %s: %v", name, err))
+		return nil, err
+	}
+	m, err := s.trainIAM(t, s.iamCfg(s.Cfg.Seed+300))
+	if err != nil {
+		return nil, fmt.Errorf("bench: training IAM on %s: %w", name, err)
 	}
 	s.iamModels[name] = m
-	return m
+	return m, nil
 }
 
 // Neurocard returns the trained NeuroCard model of a dataset.
-func (s *Suite) Neurocard(name string) *naru.Model {
+func (s *Suite) Neurocard(name string) (*naru.Model, error) {
 	if m, ok := s.naruModels[name]; ok {
-		return m
+		return m, nil
 	}
-	m, err := naru.Train(s.Table(name), s.naruCfg(s.Cfg.Seed+301))
+	t, err := s.Table(name)
 	if err != nil {
-		panic(fmt.Sprintf("bench: training Neurocard on %s: %v", name, err))
+		return nil, err
+	}
+	m, err := naru.TrainContext(s.context(), t, s.naruCfg(s.Cfg.Seed+301))
+	if err != nil {
+		return nil, fmt.Errorf("bench: training Neurocard on %s: %w", name, err)
 	}
 	s.naruModels[name] = m
-	return m
+	return m, nil
 }
 
 // EstimatorNames lists the single-table estimator roster in report order
@@ -236,89 +256,94 @@ func EstimatorNames() []string {
 
 // Estimators builds (and caches) the full estimator roster for a dataset,
 // recording training times.
-func (s *Suite) Estimators(name string) map[string]estimator.Estimator {
+func (s *Suite) Estimators(name string) (map[string]estimator.Estimator, error) {
 	if m, ok := s.estimators[name]; ok {
-		return m
+		return m, nil
 	}
-	t := s.Table(name)
-	train := s.TrainWorkload(name)
+	t, err := s.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	train, err := s.TrainWorkload(name)
+	if err != nil {
+		return nil, err
+	}
 	out := map[string]estimator.Estimator{}
 	times := map[string]time.Duration{}
 	seed := s.Cfg.Seed + 400
 
-	timeIt := func(label string, f func() estimator.Estimator) {
+	timeIt := func(label string, f func() (estimator.Estimator, error)) error {
 		start := time.Now()
-		out[label] = f()
+		e, err := f()
+		if err != nil {
+			return fmt.Errorf("bench: building %s on %s: %w", label, name, err)
+		}
+		out[label] = e
 		times[label] = time.Since(start)
+		return nil
 	}
 
-	timeIt("IAM", func() estimator.Estimator { return s.IAM(name) })
-	timeIt("Neurocard", func() estimator.Estimator { return s.Neurocard(name) })
-	timeIt("Sampling", func() estimator.Estimator {
-		e, err := sampling.NewWithBudget(t, s.IAM(name).SizeBytes(), seed)
-		must(err)
-		return e
-	})
-	timeIt("Postgres", func() estimator.Estimator {
-		e, err := pghist.New(t, pghist.Config{})
-		must(err)
-		return e
-	})
-	timeIt("MHIST", func() estimator.Estimator {
-		e, err := mhist.New(t, mhist.Config{Buckets: 500})
-		must(err)
-		return e
-	})
-	timeIt("BayesNet", func() estimator.Estimator {
-		e, err := bayesnet.New(t, bayesnet.Config{})
-		must(err)
-		return e
-	})
-	timeIt("KDE", func() estimator.Estimator {
-		e, err := kde.New(t, kde.Config{SampleSize: 1000, Seed: seed + 1})
-		must(err)
-		e.TuneBandwidth(train, t.NumRows())
-		return e
-	})
-	timeIt("DeepDB", func() estimator.Estimator {
-		e, err := spn.New(t, spn.Config{Seed: seed + 2})
-		must(err)
-		return e
-	})
-	timeIt("MSCN", func() estimator.Estimator {
-		e, err := mscn.New(t, train, mscn.Config{Epochs: 20, Seed: seed + 3})
-		must(err)
-		return e
-	})
-	timeIt("QuickSel", func() estimator.Estimator {
-		e, err := quicksel.New(t, train, quicksel.Config{Seed: seed + 4})
-		must(err)
-		return e
-	})
-	timeIt("UAE", func() estimator.Estimator {
-		e, err := uae.TrainUAE(t, train, uae.Config{
-			Base: s.naruCfg(seed + 5), QueryEpochs: 1, TrainSamples: 48, QueryBatch: 32,
-		})
-		must(err)
-		return e
-	})
-	timeIt("UAE-Q", func() estimator.Estimator {
-		e, err := uae.TrainUAEQ(t, train, uae.Config{
-			Base: s.naruCfg(seed + 6), QueryEpochs: 2, TrainSamples: 48, QueryBatch: 32, QueryLR: 2e-3,
-		})
-		must(err)
-		return e
-	})
+	builders := []struct {
+		label string
+		build func() (estimator.Estimator, error)
+	}{
+		{"IAM", func() (estimator.Estimator, error) { return s.IAM(name) }},
+		{"Neurocard", func() (estimator.Estimator, error) { return s.Neurocard(name) }},
+		{"Sampling", func() (estimator.Estimator, error) {
+			iam, err := s.IAM(name)
+			if err != nil {
+				return nil, err
+			}
+			return sampling.NewWithBudget(t, iam.SizeBytes(), seed)
+		}},
+		{"Postgres", func() (estimator.Estimator, error) {
+			return pghist.New(t, pghist.Config{})
+		}},
+		{"MHIST", func() (estimator.Estimator, error) {
+			return mhist.New(t, mhist.Config{Buckets: 500})
+		}},
+		{"BayesNet", func() (estimator.Estimator, error) {
+			return bayesnet.New(t, bayesnet.Config{})
+		}},
+		{"KDE", func() (estimator.Estimator, error) {
+			e, err := kde.New(t, kde.Config{SampleSize: 1000, Seed: seed + 1})
+			if err != nil {
+				return nil, err
+			}
+			e.TuneBandwidth(train, t.NumRows())
+			return e, nil
+		}},
+		{"DeepDB", func() (estimator.Estimator, error) {
+			return spn.New(t, spn.Config{Seed: seed + 2})
+		}},
+		{"MSCN", func() (estimator.Estimator, error) {
+			return mscn.NewContext(s.context(), t, train, mscn.Config{Epochs: 20, Seed: seed + 3})
+		}},
+		{"QuickSel", func() (estimator.Estimator, error) {
+			return quicksel.New(t, train, quicksel.Config{Seed: seed + 4})
+		}},
+		{"UAE", func() (estimator.Estimator, error) {
+			return uae.TrainUAE(t, train, uae.Config{
+				Base: s.naruCfg(seed + 5), QueryEpochs: 1, TrainSamples: 48, QueryBatch: 32,
+				Ctx: s.context(),
+			})
+		}},
+		{"UAE-Q", func() (estimator.Estimator, error) {
+			return uae.TrainUAEQ(t, train, uae.Config{
+				Base: s.naruCfg(seed + 6), QueryEpochs: 2, TrainSamples: 48, QueryBatch: 32, QueryLR: 2e-3,
+				Ctx: s.context(),
+			})
+		}},
+	}
+	for _, b := range builders {
+		if err := timeIt(b.label, b.build); err != nil {
+			return nil, err
+		}
+	}
 
 	s.estimators[name] = out
 	s.trainTimes[name] = times
-	return out
-}
-
-func must(err error) {
-	if err != nil {
-		panic(err)
-	}
+	return out, nil
 }
 
 // IMDB returns the synthetic join schema.
@@ -330,27 +355,31 @@ func (s *Suite) IMDB() *join.Schema {
 }
 
 // JoinWorkload returns the evaluation join workload.
-func (s *Suite) JoinWorkload() *join.JoinWorkload {
+func (s *Suite) JoinWorkload() (*join.JoinWorkload, error) {
 	if s.joinWL == nil {
 		w, err := s.IMDB().GenerateWorkload(join.GenJoinConfig{
 			NumQueries: s.Cfg.JoinQueries, Seed: s.Cfg.Seed + 500,
 		})
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		s.joinWL = w
 	}
-	return s.joinWL
+	return s.joinWL, nil
 }
 
 // JoinTrainWorkload returns the training join workload.
-func (s *Suite) JoinTrainWorkload() *join.JoinWorkload {
+func (s *Suite) JoinTrainWorkload() (*join.JoinWorkload, error) {
 	if s.joinTrain == nil {
 		w, err := s.IMDB().GenerateWorkload(join.GenJoinConfig{
 			NumQueries: s.Cfg.TrainQueries / 2, Seed: s.Cfg.Seed + 600,
 		})
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		s.joinTrain = w
 	}
-	return s.joinTrain
+	return s.joinTrain, nil
 }
 
 // arJoinCfg builds the join estimator configuration at suite scale.
@@ -366,6 +395,7 @@ func (s *Suite) arJoinCfg(seed int64) join.ARJoinConfig {
 		NumSamples:   s.Cfg.NumSamples,
 		GMMSamples:   10000,
 		Seed:         seed,
+		Ctx:          s.context(),
 	}
 }
 
@@ -376,53 +406,51 @@ func JoinEstimatorNames() []string {
 
 // JoinEstimators builds (and caches) all join estimators, recording
 // training times.
-func (s *Suite) JoinEstimators() map[string]join.CardEstimator {
+func (s *Suite) JoinEstimators() (map[string]join.CardEstimator, error) {
 	if len(s.joinEsts) > 0 {
-		return s.joinEsts
+		return s.joinEsts, nil
 	}
 	sch := s.IMDB()
-	train := s.JoinTrainWorkload()
+	train, err := s.JoinTrainWorkload()
+	if err != nil {
+		return nil, err
+	}
 	seed := s.Cfg.Seed + 700
 
-	timeIt := func(label string, f func() join.CardEstimator) {
-		start := time.Now()
-		s.joinEsts[label] = f()
-		s.joinTimes[label] = time.Since(start)
+	builders := []struct {
+		label string
+		build func() (join.CardEstimator, error)
+	}{
+		{"IAM", func() (join.CardEstimator, error) {
+			return join.TrainIAMJoin(sch, s.arJoinCfg(seed))
+		}},
+		{"Neurocard", func() (join.CardEstimator, error) {
+			return join.TrainNeurocardJoin(sch, s.arJoinCfg(seed+1))
+		}},
+		{"UAE", func() (join.CardEstimator, error) {
+			return join.TrainUAEJoin(sch, train, s.arJoinCfg(seed+2), 2, 5e-4)
+		}},
+		{"UAE-Q", func() (join.CardEstimator, error) {
+			return join.TrainUAEQJoin(sch, train, s.arJoinCfg(seed+3), 5, 1e-3)
+		}},
+		{"Postgres", func() (join.CardEstimator, error) {
+			return join.NewPGJoin(sch, pghist.Config{})
+		}},
+		{"DeepDB", func() (join.CardEstimator, error) {
+			return join.NewSPNJoin(sch, 2*s.Cfg.Rows, spn.Config{Seed: seed + 4})
+		}},
+		{"MSCN", func() (join.CardEstimator, error) {
+			return join.NewMSCNJoin(sch, train, join.MSCNJoinConfig{Epochs: 20, Seed: seed + 5, Ctx: s.context()})
+		}},
 	}
-	timeIt("IAM", func() join.CardEstimator {
-		e, err := join.TrainIAMJoin(sch, s.arJoinCfg(seed))
-		must(err)
-		return e
-	})
-	timeIt("Neurocard", func() join.CardEstimator {
-		e, err := join.TrainNeurocardJoin(sch, s.arJoinCfg(seed+1))
-		must(err)
-		return e
-	})
-	timeIt("UAE", func() join.CardEstimator {
-		e, err := join.TrainUAEJoin(sch, train, s.arJoinCfg(seed+2), 2, 5e-4)
-		must(err)
-		return e
-	})
-	timeIt("UAE-Q", func() join.CardEstimator {
-		e, err := join.TrainUAEQJoin(sch, train, s.arJoinCfg(seed+3), 5, 1e-3)
-		must(err)
-		return e
-	})
-	timeIt("Postgres", func() join.CardEstimator {
-		e, err := join.NewPGJoin(sch, pghist.Config{})
-		must(err)
-		return e
-	})
-	timeIt("DeepDB", func() join.CardEstimator {
-		e, err := join.NewSPNJoin(sch, 2*s.Cfg.Rows, spn.Config{Seed: seed + 4})
-		must(err)
-		return e
-	})
-	timeIt("MSCN", func() join.CardEstimator {
-		e, err := join.NewMSCNJoin(sch, train, join.MSCNJoinConfig{Epochs: 20, Seed: seed + 5})
-		must(err)
-		return e
-	})
-	return s.joinEsts
+	for _, b := range builders {
+		start := time.Now()
+		e, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("bench: building join estimator %s: %w", b.label, err)
+		}
+		s.joinEsts[b.label] = e
+		s.joinTimes[b.label] = time.Since(start)
+	}
+	return s.joinEsts, nil
 }

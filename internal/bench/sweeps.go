@@ -15,38 +15,54 @@ import (
 // Monte-Carlo samples S drawn per Gaussian component varies. Small S makes
 // P̂_GMM(R) noisy (hurting tails); large S only costs preprocessing, since
 // range masses are two binary searches per component at query time.
-func (s *Suite) GMMSampleSweep() *Report {
+func (s *Suite) GMMSampleSweep() (*Report, error) {
 	r := &Report{
 		Title:  "Impact of GMM sample number S on TWI (IAM)",
 		Header: []string{"S", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
 	}
-	t := s.Table("twi")
-	w := s.Workload("twi")
+	t, err := s.Table("twi")
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.Workload("twi")
+	if err != nil {
+		return nil, err
+	}
 	for _, S := range []int{100, 1000, 10000, 50000} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1700)
 		cfg.GMMSamples = S
 		m, err := s.trainIAM(t, cfg)
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		sum := ev.Summary
 		r.Addf(S, sum.Mean, sum.Median, sum.P95, sum.Max,
 			float64(ev.AvgLatency.Microseconds())/1000)
 	}
-	return r
+	return r, nil
 }
 
 // AblationGMMOnly evaluates the §4.2 design alternative the paper rejects:
 // one multivariate (diagonal-covariance) mixture over all attributes, used
 // directly as the estimator. Its within-component independence assumption
 // loses to IAM (mixture for domain reduction + AR model for correlation).
-func (s *Suite) AblationGMMOnly() *Report {
+func (s *Suite) AblationGMMOnly() (*Report, error) {
 	r := &Report{
 		Title:  "Ablation: multivariate GMM alone vs IAM (TWI)",
 		Header: []string{"Estimator", "Mean", "Median", "95th", "Max"},
 	}
-	t := s.Table("twi")
-	w := s.Workload("twi")
+	t, err := s.Table("twi")
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.Workload("twi")
+	if err != nil {
+		return nil, err
+	}
 	rows := make([][]float64, t.NumRows())
 	for i := range rows {
 		x := make([]float64, t.NumCols())
@@ -56,7 +72,10 @@ func (s *Suite) AblationGMMOnly() *Report {
 		rows[i] = x
 	}
 	rng := rand.New(rand.NewSource(s.Cfg.Seed + 1900))
-	mv := gmm.FitMulti(rows, 2*s.Cfg.Components, 20, rng)
+	mv, err := gmm.FitMulti(rows, 2*s.Cfg.Components, 20, rng)
+	if err != nil {
+		return nil, err
+	}
 
 	floor := 1.0 / float64(t.NumRows())
 	errs := make([]float64, len(w.Queries))
@@ -74,24 +93,36 @@ func (s *Suite) AblationGMMOnly() *Report {
 	sum := estimator.Summarize(errs)
 	r.Addf(fmt.Sprintf("MultiGMM (K=%d)", 2*s.Cfg.Components), sum.Mean, sum.Median, sum.P95, sum.Max)
 
-	ev, err := estimator.Evaluate(s.IAM("twi"), w, t.NumRows())
-	must(err)
+	iamModel, err := s.IAM("twi")
+	if err != nil {
+		return nil, err
+	}
+	ev, err := estimator.Evaluate(iamModel, w, t.NumRows())
+	if err != nil {
+		return nil, err
+	}
 	sum = ev.Summary
 	r.Addf("IAM", sum.Mean, sum.Median, sum.P95, sum.Max)
-	return r
+	return r, nil
 }
 
 // AblationExhaustive compares IAM's progressive sampling against exact
 // enumeration of the reduced search space — feasible only because the GMMs
 // shrank each queried column to K symbols (the paper rules enumeration out
 // for original domains, §3). Enumeration removes all Monte-Carlo error.
-func (s *Suite) AblationExhaustive() *Report {
+func (s *Suite) AblationExhaustive() (*Report, error) {
 	r := &Report{
 		Title:  "Ablation: progressive sampling vs exhaustive enumeration (TWI)",
 		Header: []string{"Inference", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
 	}
-	t := s.Table("twi")
-	w := s.Workload("twi")
+	t, err := s.Table("twi")
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.Workload("twi")
+	if err != nil {
+		return nil, err
+	}
 	for _, mode := range []struct {
 		label string
 		limit int
@@ -99,65 +130,92 @@ func (s *Suite) AblationExhaustive() *Report {
 		cfg := s.iamCfg(s.Cfg.Seed + 2000)
 		cfg.ExhaustiveLimit = mode.limit
 		m, err := s.trainIAM(t, cfg)
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		sum := ev.Summary
 		r.Addf(mode.label, sum.Mean, sum.Median, sum.P95, sum.Max,
 			float64(ev.AvgLatency.Microseconds())/1000)
 	}
-	return r
+	return r, nil
 }
 
 // QueryDistributionSweep reproduces the technical report's "impact of query
 // distribution" study: IAM versus NeuroCard as the number of predicated
 // columns grows (narrow one-filter probes through full-width conjunctions).
-func (s *Suite) QueryDistributionSweep() *Report {
+func (s *Suite) QueryDistributionSweep() (*Report, error) {
 	r := &Report{
 		Title:  "Impact of query distribution: #filters vs q-error on WISDM",
 		Header: []string{"Filters", "Estimator", "Mean", "Median", "95th", "Max"},
 	}
-	t := s.Table("wisdm")
-	iamModel := s.IAM("wisdm")
-	ncModel := s.Neurocard("wisdm")
+	t, err := s.Table("wisdm")
+	if err != nil {
+		return nil, err
+	}
+	iamModel, err := s.IAM("wisdm")
+	if err != nil {
+		return nil, err
+	}
+	ncModel, err := s.Neurocard("wisdm")
+	if err != nil {
+		return nil, err
+	}
 	for _, nf := range []int{1, 2, 3, 5} {
 		w, err := query.Generate(t, query.GenConfig{
 			NumQueries: s.Cfg.TestQueries / 2, Seed: s.Cfg.Seed + int64(nf)*13,
 			MinFilters: nf, MaxFilters: nf,
 		})
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		for _, e := range []estimator.Estimator{iamModel, ncModel} {
 			ev, err := estimator.Evaluate(e, w, t.NumRows())
-			must(err)
+			if err != nil {
+				return nil, err
+			}
 			sum := ev.Summary
 			r.Addf(nf, e.Name(), sum.Mean, sum.Median, sum.P95, sum.Max)
 		}
 	}
-	return r
+	return r, nil
 }
 
 // ProgressiveSampleSweep varies S_p, the number of progressive-sampling
 // paths per query (the paper fixes 8000; we show the accuracy/latency
 // trade-off directly).
-func (s *Suite) ProgressiveSampleSweep() *Report {
+func (s *Suite) ProgressiveSampleSweep() (*Report, error) {
 	r := &Report{
 		Title:  "Impact of progressive-sampling width S_p on WISDM (IAM)",
 		Header: []string{"S_p", "Mean", "Median", "95th", "Max", "Est.time(ms)"},
 	}
-	t := s.Table("wisdm")
-	w := s.Workload("wisdm")
+	t, err := s.Table("wisdm")
+	if err != nil {
+		return nil, err
+	}
+	w, err := s.Workload("wisdm")
+	if err != nil {
+		return nil, err
+	}
 	// One trained model; only the inference width changes.
 	for _, sp := range []int{50, 200, 800, 2000} {
 		cfg := s.iamCfg(s.Cfg.Seed + 1800)
 		cfg.NumSamples = sp
 		m, err := s.trainIAM(t, cfg)
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		ev, err := estimator.Evaluate(m, w, t.NumRows())
-		must(err)
+		if err != nil {
+			return nil, err
+		}
 		sum := ev.Summary
 		r.Addf(sp, sum.Mean, sum.Median, sum.P95, sum.Max,
 			float64(ev.AvgLatency.Microseconds())/1000)
 	}
 	r.Notes = append(r.Notes, "the model is retrained per row only because NumSamples is fixed at construction; weights are identical across rows (same seed)")
-	return r
+	return r, nil
 }

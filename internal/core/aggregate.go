@@ -86,7 +86,11 @@ func (m *Model) EstimateAvg(q *query.Query, col string) (float64, error) {
 		loCode, hiCode := 0, info.enc.Card-1
 		if q.Ranges[ci] != nil {
 			var ok bool
-			loCode, hiCode, ok = m.codeRange(ci, q.Ranges[ci])
+			var err error
+			loCode, hiCode, ok, err = m.codeRange(ci, q.Ranges[ci])
+			if err != nil {
+				return 0, err
+			}
 			if !ok {
 				return 0, fmt.Errorf("core: AVG over an empty range")
 			}

@@ -5,6 +5,7 @@ import (
 
 	"iam/internal/dataset"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func benchModel(b *testing.B) (*Model, *dataset.Table, *query.Workload) {
@@ -16,7 +17,7 @@ func benchModel(b *testing.B) (*Model, *dataset.Table, *query.Workload) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
+	w := testutil.Workload(b, tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
 	return m, tb, w
 }
 

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"iam/internal/dataset"
+)
+
+// TestTrainByteIdenticalAcrossRuns is the determinism regression test the
+// linter's globalrand/maprange invariants exist to protect: two trainings
+// with the same config and seed must serialize to bit-identical bytes. Any
+// use of the global rand source or order-randomized float accumulation
+// breaks this.
+func TestTrainByteIdenticalAcrossRuns(t *testing.T) {
+	train := func() []byte {
+		t.Helper()
+		tb := dataset.SynthTWI(1500, 9)
+		cfg := Config{
+			Components: 8,
+			Hidden:     []int{16, 16},
+			EmbedDim:   8,
+			Epochs:     2,
+			BatchSize:  128,
+			NumSamples: 50,
+			GMMSamples: 1000,
+			Seed:       77,
+		}
+		m, err := Train(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := train()
+	b := train()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different model bytes (%d vs %d bytes); training is nondeterministic", len(a), len(b))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestExhaustiveModeOnTWI(t *testing.T) {
@@ -18,7 +19,7 @@ func TestExhaustiveModeOnTWI(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 40, Seed: 50})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 40, Seed: 50})
 	for i, q := range w.Queries {
 		exact, err := m.Estimate(q)
 		if err != nil {

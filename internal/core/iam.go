@@ -272,7 +272,11 @@ func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, er
 				sample = sub
 			}
 			info.kind = kindGMM
-			info.gm = gmm.InitKMeansPP(sample, k, rng)
+			gm, err := gmm.InitKMeansPP(sample, k, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: column %s: %w", c.Name, err)
+			}
+			info.gm = gm
 			info.trainer = gmm.NewSGDTrainer(info.gm, cfg.GMMLR)
 			info.arCount = 1
 			cards = append(cards, k)
@@ -280,7 +284,11 @@ func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, er
 			info.enc = dataset.BuildEncoder(c)
 			if info.enc.Card > cfg.MaxSubColumn {
 				info.kind = kindFactored
-				info.factor = dataset.NewFactorSpec(info.enc.Card, cfg.MaxSubColumn)
+				spec, err := dataset.NewFactorSpec(info.enc.Card, cfg.MaxSubColumn)
+				if err != nil {
+					return nil, fmt.Errorf("core: column %s: %w", c.Name, err)
+				}
+				info.factor = spec
 				info.arCount = len(info.factor.Bases)
 				cards = append(cards, info.factor.Bases...)
 			} else {
@@ -729,7 +737,10 @@ func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 		m.sessCap = need
 		m.sess = m.arm.Net.NewSession(need)
 	}
-	ests := m.arm.EstimateBatch(m.sess, pending, m.cfg.NumSamples, m.estRNG)
+	ests, err := m.arm.EstimateBatch(m.sess, pending, m.cfg.NumSamples, m.estRNG)
+	if err != nil {
+		return nil, err
+	}
 	j := 0
 	for i := range qs {
 		if !solved[i] {
@@ -802,7 +813,10 @@ func (m *Model) buildConstraints(q *query.Query) ([]ar.Constraint, error) {
 			}
 			cons[info.arFirst] = ar.WeightConstraint{W: wts}
 		case kindPassthrough, kindFactored:
-			loCode, hiCode, ok := m.codeRange(ci, r)
+			loCode, hiCode, ok, err := m.codeRange(ci, r)
+			if err != nil {
+				return nil, err
+			}
 			if !ok {
 				cons[info.arFirst] = ar.EmptyConstraint{}
 				continue
@@ -824,7 +838,7 @@ func (m *Model) buildConstraints(q *query.Query) ([]ar.Constraint, error) {
 
 // codeRange maps an interval over raw values to an inclusive ordinal code
 // range for a non-GMM column.
-func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool) {
+func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 	c := m.table.Columns[ci]
 	info := &m.cols[ci]
 	if c.Kind == dataset.Categorical {
@@ -849,9 +863,9 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool) {
 			hi = info.enc.Card - 1
 		}
 		if lo > hi {
-			return 0, 0, false
+			return 0, 0, false, nil
 		}
-		return lo, hi, true
+		return lo, hi, true, nil
 	}
 	return info.enc.RangeToCodes(r.Lo, r.Hi, r.LoInc, r.HiInc)
 }

@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 // fastCfg keeps unit-test training cheap.
@@ -60,7 +61,7 @@ func TestIAMReducesDomains(t *testing.T) {
 
 func TestIAMAccuracyOnTWI(t *testing.T) {
 	m, tb := trainTWI(t, fastCfg())
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 120, Seed: 12})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 120, Seed: 12})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func TestIAMMixedSchemaWISDM(t *testing.T) {
 			t.Fatalf("AR cards = %v, want %v", cards, want)
 		}
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 14})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 14})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +116,10 @@ func TestBiasCorrectionMatters(t *testing.T) {
 	}
 
 	// A narrow latitude band: covers a small part of several components.
-	lo, hi := tb.Column("latitude").MinMax()
+	lo, hi, err := tb.Column("latitude").MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
 	mid := (lo + hi) / 2
 	width := (hi - lo) * 0.01
 	q := query.NewQuery(tb)
@@ -164,7 +168,7 @@ func TestMassModesAgree(t *testing.T) {
 		}
 		models[name] = m
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 30, Seed: 16})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 30, Seed: 16})
 	for i, q := range w.Queries {
 		est := map[string]float64{}
 		for name, m := range models {
@@ -187,7 +191,7 @@ func TestSeparateTraining(t *testing.T) {
 	cfg := fastCfg()
 	cfg.SeparateTraining = true
 	m, tb := trainTWI(t, cfg)
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 17})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 17})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +206,7 @@ func TestSeparateTraining(t *testing.T) {
 
 func TestEstimateBatchMatchesSingle(t *testing.T) {
 	m, tb := trainTWI(t, fastCfg())
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 8, Seed: 18})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 8, Seed: 18})
 	batch, err := m.EstimateBatch(w.Queries)
 	if err != nil {
 		t.Fatal(err)
@@ -314,7 +318,10 @@ func TestDisjunctionViaInclusionExclusion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := query.ExecDisjunction(q1, q2)
+	truth, err := query.ExecDisjunction(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if qe := estimator.QError(truth, est, 1.0/float64(tb.NumRows())); qe > 4 {
 		t.Fatalf("disjunction q-error %v (est %v, truth %v)", qe, est, truth)
 	}

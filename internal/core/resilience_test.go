@@ -12,6 +12,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/guard/faultinject"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 // TestWatchdogRecoversFromNaNLoss injects a single NaN epoch loss and checks
@@ -37,7 +38,7 @@ func TestWatchdogRecoversFromNaNLoss(t *testing.T) {
 			t.Fatalf("AR loss %d = %v; watchdog let a poisoned epoch through", i, l)
 		}
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 10, Seed: 22})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 10, Seed: 22})
 	for _, q := range w.Queries {
 		sel, err := m.Estimate(q)
 		if err != nil || math.IsNaN(sel) || sel < 0 || sel > 1 {
@@ -107,7 +108,7 @@ func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
 	}
 
 	// The two models should also agree at query time.
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 15, Seed: 26})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 15, Seed: 26})
 	for i, q := range w.Queries {
 		a, err := ref.Estimate(q)
 		if err != nil {
@@ -150,7 +151,7 @@ func TestCancelLeavesLoadableCheckpoint(t *testing.T) {
 	if next != 1 {
 		t.Fatalf("next epoch = %d, want 1 (one epoch completed before cancel)", next)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 5, Seed: 28})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 5, Seed: 28})
 	for _, q := range w.Queries {
 		sel, err := m.Estimate(q)
 		if err != nil || math.IsNaN(sel) || sel < 0 || sel > 1 {

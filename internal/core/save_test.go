@@ -7,6 +7,7 @@ import (
 
 	"iam/internal/dataset"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -30,7 +31,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.SizeBytes() != m.SizeBytes() {
 		t.Fatalf("size mismatch after load: %d vs %d", loaded.SizeBytes(), m.SizeBytes())
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 20, Seed: 42, SkipExec: true})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 20, Seed: 42, SkipExec: true})
 	for i, q := range w.Queries {
 		a, err := m.Estimate(q)
 		if err != nil {

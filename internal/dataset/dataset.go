@@ -71,13 +71,13 @@ func (c *Column) DistinctCount() int {
 }
 
 // MinMax returns the smallest and largest value of a continuous column.
-// It panics on categorical columns or empty data.
-func (c *Column) MinMax() (lo, hi float64) {
+// It errors on categorical columns or empty data.
+func (c *Column) MinMax() (lo, hi float64, err error) {
 	if c.Kind != Continuous {
-		panic("dataset: MinMax on categorical column " + c.Name)
+		return 0, 0, fmt.Errorf("dataset: MinMax on categorical column %s", c.Name)
 	}
 	if len(c.Floats) == 0 {
-		panic("dataset: MinMax on empty column " + c.Name)
+		return 0, 0, fmt.Errorf("dataset: MinMax on empty column %s", c.Name)
 	}
 	lo, hi = c.Floats[0], c.Floats[0]
 	for _, v := range c.Floats[1:] {
@@ -88,7 +88,7 @@ func (c *Column) MinMax() (lo, hi float64) {
 			hi = v
 		}
 	}
-	return lo, hi
+	return lo, hi, nil
 }
 
 // Table is a set of equal-length columns.

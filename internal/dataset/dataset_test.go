@@ -35,7 +35,10 @@ func TestSynthTWIShape(t *testing.T) {
 	if tb.NumCols() != 2 {
 		t.Fatalf("cols=%d", tb.NumCols())
 	}
-	lo, hi := tb.Column("latitude").MinMax()
+	lo, hi, err := tb.Column("latitude").MinMax()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lo < 15 || hi > 60 {
 		t.Fatalf("latitude range [%v,%v] implausible", lo, hi)
 	}
@@ -171,7 +174,10 @@ func TestRangeToCodes(t *testing.T) {
 		{math.Inf(-1), 3, true, false, 0, 1, true},
 	}
 	for i, cse := range cases {
-		lo, hi, ok := e.RangeToCodes(cse.lo, cse.hi, cse.loInc, cse.hiInc)
+		lo, hi, ok, err := e.RangeToCodes(cse.lo, cse.hi, cse.loInc, cse.hiInc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
 		if ok != cse.wantOK || (ok && (lo != cse.wantLo || hi != cse.wantHi)) {
 			t.Fatalf("case %d: got (%d,%d,%v), want (%d,%d,%v)", i, lo, hi, ok, cse.wantLo, cse.wantHi, cse.wantOK)
 		}
@@ -206,7 +212,10 @@ func TestEncodeTable(t *testing.T) {
 func TestFactorSpecRoundTripProperty(t *testing.T) {
 	f := func(card16 uint16, code32 uint32) bool {
 		card := int(card16)%100000 + 2
-		spec := NewFactorSpec(card, 2048)
+		spec, err := NewFactorSpec(card, 2048)
+		if err != nil {
+			return false
+		}
 		code := int(code32) % card
 		sub := spec.Split(code)
 		if len(sub) != len(spec.Bases) {
@@ -225,14 +234,20 @@ func TestFactorSpecRoundTripProperty(t *testing.T) {
 }
 
 func TestFactorSpecShape(t *testing.T) {
-	spec := NewFactorSpec(1_000_000, 2048)
+	spec, err := NewFactorSpec(1_000_000, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(spec.Bases) != 2 {
 		t.Fatalf("bases=%v, want 2 subcolumns", spec.Bases)
 	}
 	if spec.Bases[0]*spec.Bases[1] < 1_000_000 {
 		t.Fatalf("bases product %d < card", spec.Bases[0]*spec.Bases[1])
 	}
-	small := NewFactorSpec(100, 2048)
+	small, err := NewFactorSpec(100, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(small.Bases) != 1 || small.Bases[0] != 100 {
 		t.Fatalf("small card factored: %v", small.Bases)
 	}

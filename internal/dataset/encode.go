@@ -45,10 +45,11 @@ func (e *ColumnEncoder) DecodeFloat(code int) float64 {
 
 // RangeToCodes maps a half-open/closed interval over raw continuous values to
 // an inclusive code interval [loCode, hiCode]. If the interval contains no
-// domain value it returns ok=false. loInc/hiInc select ≤/≥ versus </>.
-func (e *ColumnEncoder) RangeToCodes(lo, hi float64, loInc, hiInc bool) (loCode, hiCode int, ok bool) {
+// domain value it returns ok=false. loInc/hiInc select ≤/≥ versus </>. It
+// errors on categorical encoders, whose codes are not ordered intervals.
+func (e *ColumnEncoder) RangeToCodes(lo, hi float64, loInc, hiInc bool) (loCode, hiCode int, ok bool, err error) {
 	if e.Kind != Continuous {
-		panic("dataset: RangeToCodes on categorical encoder " + e.Name)
+		return 0, 0, false, fmt.Errorf("dataset: RangeToCodes on categorical encoder %s", e.Name)
 	}
 	// Smallest index with vals[i] >= lo (or > lo when exclusive).
 	loCode = sort.SearchFloat64s(e.vals, lo)
@@ -63,9 +64,9 @@ func (e *ColumnEncoder) RangeToCodes(lo, hi float64, loInc, hiInc bool) (loCode,
 		hiCode--
 	}
 	if loCode > hiCode || loCode >= len(e.vals) || hiCode < 0 {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
-	return loCode, hiCode, true
+	return loCode, hiCode, true, nil
 }
 
 // Values exposes the ascending distinct values backing a continuous
@@ -151,12 +152,12 @@ type FactorSpec struct {
 
 // NewFactorSpec splits a domain of size card into subcolumns of size at most
 // maxSub. A card ≤ maxSub yields a single identity subcolumn.
-func NewFactorSpec(card, maxSub int) FactorSpec {
+func NewFactorSpec(card, maxSub int) (FactorSpec, error) {
 	if card <= 0 || maxSub <= 1 {
-		panic("dataset: invalid factorization parameters")
+		return FactorSpec{}, fmt.Errorf("dataset: invalid factorization parameters card=%d maxSub=%d", card, maxSub)
 	}
 	if card <= maxSub {
-		return FactorSpec{Card: card, Bases: []int{card}}
+		return FactorSpec{Card: card, Bases: []int{card}}, nil
 	}
 	// Number of subcolumns needed so that maxSub^k >= card.
 	k := 1
@@ -179,7 +180,7 @@ func NewFactorSpec(card, maxSub int) FactorSpec {
 		lowProd *= maxSub
 	}
 	bases[0] = (card + lowProd - 1) / lowProd
-	return FactorSpec{Card: card, Bases: bases}
+	return FactorSpec{Card: card, Bases: bases}, nil
 }
 
 // Split decomposes code into subcolumn codes (most significant first).

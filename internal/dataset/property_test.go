@@ -33,7 +33,10 @@ func TestRangeToCodesCountsMatch(t *testing.T) {
 				want++
 			}
 		}
-		loCode, hiCode, ok := e.RangeToCodes(lo, hi, loInc, hiInc)
+		loCode, hiCode, ok, err := e.RangeToCodes(lo, hi, loInc, hiInc)
+		if err != nil {
+			t.Fatal(err)
+		}
 		got := 0
 		if ok {
 			got = hiCode - loCode + 1
@@ -69,7 +72,10 @@ func TestEncodeDecodeIdentityProperty(t *testing.T) {
 // TestFactorOrderPreserving: mixed-radix factorization preserves order
 // lexicographically.
 func TestFactorOrderPreserving(t *testing.T) {
-	spec := NewFactorSpec(5000, 64)
+	spec, err := NewFactorSpec(5000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prev := spec.Split(0)
 	for code := 1; code < 5000; code += 7 {
 		cur := spec.Split(code)

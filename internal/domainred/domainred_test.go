@@ -9,6 +9,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func skewedValues(n int, seed int64) []float64 {
@@ -119,7 +120,7 @@ func TestUMMCoversData(t *testing.T) {
 // tail (Tables 9-11's shape).
 func TestAlternativesInsideIAM(t *testing.T) {
 	tb := dataset.SynthHIGGS(4000, 7)
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 8})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 8})
 
 	base := core.Config{
 		Components: 20,

@@ -7,6 +7,7 @@ import (
 
 	"iam/internal/dataset"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestQError(t *testing.T) {
@@ -69,7 +70,7 @@ func (exactEstimator) Estimate(q *query.Query) (float64, error) {
 
 func TestEvaluateWithExactEstimator(t *testing.T) {
 	tb := dataset.SynthTWI(1000, 3)
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 50, Seed: 4})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 50, Seed: 4})
 	ev, err := Evaluate(exactEstimator{}, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,10 @@ func TestEstimateDisjunction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := query.ExecDisjunction(q1, q2)
+	want, err := query.ExecDisjunction(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("disjunction estimate %v, want %v", got, want)
 	}
@@ -113,7 +117,10 @@ func TestEstimateDisjunctionOverlapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := query.ExecDisjunction(q1, q2)
+	want, err := query.ExecDisjunction(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-want) > 1e-12 {
 		t.Fatalf("overlapping disjunction %v, want %v", got, want)
 	}
@@ -121,7 +128,7 @@ func TestEstimateDisjunctionOverlapping(t *testing.T) {
 
 func TestEvaluateMismatchedWorkload(t *testing.T) {
 	tb := dataset.SynthTWI(100, 7)
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 5, Seed: 1, SkipExec: true})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 5, Seed: 1, SkipExec: true})
 	if _, err := Evaluate(exactEstimator{}, w, 100); err == nil {
 		t.Fatal("expected error for workload without ground truth")
 	}

@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -24,14 +25,14 @@ func BenchmarkFitSGD(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		FitSGD(xs, 30, 2, 256, 0.02, rng)
+		FitSGD(context.Background(), xs, 30, 2, 256, 0.02, rng)
 	}
 }
 
 func BenchmarkAssign(b *testing.B) {
 	xs := benchData(10000)
 	rng := rand.New(rand.NewSource(4))
-	m, _ := FitEM(xs, 30, 10, rng)
+	m, _, _ := FitEM(xs, 30, 10, rng)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Assign(xs[i%len(xs)])
@@ -41,7 +42,7 @@ func BenchmarkAssign(b *testing.B) {
 func BenchmarkRangeMassMC(b *testing.B) {
 	xs := benchData(10000)
 	rng := rand.New(rand.NewSource(5))
-	m, _ := FitEM(xs, 30, 10, rng)
+	m, _, _ := FitEM(xs, 30, 10, rng)
 	rs := NewRangeSampler(m, 10000, rng)
 	out := make([]float64, 30)
 	b.ResetTimer()
@@ -53,7 +54,7 @@ func BenchmarkRangeMassMC(b *testing.B) {
 func BenchmarkRangeMassExact(b *testing.B) {
 	xs := benchData(10000)
 	rng := rand.New(rand.NewSource(6))
-	m, _ := FitEM(xs, 30, 10, rng)
+	m, _, _ := FitEM(xs, 30, 10, rng)
 	out := make([]float64, 30)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -33,7 +33,7 @@ func TestFitEMConstantData(t *testing.T) {
 		values[i] = 3.25
 	}
 	rng := rand.New(rand.NewSource(71))
-	m, _ := FitEM(values, 4, 30, rng)
+	m, _ := fitEM(t, values, 4, 30, rng)
 	finiteModel(t, m)
 	if pdf := m.PDF(3.25); math.IsNaN(pdf) || pdf <= 0 {
 		t.Fatalf("PDF at the only data value = %v", pdf)
@@ -56,7 +56,7 @@ func TestFitEMTwoPointData(t *testing.T) {
 		}
 	}
 	rng := rand.New(rand.NewSource(73))
-	m, nll := FitEM(values, 5, 40, rng)
+	m, nll := fitEM(t, values, 5, 40, rng)
 	finiteModel(t, m)
 	if math.IsNaN(nll) || math.IsInf(nll, 0) {
 		t.Fatalf("NLL = %v", nll)
@@ -101,7 +101,7 @@ func TestSGDTrainerSetLR(t *testing.T) {
 	for i := range values {
 		values[i] = rng.NormFloat64()
 	}
-	m := InitKMeansPP(values, 3, rng)
+	m := initKPP(t, values, 3, rng)
 	tr := NewSGDTrainer(m, 0.05)
 	tr.Step(values[:128])
 	tr.SetLR(0.025)
@@ -120,7 +120,7 @@ func TestTrainerStateRoundTrip(t *testing.T) {
 	for i := range values {
 		values[i] = rng.NormFloat64()*2 + 1
 	}
-	m := InitKMeansPP(values, 4, rng)
+	m := initKPP(t, values, 4, rng)
 	tr := NewSGDTrainer(m, 0.05)
 	tr.Step(values[:256])
 
@@ -134,7 +134,7 @@ func TestTrainerStateRoundTrip(t *testing.T) {
 		t.Fatalf("replayed step loss %v != original %v", got, ref)
 	}
 
-	other := NewSGDTrainer(InitKMeansPP(values, 5, rng), 0.05)
+	other := NewSGDTrainer(initKPP(t, values, 5, rng), 0.05)
 	if err := other.RestoreState(snap); err == nil {
 		t.Fatal("RestoreState accepted a snapshot with a different K")
 	}

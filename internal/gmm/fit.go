@@ -1,6 +1,9 @@
 package gmm
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -14,12 +17,12 @@ const sigmaFloorFrac = 1e-4
 // InitKMeansPP initializes a K-component model with k-means++ style seeding
 // followed by a handful of Lloyd iterations — the cheap initialization used
 // before EM or SGD refinement. values must be non-empty and k ≥ 1.
-func InitKMeansPP(values []float64, k int, rng *rand.Rand) *Model {
+func InitKMeansPP(values []float64, k int, rng *rand.Rand) (*Model, error) {
 	if len(values) == 0 {
-		panic("gmm: InitKMeansPP on empty data")
+		return nil, errors.New("gmm: InitKMeansPP on empty data")
 	}
 	if k < 1 {
-		panic("gmm: k must be ≥ 1")
+		return nil, fmt.Errorf("gmm: k must be ≥ 1, got %d", k)
 	}
 	lo, hi := values[0], values[0]
 	for _, v := range values {
@@ -118,15 +121,19 @@ func InitKMeansPP(values []float64, k int, rng *rand.Rand) *Model {
 		m.Sigmas[j] = s
 	}
 	vecmath.Normalize(m.Weights)
-	return m
+	return m, nil
 }
 
 // FitEM refines a model by classic expectation-maximization for at most
 // iters iterations (paper §4.2 discusses EM as the classical batch method).
 // It returns the fitted model and the final mean NLL.
-func FitEM(values []float64, k, iters int, rng *rand.Rand) (*Model, float64) {
-	m := InitKMeansPP(values, k, rng)
-	return emRefine(m, values, iters, 0, rng), m.NLL(values)
+func FitEM(values []float64, k, iters int, rng *rand.Rand) (*Model, float64, error) {
+	m, err := InitKMeansPP(values, k, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	emRefine(m, values, iters, 0, rng)
+	return m, m.NLL(values), nil
 }
 
 // emRefine runs EM in place. alpha0 > 0 adds a sparse Dirichlet MAP prior on
@@ -250,7 +257,10 @@ func SelectK(values []float64, kMax, sampleSize int, rng *rand.Rand) int {
 	bestK, bestBIC := 1, math.Inf(1)
 	worse := 0
 	for k := 1; k <= kMax; k++ {
-		m := InitKMeansPP(sample, k, rng)
+		m, err := InitKMeansPP(sample, k, rng)
+		if err != nil {
+			break // unreachable: sample is non-empty and k ≥ 1
+		}
 		emRefine(m, sample, 30, 0, rng)
 		params := float64(3*k - 1) // k means + k sigmas + (k−1) free weights
 		bic := 2*n*m.NLL(sample) + params*math.Log(n)
@@ -387,14 +397,21 @@ func adam(params, g, m, v []float64, lr float64, step int) {
 }
 
 // FitSGD fits a model with epochs of mini-batch Adam, the training procedure
-// of paper §4.2. Returns the model and final NLL.
-func FitSGD(values []float64, k, epochs, batchSize int, lr float64, rng *rand.Rand) (*Model, float64) {
-	m := InitKMeansPP(values, k, rng)
+// of paper §4.2. Cancelling ctx stops between mini-batches and returns the
+// context's error. Returns the model and final NLL.
+func FitSGD(ctx context.Context, values []float64, k, epochs, batchSize int, lr float64, rng *rand.Rand) (*Model, float64, error) {
+	m, err := InitKMeansPP(values, k, rng)
+	if err != nil {
+		return nil, 0, err
+	}
 	tr := NewSGDTrainer(m, lr)
 	idx := rng.Perm(len(values))
 	batch := make([]float64, 0, batchSize)
 	for e := 0; e < epochs; e++ {
 		for start := 0; start < len(idx); start += batchSize {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, 0, ctx.Err()
+			}
 			end := start + batchSize
 			if end > len(idx) {
 				end = len(idx)
@@ -408,5 +425,5 @@ func FitSGD(values []float64, k, epochs, batchSize int, lr float64, rng *rand.Ra
 		// Reshuffle between epochs.
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 	}
-	return m, m.NLL(values)
+	return m, m.NLL(values), nil
 }

@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,34 @@ import (
 
 	"iam/internal/vecmath"
 )
+
+// fitEM / fitSGD / initKPP wrap the fallible fit entry points for tests.
+func fitEM(t *testing.T, xs []float64, k, iters int, rng *rand.Rand) (*Model, float64) {
+	t.Helper()
+	m, nll, err := FitEM(xs, k, iters, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nll
+}
+
+func fitSGD(t *testing.T, xs []float64, k, epochs, batch int, lr float64, rng *rand.Rand) (*Model, float64) {
+	t.Helper()
+	m, nll, err := FitSGD(context.Background(), xs, k, epochs, batch, lr, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nll
+}
+
+func initKPP(t *testing.T, xs []float64, k int, rng *rand.Rand) *Model {
+	t.Helper()
+	m, err := InitKMeansPP(xs, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
 
 // twoClusterData draws n points from 0.5·N(-4, 0.5²) + 0.5·N(4, 0.5²).
 func twoClusterData(n int, rng *rand.Rand) []float64 {
@@ -25,7 +54,7 @@ func twoClusterData(n int, rng *rand.Rand) []float64 {
 func TestFitEMTwoClusters(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	xs := twoClusterData(4000, rng)
-	m, nll := FitEM(xs, 2, 50, rng)
+	m, nll := fitEM(t, xs, 2, 50, rng)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +78,7 @@ func TestFitEMTwoClusters(t *testing.T) {
 func TestFitSGDTwoClusters(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	xs := twoClusterData(4000, rng)
-	m, nll := FitSGD(xs, 2, 8, 256, 0.05, rng)
+	m, nll := fitSGD(t, xs, 2, 8, 256, 0.05, rng)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +321,7 @@ func TestNLLMatchesPDF(t *testing.T) {
 func TestInitKMeansPPDegenerateData(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	xs := make([]float64, 100) // all zeros
-	m := InitKMeansPP(xs, 4, rng)
+	m := initKPP(t, xs, 4, rng)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}

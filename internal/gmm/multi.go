@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 
@@ -103,9 +104,9 @@ func (m *MultiModel) SizeBytes() int { return 8 * m.K() * (1 + 2*m.Dim()) }
 
 // FitMulti fits a K-component diagonal-covariance mixture by k-means++
 // initialization followed by EM.
-func FitMulti(rows [][]float64, k, iters int, rng *rand.Rand) *MultiModel {
+func FitMulti(rows [][]float64, k, iters int, rng *rand.Rand) (*MultiModel, error) {
 	if len(rows) == 0 {
-		panic("gmm: FitMulti on empty data")
+		return nil, errors.New("gmm: FitMulti on empty data")
 	}
 	d := len(rows[0])
 	m := initMultiKMeans(rows, k, d, rng)
@@ -165,7 +166,7 @@ func FitMulti(rows [][]float64, k, iters int, rng *rand.Rand) *MultiModel {
 		}
 		vecmath.Normalize(m.Weights)
 	}
-	return m
+	return m, nil
 }
 
 func multiSpread(rows [][]float64, d int) []float64 {

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// fitMulti wraps FitMulti, failing the test on error.
+func fitMulti(t *testing.T, rows [][]float64, k, iters int, rng *rand.Rand) *MultiModel {
+	t.Helper()
+	m, err := FitMulti(rows, k, iters, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // twoCluster2D draws from two well-separated 2-D Gaussian clusters.
 func twoCluster2D(n int, rng *rand.Rand) [][]float64 {
 	rows := make([][]float64, n)
@@ -22,7 +32,7 @@ func twoCluster2D(n int, rng *rand.Rand) [][]float64 {
 func TestFitMultiRecoversClusters(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	rows := twoCluster2D(3000, rng)
-	m := FitMulti(rows, 2, 25, rng)
+	m := fitMulti(t, rows, 2, 25, rng)
 	// Identify the left cluster.
 	li := 0
 	if m.Means[1][0] < m.Means[0][0] {
@@ -39,7 +49,7 @@ func TestFitMultiRecoversClusters(t *testing.T) {
 func TestMultiAssignSeparates(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	rows := twoCluster2D(2000, rng)
-	m := FitMulti(rows, 2, 20, rng)
+	m := fitMulti(t, rows, 2, 20, rng)
 	a := m.Assign([]float64{-5, 2})
 	b := m.Assign([]float64{5, -3})
 	if a == b {
@@ -50,7 +60,7 @@ func TestMultiAssignSeparates(t *testing.T) {
 func TestMultiBoxMassVsEmpirical(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	rows := twoCluster2D(8000, rng)
-	m := FitMulti(rows, 2, 25, rng)
+	m := fitMulti(t, rows, 2, 25, rng)
 	lo := []float64{-6, 1}
 	hi := []float64{-4, 3}
 	est := m.EstimateBox(lo, hi)
@@ -80,7 +90,7 @@ func TestMultiWithinComponentIndependenceHurts(t *testing.T) {
 		x := rng.NormFloat64() * 2
 		rows[i] = []float64{x, x + rng.NormFloat64()*0.01}
 	}
-	m := FitMulti(rows, 1, 15, rng)
+	m := fitMulti(t, rows, 1, 15, rng)
 	// Anti-diagonal box: x in [1,2], y in [-2,-1] — empirically empty, but
 	// the diagonal-covariance component sees both marginals as plausible.
 	est := m.EstimateBox([]float64{1, -2}, []float64{2, -1})
@@ -101,7 +111,7 @@ func TestMultiWithinComponentIndependenceHurts(t *testing.T) {
 func TestMultiNLLAndSize(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	rows := twoCluster2D(1000, rng)
-	m := FitMulti(rows, 2, 15, rng)
+	m := fitMulti(t, rows, 2, 15, rng)
 	if nll := m.NLL(rows); math.IsNaN(nll) || nll > 10 {
 		t.Fatalf("NLL %v implausible", nll)
 	}

@@ -91,6 +91,7 @@ func (p *PanicEstimator) Name() string {
 func (p *PanicEstimator) Estimate(q *query.Query) (float64, error) {
 	p.calls++
 	if p.calls > p.Healthy {
+		//lint:ignore nopanic this estimator exists to inject panics so guard recovery paths can be tested
 		panic(fmt.Sprintf("%s: injected panic on call %d", p.Name(), p.calls))
 	}
 	return p.Value, nil

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,6 +42,9 @@ type ARJoinConfig struct {
 	NumSamples   int // progressive-sampling width (default 800)
 	GMMSamples   int // Monte-Carlo samples per component (default 10000)
 	Seed         int64
+	// Ctx optionally carries a cancellation context into training (mirrors
+	// nn.TrainConfig.Ctx); nil means context.Background().
+	Ctx context.Context
 }
 
 func (c *ARJoinConfig) fillDefaults() {
@@ -142,7 +146,7 @@ func TrainUAEJoin(s *Schema, w *JoinWorkload, cfg ARJoinConfig, queryEpochs int,
 	if err != nil {
 		return nil, err
 	}
-	if err := e.QueryTrain(w, queryEpochs, 8, queryLR, 128); err != nil {
+	if err := e.QueryTrain(cfg.Ctx, w, queryEpochs, 8, queryLR, 128); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -156,7 +160,7 @@ func TrainUAEQJoin(s *Schema, w *JoinWorkload, cfg ARJoinConfig, queryEpochs int
 	if err != nil {
 		return nil, err
 	}
-	if err := e.QueryTrain(w, queryEpochs, 8, queryLR, 128); err != nil {
+	if err := e.QueryTrain(cfg.Ctx, w, queryEpochs, 8, queryLR, 128); err != nil {
 		return nil, err
 	}
 	return e, nil
@@ -164,7 +168,14 @@ func TrainUAEQJoin(s *Schema, w *JoinWorkload, cfg ARJoinConfig, queryEpochs int
 
 func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 	cfg.fillDefaults()
-	flat := s.Flatten(cfg.SampleRows, cfg.Seed+11)
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	flat, err := s.Flatten(cfg.SampleRows, cfg.Seed+11)
+	if err != nil {
+		return nil, err
+	}
 	e := &ARJoin{schema: s, flat: flat, cfg: cfg, name: name}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -188,7 +199,10 @@ func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 			}
 			col.kind = ajGMM
 			k := cfg.Components
-			gm, _ := gmm.FitSGD(vals, k, 4, 512, 0.02, rng)
+			gm, _, err := gmm.FitSGD(ctx, vals, k, 4, 512, 0.02, rng)
+			if err != nil {
+				return nil, fmt.Errorf("join: column %s: %w", c.Name, err)
+			}
 			col.gm = gm
 			col.sampler = gmm.NewRangeSampler(gm, cfg.GMMSamples, rng)
 			card := k
@@ -214,7 +228,11 @@ func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 			}
 			if col.enc.Card > cfg.MaxSubColumn {
 				col.kind = ajFactored
-				col.factor = dataset.NewFactorSpec(col.enc.Card, cfg.MaxSubColumn)
+				spec, err := dataset.NewFactorSpec(col.enc.Card, cfg.MaxSubColumn)
+				if err != nil {
+					return nil, fmt.Errorf("join: column %s: %w", c.Name, err)
+				}
+				col.factor = spec
 				col.arCount = len(col.factor.Bases)
 				cards = append(cards, col.factor.Bases...)
 			} else {
@@ -238,10 +256,13 @@ func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 		backing := make([]int, n*len(cards))
 		for i := range rows {
 			rows[i] = backing[i*len(cards) : (i+1)*len(cards)]
-			e.encodeRow(i, rows[i])
+			if err := e.encodeRow(i, rows[i]); err != nil {
+				return nil, err
+			}
 		}
 		if _, err := arm.Fit(rows, nn.TrainConfig{
 			LR: cfg.LR, BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed + 2,
+			Ctx: ctx,
 		}); err != nil {
 			return nil, err
 		}
@@ -254,7 +275,7 @@ func trainARJoin(s *Schema, cfg ARJoinConfig, name string) (*ARJoin, error) {
 }
 
 // encodeRow writes the AR codes of flattened row ri.
-func (e *ARJoin) encodeRow(ri int, dst []int) {
+func (e *ARJoin) encodeRow(ri int, dst []int) error {
 	for fi, col := range e.cols {
 		c := e.flat.Table.Columns[fi]
 		switch col.kind {
@@ -273,7 +294,7 @@ func (e *ARJoin) encodeRow(ri int, dst []int) {
 				var err error
 				code, err = col.enc.EncodeFloat(c.Floats[ri])
 				if err != nil {
-					panic(err)
+					return fmt.Errorf("join: encoding row %d: %w", ri, err)
 				}
 			}
 			if col.kind == ajFactored {
@@ -283,6 +304,7 @@ func (e *ARJoin) encodeRow(ri int, dst []int) {
 			}
 		}
 	}
+	return nil
 }
 
 // Name implements the estimator naming convention.
@@ -385,7 +407,10 @@ func (e *ARJoin) applyRange(cons []ar.Constraint, fi int, r *query.Interval) err
 		cons[col.arFirst] = ar.WeightConstraint{W: w}
 		return nil
 	case ajPassthrough, ajFactored:
-		loCode, hiCode, ok := e.codeRange(fi, r)
+		loCode, hiCode, ok, err := e.codeRange(fi, r)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			cons[col.arFirst] = ar.EmptyConstraint{}
 			return nil
@@ -406,7 +431,7 @@ func (e *ARJoin) applyRange(cons []ar.Constraint, fi int, r *query.Interval) err
 }
 
 // codeRange maps a raw interval to ordinal codes, excluding NULL codes.
-func (e *ARJoin) codeRange(fi int, r *query.Interval) (int, int, bool) {
+func (e *ARJoin) codeRange(fi int, r *query.Interval) (int, int, bool, error) {
 	col := &e.cols[fi]
 	c := e.flat.Table.Columns[fi]
 	var lo, hi int
@@ -433,9 +458,13 @@ func (e *ARJoin) codeRange(fi int, r *query.Interval) (int, int, bool) {
 		}
 	} else {
 		var ok bool
-		lo, hi, ok = col.enc.RangeToCodes(r.Lo, r.Hi, r.LoInc, r.HiInc)
+		var err error
+		lo, hi, ok, err = col.enc.RangeToCodes(r.Lo, r.Hi, r.LoInc, r.HiInc)
+		if err != nil {
+			return 0, 0, false, err
+		}
 		if !ok {
-			return 0, 0, false
+			return 0, 0, false, nil
 		}
 		if lo < col.minRealCode {
 			lo = col.minRealCode // exclude the NULL sentinel code
@@ -445,9 +474,9 @@ func (e *ARJoin) codeRange(fi int, r *query.Interval) (int, int, bool) {
 		}
 	}
 	if lo > hi {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
-	return lo, hi, true
+	return lo, hi, true, nil
 }
 
 // EstimateCard estimates the cardinality of a join query.
@@ -477,7 +506,10 @@ func (e *ARJoin) EstimateCardBatch(jqs []*JoinQuery) ([]float64, error) {
 		e.sessCap = need
 		e.sess = e.arm.Net.NewSession(need)
 	}
-	probs := e.arm.EstimateBatch(e.sess, consList, e.cfg.NumSamples, e.rng)
+	probs, err := e.arm.EstimateBatch(e.sess, consList, e.cfg.NumSamples, e.rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(probs))
 	for i, p := range probs {
 		out[i] = p * e.flat.JoinSize
@@ -486,7 +518,12 @@ func (e *ARJoin) EstimateCardBatch(jqs []*JoinQuery) ([]float64, error) {
 }
 
 // QueryTrain fine-tunes the model on a labelled join workload (UAE).
-func (e *ARJoin) QueryTrain(w *JoinWorkload, epochs, batchSize int, lr float64, trainSamples int) error {
+// Cancelling ctx stops the loop between epochs and returns the context's
+// error.
+func (e *ARJoin) QueryTrain(ctx context.Context, w *JoinWorkload, epochs, batchSize int, lr float64, trainSamples int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(w.Queries) == 0 || len(w.Queries) != len(w.Cards) {
 		return fmt.Errorf("join: needs a labelled join workload")
 	}
@@ -513,6 +550,9 @@ func (e *ARJoin) QueryTrain(w *JoinWorkload, epochs, batchSize int, lr float64, 
 	n := len(w.Queries)
 	idx := rng.Perm(n)
 	for ep := 0; ep < epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for start := 0; start < n; start += batchSize {
 			end := start + batchSize
 			if end > n {

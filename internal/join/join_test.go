@@ -80,7 +80,10 @@ func TestSamplerNullExtension(t *testing.T) {
 
 func TestFlattenLayout(t *testing.T) {
 	s := testSchema(t)
-	f := s.Flatten(5000, 4)
+	f, err := s.Flatten(5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := f.Table.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"iam/internal/dataset"
 	"iam/internal/nn"
@@ -64,7 +66,15 @@ func (e *PGJoin) EstimateCard(jq *JoinQuery) (float64, error) {
 		}
 		card *= sel
 	}
-	for name, q := range jq.Children {
+	// Iterate children in sorted-name order: float multiplication is not
+	// associative, and map order is randomized per run.
+	names := make([]string, 0, len(jq.Children))
+	for name := range jq.Children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		q := jq.Children[name]
 		ci, err := e.schema.childIndexByName(name)
 		if err != nil {
 			return 0, err
@@ -99,7 +109,10 @@ func NewSPNJoin(s *Schema, sampleRows int, cfg spn.Config) (*SPNJoin, error) {
 	if sampleRows <= 0 {
 		sampleRows = 20000
 	}
-	flat := s.Flatten(sampleRows, cfg.Seed+21)
+	flat, err := s.Flatten(sampleRows, cfg.Seed+21)
+	if err != nil {
+		return nil, err
+	}
 	model, err := spn.New(flat.Table, cfg)
 	if err != nil {
 		return nil, err
@@ -204,6 +217,9 @@ type MSCNJoinConfig struct {
 	BatchSize int
 	LR        float64
 	Seed      int64
+	// Ctx optionally carries a cancellation context into training (mirrors
+	// nn.TrainConfig.Ctx); nil means context.Background().
+	Ctx context.Context
 }
 
 // NewMSCNJoin trains the model on a labelled join workload.
@@ -252,7 +268,10 @@ func NewMSCNJoin(s *Schema, train *JoinWorkload, cfg MSCNJoinConfig) (*MSCNJoin,
 			if c.Kind == dataset.Categorical {
 				span[j] = math.Max(float64(c.Card-1), 1)
 			} else {
-				l, h := c.MinMax()
+				l, h, err := c.MinMax()
+				if err != nil {
+					return nil, fmt.Errorf("join: column %s: %w", c.Name, err)
+				}
 				lo[j] = l
 				span[j] = math.Max(h-l, 1e-9)
 			}
@@ -299,9 +318,16 @@ func NewMSCNJoin(s *Schema, train *JoinWorkload, cfg MSCNJoinConfig) (*MSCNJoin,
 	e.outState = e.outNet.NewState(cfg.BatchSize)
 
 	// Training loop.
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(train.Queries)
 	idx := rng.Perm(n)
 	for ep := 0; ep < cfg.Epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {

@@ -171,7 +171,7 @@ type Flattened struct {
 }
 
 // Flatten materializes n full-outer-join samples into a single table.
-func (s *Schema) Flatten(n int, seed int64) *Flattened {
+func (s *Schema) Flatten(n int, seed int64) (*Flattened, error) {
 	rng := rand.New(rand.NewSource(seed))
 	samples := s.Sample(n, rng)
 
@@ -230,7 +230,10 @@ func (s *Schema) Flatten(n int, seed int64) *Flattened {
 					}
 				}
 			} else {
-				lo, hi := c.MinMax()
+				lo, hi, err := c.MinMax()
+				if err != nil {
+					return nil, fmt.Errorf("join: column %s: %w", c.Name, err)
+				}
 				sentinel := lo - (hi-lo)*0.25 - 1
 				f.NullSentinel[flatIdx] = sentinel
 				nc.Floats = make([]float64, n)
@@ -269,7 +272,7 @@ func (s *Schema) Flatten(n int, seed int64) *Flattened {
 	}
 
 	f.Table = &dataset.Table{Name: "joinsample", Columns: cols}
-	return f
+	return f, nil
 }
 
 // FlatIndex returns the flattened column index of a data column, or -1.

@@ -124,10 +124,18 @@ func (s *Schema) GenerateWorkload(cfg GenJoinConfig) (*JoinWorkload, error) {
 	for len(w.Queries) < cfg.NumQueries {
 		g := graphs[rng.Intn(len(graphs))]
 		jq := &JoinQuery{Children: map[string]*query.Query{}}
-		jq.Root = randomPreds(s.Root, rng, 1+rng.Intn(maxP))
+		root, err := randomPreds(s.Root, rng, 1+rng.Intn(maxP))
+		if err != nil {
+			return nil, err
+		}
+		jq.Root = root
 		for _, ci := range g {
 			tb := s.Children[ci].Table
-			jq.Children[tb.Name] = randomPreds(tb, rng, 1+rng.Intn(maxP))
+			cq, err := randomPreds(tb, rng, 1+rng.Intn(maxP))
+			if err != nil {
+				return nil, err
+			}
+			jq.Children[tb.Name] = cq
 		}
 		card, err := s.ExactCard(jq)
 		if err != nil {
@@ -140,7 +148,7 @@ func (s *Schema) GenerateWorkload(cfg GenJoinConfig) (*JoinWorkload, error) {
 }
 
 // randomPreds builds a query with n random predicates on t (§6.1.3 rules).
-func randomPreds(t *dataset.Table, rng *rand.Rand, n int) *query.Query {
+func randomPreds(t *dataset.Table, rng *rand.Rand, n int) (*query.Query, error) {
 	q := query.NewQuery(t)
 	if n > t.NumCols() {
 		n = t.NumCols()
@@ -155,7 +163,10 @@ func randomPreds(t *dataset.Table, rng *rand.Rand, n int) *query.Query {
 				Value: float64(rng.Intn(c.Card)),
 			}
 		} else {
-			lo, hi := c.MinMax()
+			lo, hi, err := c.MinMax()
+			if err != nil {
+				return nil, fmt.Errorf("join: column %s: %w", c.Name, err)
+			}
 			p = query.Predicate{
 				Col:   c.Name,
 				Op:    []query.Op{query.Le, query.Ge}[rng.Intn(2)],
@@ -163,8 +174,8 @@ func randomPreds(t *dataset.Table, rng *rand.Rand, n int) *query.Query {
 			}
 		}
 		if err := q.AddPredicate(p); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("join: generating workload: %w", err)
 		}
 	}
-	return q
+	return q, nil
 }

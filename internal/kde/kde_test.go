@@ -6,6 +6,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestKDEOnSmoothData(t *testing.T) {
@@ -14,7 +15,7 @@ func TestKDEOnSmoothData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 3})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -31,8 +32,8 @@ func TestBandwidthTuningDoesNotHurt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 6})
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 6})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 7})
 	before, err := estimator.Evaluate(e, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

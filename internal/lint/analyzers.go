@@ -1,0 +1,457 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// libraryPackage reports whether p is a library package whose code must
+// return errors instead of panicking: anything under <module>/internal/.
+func libraryPackage(p *Package) bool {
+	return strings.Contains(p.PkgPath, "/internal/") || strings.HasSuffix(p.PkgPath, "/internal")
+}
+
+// usedPackagePath resolves a selector like rand.Intn to the import path of
+// the package the qualifier names, or "" if the qualifier is not a package.
+func usedPackagePath(p *Package, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// ---------------------------------------------------------------------------
+// nopanic
+
+// nopanicAllowedPkgs are library packages allowed to panic: vecmath's
+// kernels sit on the per-batch hot path where shape mismatches are
+// programmer errors and error returns would poison every caller's inner
+// loop. The allowlist is deliberately narrow; everything else uses
+// //lint:ignore with a written justification.
+var nopanicAllowedPkgs = map[string]bool{
+	"iam/internal/vecmath": true,
+}
+
+// AnalyzerNoPanic reports panic calls in library packages. A panicking
+// library turns a recoverable estimation failure into a process crash,
+// bypassing the guard cascade's fallback tiers (PR 1): library code must
+// return errors.
+var AnalyzerNoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages under internal/ must return errors instead of panicking",
+	Run: func(p *Package) []Diagnostic {
+		if !libraryPackage(p) || nopanicAllowedPkgs[p.PkgPath] {
+			return nil
+		}
+		var out []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				// Only the builtin counts; a local function named panic
+				// (however ill-advised) is not a crash.
+				if obj := p.Info.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						return true
+					}
+				}
+				out = append(out, diag(p, "nopanic", call.Pos(),
+					"panic in library package %s: return an error instead", p.PkgPath))
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ---------------------------------------------------------------------------
+// globalrand
+
+// globalRandAllowed lists math/rand functions that do NOT draw from the
+// package-global source and are therefore fine: constructors and types.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// AnalyzerGlobalRand reports uses of math/rand's package-level convenience
+// functions, which draw from the shared global source. All randomness must
+// flow through a seeded *rand.Rand so that checkpoint/resume replays
+// bit-identical batches and two runs with the same seed produce the same
+// model.
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand top-level functions; randomness must flow through a seeded *rand.Rand",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path := usedPackagePath(p, sel)
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				name := sel.Sel.Name
+				if globalRandAllowed[name] || strings.HasPrefix(name, "New") {
+					return true
+				}
+				// Referencing a type (rand.Rand, rand.Source) is fine.
+				if obj := p.Info.Uses[sel.Sel]; obj != nil {
+					if _, isFunc := obj.(*types.Func); !isFunc {
+						return true
+					}
+				}
+				out = append(out, diag(p, "globalrand", sel.Pos(),
+					"%s.%s draws from the global source; use a seeded *rand.Rand (determinism of checkpoint/resume)", path, name))
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ---------------------------------------------------------------------------
+// atomicwrite
+
+// AnalyzerAtomicWrite reports direct os.WriteFile/os.Create calls outside
+// internal/atomicfile. Model saves, checkpoints and reports must go through
+// atomicfile's write-to-temp-then-rename so a crash never leaves a torn
+// file that a later Resume would load.
+var AnalyzerAtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "persisted state must be written via internal/atomicfile, not os.WriteFile/os.Create",
+	Run: func(p *Package) []Diagnostic {
+		if strings.HasSuffix(p.PkgPath, "/atomicfile") {
+			return nil
+		}
+		var out []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if usedPackagePath(p, sel) != "os" {
+					return true
+				}
+				if name := sel.Sel.Name; name == "WriteFile" || name == "Create" {
+					out = append(out, diag(p, "atomicwrite", sel.Pos(),
+						"os.%s bypasses atomic persistence; use internal/atomicfile (crash-safe write+rename)", name))
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ---------------------------------------------------------------------------
+// ctxtrain
+
+// AnalyzerCtxTrain reports epoch-style training loops that never consult a
+// context.Context. PR 1 made cancellation (SIGINT → checkpoint flush) a
+// correctness feature; a training loop that cannot be cancelled silently
+// breaks it.
+var AnalyzerCtxTrain = &Analyzer{
+	Name: "ctxtrain",
+	Doc:  "functions containing epoch/batch training loops must accept and check a context.Context",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					loop, ok := n.(*ast.ForStmt)
+					if !ok || !isEpochLoop(loop) {
+						return true
+					}
+					if !checksContext(p, loop.Body) {
+						out = append(out, diag(p, "ctxtrain", loop.Pos(),
+							"epoch loop in %s does not check a context.Context; cancellation (PR 1) is broken here", funcName(fd)))
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+// isEpochLoop detects `for e := ...; e < cfg.Epochs; ...`-shaped loops: any
+// for-statement whose condition or init mentions an identifier containing
+// "epoch" (case-insensitive).
+func isEpochLoop(loop *ast.ForStmt) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		var name string
+		switch v := n.(type) {
+		case *ast.Ident:
+			name = v.Name
+		case *ast.SelectorExpr:
+			name = v.Sel.Name
+		default:
+			return true
+		}
+		if strings.Contains(strings.ToLower(name), "epoch") {
+			found = true
+			return false
+		}
+		return true
+	}
+	if loop.Cond != nil {
+		ast.Inspect(loop.Cond, check)
+	}
+	if !found && loop.Init != nil {
+		ast.Inspect(loop.Init, check)
+	}
+	return found
+}
+
+// checksContext reports whether body references any expression of type
+// context.Context — `ctx.Err()`, `cfg.Ctx != nil`, `s.context()` all count.
+// Type-based detection means config-carried contexts (nn.TrainConfig.Ctx)
+// satisfy the invariant just like parameters.
+func checksContext(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[expr]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// ---------------------------------------------------------------------------
+// closecheck
+
+// AnalyzerCloseCheck reports Close/Flush calls on writer types whose error
+// return is silently dropped (bare statement or defer). A swallowed Close
+// error on a model save means a truncated file that passes review and fails
+// at load time. An explicit `_ = f.Close()` is a visible decision and is
+// allowed.
+var AnalyzerCloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close/Flush error returns on writers must be checked or explicitly discarded",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		report := func(call *ast.CallExpr, deferred bool) {
+			sel, recv, ok := writerCloseCall(p, call)
+			if !ok {
+				return
+			}
+			how := "call"
+			if deferred {
+				how = "deferred call"
+			}
+			out = append(out, diag(p, "closecheck", call.Pos(),
+				"%s to (%s).%s drops its error; check it or assign to _ explicitly", how, recv, sel))
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := v.X.(*ast.CallExpr); ok {
+						report(call, false)
+					}
+				case *ast.DeferStmt:
+					report(v.Call, true)
+				case *ast.GoStmt:
+					report(v.Call, false)
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// ioWriter is a structurally built io.Writer interface, so the analyzer
+// works even when the package under inspection never imports io.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", errType),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	fn := types.NewFunc(token.NoPos, nil, "Write", sig)
+	return types.NewInterfaceType([]*types.Func{fn}, nil).Complete()
+}()
+
+// writerCloseCall reports whether call is receiver.Close() or
+// receiver.Flush() returning exactly one error, on a receiver that
+// implements io.Writer.
+func writerCloseCall(p *Package, call *ast.CallExpr) (method, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Flush" {
+		return "", "", false
+	}
+	selInfo, isMethod := p.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false // package-qualified call, not a method
+	}
+	sig, isSig := selInfo.Type().(*types.Signature)
+	if !isSig || sig.Results().Len() != 1 {
+		return "", "", false
+	}
+	res := sig.Results().At(0).Type()
+	if !types.Identical(res, types.Universe.Lookup("error").Type()) {
+		return "", "", false
+	}
+	recvType := selInfo.Recv()
+	if !types.Implements(recvType, ioWriter) && !types.Implements(types.NewPointer(recvType), ioWriter) {
+		return "", "", false
+	}
+	return name, types.TypeString(recvType, types.RelativeTo(p.Types)), true
+}
+
+// ---------------------------------------------------------------------------
+// maprange
+
+// AnalyzerMapRange reports map iteration whose body accumulates into
+// floating-point state via compound assignment. Go randomizes map iteration
+// order, and float addition is not associative, so such sums differ between
+// runs — exactly the nondeterminism that breaks bit-reproducible
+// checkpoints and makes q-error regressions impossible to bisect. Iterate a
+// sorted key slice instead.
+var AnalyzerMapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration must not accumulate into float state (nondeterministic order perturbs sums)",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(rng.Body, func(m ast.Node) bool {
+					as, ok := m.(*ast.AssignStmt)
+					if !ok {
+						return true
+					}
+					switch as.Tok {
+					case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					default:
+						return true
+					}
+					for _, lhs := range as.Lhs {
+						if !isFloat(p, lhs) {
+							continue
+						}
+						if declaredWithin(p, lhs, rng) {
+							continue
+						}
+						out = append(out, diag(p, "maprange", as.Pos(),
+							"float accumulation over map iteration: order is random, sums are not associative; iterate sorted keys"))
+						break
+					}
+					return true
+				})
+				return true
+			})
+		}
+		return out
+	},
+}
+
+func isFloat(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredWithin reports whether the root object of lhs is declared inside
+// the range statement (a per-iteration temporary is order-independent).
+func declaredWithin(p *Package, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	id := rootIdent(lhs)
+	if id == nil {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package lint implements iamlint, a from-scratch static-analysis engine for
+// this module built only on the standard library's go/ast, go/parser and
+// go/types packages — matching the module's zero-dependency ethos.
+//
+// The engine loads every package in the module (parsing and type-checking
+// from source), then runs a pluggable set of analyzers. Each analyzer encodes
+// one IAM-specific invariant whose silent violation would undermine the
+// estimator's correctness guarantees: determinism of checkpoint/resume,
+// unbiasedness of progressive sampling, crash-safety of persisted state, and
+// cancellation of long training loops.
+//
+// Diagnostics can be suppressed per line with a comment of the form
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line or on the line directly above it. The reason
+// is mandatory: a suppression without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Column, d.Message, d.Check)
+}
+
+// Package is one loaded, type-checked package presented to analyzers.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Position resolves a token.Pos against the package's file set.
+func (p *Package) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// Analyzer is one pluggable invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// diag is a helper for analyzers to build a Diagnostic at a position.
+func diag(p *Package, check string, pos token.Pos, format string, args ...any) Diagnostic {
+	ps := p.Position(pos)
+	return Diagnostic{
+		Check:   check,
+		File:    ps.Filename,
+		Line:    ps.Line,
+		Column:  ps.Column,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// Analyzers returns the full shipped analyzer set in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerNoPanic,
+		AnalyzerGlobalRand,
+		AnalyzerAtomicWrite,
+		AnalyzerCtxTrain,
+		AnalyzerCloseCheck,
+		AnalyzerMapRange,
+	}
+}
+
+// AnalyzerByName resolves a check name; nil if unknown.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers applies the given analyzers to every package, applies
+// //lint:ignore suppressions, and returns the surviving diagnostics sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup := collectSuppressions(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if sup.covers(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		out = append(out, sup.malformed...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Column != out[j].Column {
+			return out[i].Column < out[j].Column
+		}
+		return out[i].Check < out[j].Check
+	})
+	return out
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppressions records, per file and line, which checks are ignored.
+//
+// A comment of the form
+//
+//	//lint:ignore check1[,check2] reason
+//
+// suppresses the listed checks on the comment's own line (trailing comment)
+// and on the next line (comment above the statement). "all" suppresses every
+// check. A missing reason makes the suppression itself a diagnostic: silent
+// escape hatches are exactly what the linter exists to prevent.
+type suppressions struct {
+	byLine    map[suppressKey]bool
+	malformed []Diagnostic
+}
+
+type suppressKey struct {
+	file  string
+	line  int
+	check string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+func collectSuppressions(p *Package) *suppressions {
+	s := &suppressions{byLine: map[suppressKey]bool{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := p.Position(c.Pos())
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, diag(p, "lintdirective", c.Pos(),
+						"malformed %s directive: want \"%s <check>[,<check>] <reason>\"", ignorePrefix, ignorePrefix))
+					continue
+				}
+				for _, check := range strings.Split(fields[0], ",") {
+					check = strings.TrimSpace(check)
+					if check == "" {
+						continue
+					}
+					if check != "all" && AnalyzerByName(check) == nil {
+						s.malformed = append(s.malformed, diag(p, "lintdirective", c.Pos(),
+							"%s names unknown check %q", ignorePrefix, check))
+						continue
+					}
+					s.byLine[suppressKey{pos.Filename, pos.Line, check}] = true
+					s.byLine[suppressKey{pos.Filename, pos.Line + 1, check}] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	return s.byLine[suppressKey{d.File, d.Line, d.Check}] ||
+		s.byLine[suppressKey{d.File, d.Line, "all"}]
+}

@@ -1,0 +1,20 @@
+// Package atomicwrite is a fixture for the atomicwrite analyzer.
+package atomicwrite
+
+import "os"
+
+func Bad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "bypasses atomic persistence"
+}
+
+func BadCreate(path string) (*os.File, error) {
+	return os.Create(path) // want "bypasses atomic persistence"
+}
+
+func GoodReadSide(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func GoodOpen(path string) (*os.File, error) {
+	return os.Open(path)
+}

@@ -1,0 +1,46 @@
+// Package closecheck is a fixture for the closecheck analyzer.
+package closecheck
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+func Bad(f *os.File) {
+	f.Close() // want "drops its error"
+}
+
+func BadDefer(f *os.File) {
+	defer f.Close() // want "drops its error"
+}
+
+func BadFlush(w *bufio.Writer) {
+	w.Flush() // want "drops its error"
+}
+
+func Good(f *os.File) error {
+	return f.Close()
+}
+
+func GoodExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func GoodDeferredFunc(f *os.File) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// readOnly is not an io.Writer: Close on pure readers is out of scope.
+type readOnly struct{ io.Reader }
+
+func (readOnly) Close() error { return nil }
+
+func GoodNonWriterClose(r readOnly) {
+	r.Close()
+}

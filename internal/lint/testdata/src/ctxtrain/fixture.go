@@ -1,0 +1,61 @@
+// Package ctxtrain is a fixture for the ctxtrain analyzer.
+package ctxtrain
+
+import "context"
+
+type Config struct {
+	Epochs int
+	Ctx    context.Context
+}
+
+func BadTrain(cfg Config) int {
+	steps := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ { // want "does not check a context"
+		steps++
+	}
+	return steps
+}
+
+func GoodParamCtx(ctx context.Context, cfg Config) error {
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GoodConfigCtx checks the config-carried context: detection is type-based,
+// so cfg.Ctx satisfies the invariant just like a parameter.
+func GoodConfigCtx(cfg Config) error {
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NotATrainingLoop has no epoch-named state; plain loops are out of scope.
+func NotATrainingLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// SuppressedFormatting shows the escape hatch for epoch-shaped loops that do
+// no training (e.g. formatting per-epoch rows of an already-computed curve).
+func SuppressedFormatting(cfg Config, curve []float64) []float64 {
+	var rows []float64
+	//lint:ignore ctxtrain formats already-computed rows; no training happens here
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if epoch < len(curve) {
+			rows = append(rows, curve[epoch])
+		}
+	}
+	return rows
+}

@@ -1,0 +1,23 @@
+// Package globalrand is a fixture for the globalrand analyzer.
+package globalrand
+
+import "math/rand"
+
+func Bad() int {
+	return rand.Intn(10) // want "draws from the global source"
+}
+
+func BadFloat() float64 {
+	return rand.Float64() // want "draws from the global source"
+}
+
+func Good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+func GoodConstructors() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// Referencing types from math/rand is fine.
+var _ rand.Source

@@ -1,0 +1,33 @@
+// Package nopanic is a fixture for the nopanic analyzer. Loaded under a
+// synthetic import path containing /internal/ so the analyzer treats it as
+// library code.
+package nopanic
+
+import "fmt"
+
+func Bad(x int) int {
+	if x < 0 {
+		panic("negative input") // want "panic in library package"
+	}
+	return x
+}
+
+func Good(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("nopanic: negative input %d", x)
+	}
+	return x, nil
+}
+
+func Suppressed(x int) int {
+	if x > 1<<30 {
+		//lint:ignore nopanic fixture demonstrating the escape hatch with a written reason
+		panic("overflow")
+	}
+	return x
+}
+
+func ShadowedPanicIsFine() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

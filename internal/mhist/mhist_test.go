@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestMHISTBeatsIndependenceOnCorrelated(t *testing.T) {
@@ -51,7 +52,7 @@ func TestMHISTWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 2})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 2})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@
 package mscn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -75,6 +76,12 @@ func (e *Estimator) predDim() int { return e.table.NumCols() + 4 }
 
 // New trains MSCN on a labelled workload.
 func New(t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error) {
+	return NewContext(context.Background(), t, train, cfg)
+}
+
+// NewContext is New with cancellation: cancelling ctx stops training between
+// mini-batches and returns the context's error.
+func NewContext(ctx context.Context, t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error) {
 	cfg.fillDefaults()
 	if len(train.Queries) == 0 || len(train.Queries) != len(train.TrueSel) {
 		return nil, fmt.Errorf("mscn: needs a labelled training workload")
@@ -87,7 +94,10 @@ func New(t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error
 			e.colSpan[j] = math.Max(float64(c.Card-1), 1)
 			continue
 		}
-		lo, hi := c.MinMax()
+		lo, hi, err := c.MinMax()
+		if err != nil {
+			return nil, fmt.Errorf("mscn: column %s: %w", c.Name, err)
+		}
 		e.colLo[j] = lo
 		e.colSpan[j] = math.Max(hi-lo, 1e-9)
 	}
@@ -126,7 +136,9 @@ func New(t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error
 	e.bitState = e.bitNet.NewState(cfg.BatchSize)
 	e.outState = e.outNet.NewState(cfg.BatchSize)
 
-	e.train(train, rng)
+	if err := e.train(ctx, train, rng); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -196,12 +208,15 @@ func (e *Estimator) bitmap(q *query.Query) []float64 {
 }
 
 // train runs mini-batch Adam on MSE of the sigmoid output.
-func (e *Estimator) train(train *query.Workload, rng *rand.Rand) {
+func (e *Estimator) train(ctx context.Context, train *query.Workload, rng *rand.Rand) error {
 	cfg := e.cfg
 	n := len(train.Queries)
 	idx := rng.Perm(n)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > n {
@@ -212,6 +227,7 @@ func (e *Estimator) train(train *query.Workload, rng *rand.Rand) {
 		}
 		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 	}
+	return nil
 }
 
 func (e *Estimator) trainBatch(train *query.Workload, batch []int) {

@@ -7,16 +7,17 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestMSCNLearnsWorkload(t *testing.T) {
 	tb := dataset.SynthTWI(6000, 1)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 800, Seed: 2})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 800, Seed: 2})
 	e, err := New(tb, train, Config{Epochs: 20, Samples: 300, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 4})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 100, Seed: 4})
 	ev, err := estimator.Evaluate(e, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -28,12 +29,12 @@ func TestMSCNLearnsWorkload(t *testing.T) {
 
 func TestMSCNBatchMatchesSingle(t *testing.T) {
 	tb := dataset.SynthTWI(2000, 5)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 200, Seed: 6})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 200, Seed: 6})
 	e, err := New(tb, train, Config{Epochs: 5, Samples: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 20, Seed: 8})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 20, Seed: 8})
 	batch, err := e.EstimateBatch(test.Queries)
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +52,7 @@ func TestMSCNBatchMatchesSingle(t *testing.T) {
 
 func TestTargetInversion(t *testing.T) {
 	tb := dataset.SynthTWI(1000, 9)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 50, Seed: 10})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 50, Seed: 10})
 	e, err := New(tb, train, Config{Epochs: 1, Samples: 50, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +71,7 @@ func TestTargetInversion(t *testing.T) {
 
 func TestFeaturizeShapes(t *testing.T) {
 	tb := dataset.SynthWISDM(500, 12)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 30, Seed: 13})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 30, Seed: 13})
 	e, err := New(tb, train, Config{Epochs: 1, Samples: 20, Seed: 14})
 	if err != nil {
 		t.Fatal(err)

@@ -121,7 +121,11 @@ func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, er
 		info := colInfo{arFirst: len(cards), enc: dataset.BuildEncoder(c)}
 		if info.enc.Card > cfg.MaxSubColumn {
 			info.factored = true
-			info.factor = dataset.NewFactorSpec(info.enc.Card, cfg.MaxSubColumn)
+			spec, err := dataset.NewFactorSpec(info.enc.Card, cfg.MaxSubColumn)
+			if err != nil {
+				return nil, err
+			}
+			info.factor = spec
 			info.arCount = len(info.factor.Bases)
 			cards = append(cards, info.factor.Bases...)
 		} else {
@@ -213,7 +217,10 @@ func (m *Model) BuildConstraints(q *query.Query) ([]ar.Constraint, error) {
 			continue
 		}
 		info := &m.cols[ci]
-		loCode, hiCode, ok := m.codeRange(ci, r)
+		loCode, hiCode, ok, err := m.codeRange(ci, r)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			cons[info.arFirst] = ar.EmptyConstraint{}
 			continue
@@ -233,11 +240,11 @@ func (m *Model) BuildConstraints(q *query.Query) ([]ar.Constraint, error) {
 }
 
 // codeRange maps a raw-value interval to an inclusive ordinal code range.
-func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool) {
+func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 	c := m.table.Columns[ci]
 	info := &m.cols[ci]
 	if r.Lo > r.Hi {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
 	if c.Kind == dataset.Categorical {
 		lo := 0
@@ -261,9 +268,9 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool) {
 			hi = info.enc.Card - 1
 		}
 		if lo > hi {
-			return 0, 0, false
+			return 0, 0, false, nil
 		}
-		return lo, hi, true
+		return lo, hi, true, nil
 	}
 	return info.enc.RangeToCodes(r.Lo, r.Hi, r.LoInc, r.HiInc)
 }
@@ -294,7 +301,7 @@ func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 		m.sessCap = need
 		m.sess = m.arm.Net.NewSession(need)
 	}
-	return m.arm.EstimateBatch(m.sess, consList, m.cfg.NumSamples, m.rng), nil
+	return m.arm.EstimateBatch(m.sess, consList, m.cfg.NumSamples, m.rng)
 }
 
 // AR exposes the underlying autoregressive model (for UAE).

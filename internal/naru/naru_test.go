@@ -6,6 +6,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func fastCfg() Config {
@@ -47,7 +48,7 @@ func TestNeurocardAccuracyWISDM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 4})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 4})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +66,7 @@ func TestColumnOrderAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 40, Seed: 6})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 40, Seed: 6})
 	ev, err := estimator.Evaluate(m, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

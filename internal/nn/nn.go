@@ -293,12 +293,13 @@ func NewResMADE(cfg Config) (*ResMADE, error) {
 // used to initialize every column's head at the log marginal frequencies so
 // rare values start calibrated instead of near-uniform (they would
 // otherwise need thousands of gradient steps to push their logits down).
-func (n *ResMADE) SetOutputBias(col int, bias []float64) {
+func (n *ResMADE) SetOutputBias(col int, bias []float64) error {
 	lo, hi := n.LogitRange(col)
 	if len(bias) != hi-lo {
-		panic(fmt.Sprintf("nn: SetOutputBias column %d expects %d values, got %d", col, hi-lo, len(bias)))
+		return fmt.Errorf("nn: SetOutputBias column %d expects %d values, got %d", col, hi-lo, len(bias))
 	}
 	copy(n.outLayer.b[lo:hi], bias)
+	return nil
 }
 
 // ParamCount returns the number of live (unmasked) parameters.
@@ -379,6 +380,7 @@ func view(m *vecmath.Matrix, b int) *vecmath.Matrix {
 func (s *Session) Forward(rows [][]int) {
 	n := s.net
 	if len(rows) > s.maxBatch {
+		//lint:ignore nopanic per-batch hot path; an oversized batch is a programmer error and an error return would poison every sampling inner loop
 		panic(fmt.Sprintf("nn: batch %d exceeds session max %d", len(rows), s.maxBatch))
 	}
 	s.B = len(rows)
@@ -393,6 +395,7 @@ func (s *Session) Forward(rows [][]int) {
 		dst := x0.Row(r)
 		for c, code := range row {
 			if code < 0 || code > n.Cards[c] {
+				//lint:ignore nopanic per-row hot path; out-of-domain codes mean a corrupted encoder, not a recoverable input
 				panic(fmt.Sprintf("nn: column %d code %d out of [0,%d]", c, code, n.Cards[c]))
 			}
 			copy(dst[n.embedOff[c]:n.embedOff[c]+n.EmbedDims[c]], n.embeds[c].Row(code))

@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestSingleColumnRangeAccuracy(t *testing.T) {
@@ -17,7 +18,7 @@ func TestSingleColumnRangeAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 2, MinFilters: 1, MaxFilters: 1})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 2, MinFilters: 1, MaxFilters: 1})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

@@ -33,6 +33,10 @@ func ExampleExecDisjunction() {
 	}
 	low, _ := query.Parse(t, "v <= 1")
 	high, _ := query.Parse(t, "v >= 5")
-	fmt.Printf("%.1f\n", query.ExecDisjunction(low, high))
+	sel, err := query.ExecDisjunction(low, high)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", sel)
 	// Output: 0.4
 }

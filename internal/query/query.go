@@ -5,6 +5,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -257,14 +258,15 @@ func Exec(q *Query) float64 {
 }
 
 // ExecDisjunction returns the exact selectivity of q1 OR q2 via
-// inclusion–exclusion on a single scan.
-func ExecDisjunction(q1, q2 *Query) float64 {
+// inclusion–exclusion on a single scan. Both queries must be bound to the
+// same table.
+func ExecDisjunction(q1, q2 *Query) (float64, error) {
 	if q1.Table != q2.Table {
-		panic("query: disjunction across different tables")
+		return 0, errors.New("query: disjunction across different tables")
 	}
 	n := q1.Table.NumRows()
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	count := 0
 	for i := 0; i < n; i++ {
@@ -272,5 +274,5 @@ func ExecDisjunction(q1, q2 *Query) float64 {
 			count++
 		}
 	}
-	return float64(count) / float64(n)
+	return float64(count) / float64(n), nil
 }

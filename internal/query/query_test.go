@@ -110,6 +110,17 @@ func TestSplitNeInclusionExclusion(t *testing.T) {
 	}
 }
 
+// genWorkload wraps Generate, failing the test on error (the exported
+// MustGenerate helper was removed in the panic-free API sweep).
+func genWorkload(t testing.TB, tb *dataset.Table, cfg GenConfig) *Workload {
+	t.Helper()
+	w, err := Generate(tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 func TestExecDisjunction(t *testing.T) {
 	tb := tinyTable()
 	q1 := NewQuery(tb)
@@ -117,7 +128,11 @@ func TestExecDisjunction(t *testing.T) {
 	q2 := NewQuery(tb)
 	mustAdd(t, q2, Predicate{Col: "cat", Op: Eq, Value: 2})
 	// val<=2 matches rows 0,1; cat=2 matches row 2 → union 3/5.
-	if got := ExecDisjunction(q1, q2); got != 0.6 {
+	got, err := ExecDisjunction(q1, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.6 {
 		t.Fatalf("disjunction sel = %v, want 0.6", got)
 	}
 	// Inclusion–exclusion identity.
@@ -131,7 +146,7 @@ func TestExecDisjunction(t *testing.T) {
 
 func TestGenerateWorkloadBounds(t *testing.T) {
 	tb := dataset.SynthWISDM(2000, 1)
-	w := MustGenerate(tb, GenConfig{NumQueries: 100, Seed: 7})
+	w := genWorkload(t, tb, GenConfig{NumQueries: 100, Seed: 7})
 	if len(w.Queries) != 100 || len(w.TrueSel) != 100 {
 		t.Fatalf("workload sizes %d/%d", len(w.Queries), len(w.TrueSel))
 	}
@@ -152,7 +167,7 @@ func TestGenerateWorkloadBounds(t *testing.T) {
 
 func TestGenerateRespectsFilterConfig(t *testing.T) {
 	tb := dataset.SynthWISDM(500, 2)
-	w := MustGenerate(tb, GenConfig{NumQueries: 50, Seed: 3, MinFilters: 2, MaxFilters: 3})
+	w := genWorkload(t, tb, GenConfig{NumQueries: 50, Seed: 3, MinFilters: 2, MaxFilters: 3})
 	for _, q := range w.Queries {
 		if nf := q.NumFilters(); nf < 2 || nf > 3 {
 			t.Fatalf("filters = %d, want 2..3", nf)
@@ -162,8 +177,8 @@ func TestGenerateRespectsFilterConfig(t *testing.T) {
 
 func TestGenerateDeterministic(t *testing.T) {
 	tb := dataset.SynthTWI(500, 2)
-	a := MustGenerate(tb, GenConfig{NumQueries: 20, Seed: 5})
-	b := MustGenerate(tb, GenConfig{NumQueries: 20, Seed: 5})
+	a := genWorkload(t, tb, GenConfig{NumQueries: 20, Seed: 5})
+	b := genWorkload(t, tb, GenConfig{NumQueries: 20, Seed: 5})
 	for i := range a.Queries {
 		if a.Queries[i].String() != b.Queries[i].String() {
 			t.Fatal("same seed generated different workloads")
@@ -177,7 +192,7 @@ func TestMatchesAgainstBruteForceProperty(t *testing.T) {
 	tb := dataset.SynthWISDM(300, 9)
 	rng := rand.New(rand.NewSource(10))
 	f := func(seed int64) bool {
-		w := MustGenerate(tb, GenConfig{NumQueries: 1, Seed: seed})
+		w := genWorkload(t, tb, GenConfig{NumQueries: 1, Seed: seed})
 		q := w.Queries[0]
 		count := 0
 		for i := 0; i < tb.NumRows(); i++ {

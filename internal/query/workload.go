@@ -105,7 +105,10 @@ func Generate(t *dataset.Table, cfg GenConfig) (*Workload, error) {
 	b := make([]bounds, t.NumCols())
 	for j, c := range t.Columns {
 		if c.Kind == dataset.Continuous {
-			lo, hi := c.MinMax()
+			lo, hi, err := c.MinMax()
+			if err != nil {
+				return nil, fmt.Errorf("query: generating workload: %w", err)
+			}
 			b[j] = bounds{lo, hi}
 		}
 	}
@@ -145,14 +148,4 @@ func Generate(t *dataset.Table, cfg GenConfig) (*Workload, error) {
 		w.TrueSel = append(w.TrueSel, Exec(q))
 	}
 	return w, nil
-}
-
-// MustGenerate is Generate for callers that treat a generation failure as a
-// programming error (tests, examples): it panics instead of returning one.
-func MustGenerate(t *dataset.Table, cfg GenConfig) *Workload {
-	w, err := Generate(t, cfg)
-	if err != nil {
-		panic(err)
-	}
-	return w
 }

@@ -10,7 +10,7 @@ import (
 
 func TestWorkloadRoundTrip(t *testing.T) {
 	tb := dataset.SynthWISDM(1500, 1)
-	w := MustGenerate(tb, GenConfig{NumQueries: 40, Seed: 2})
+	w := genWorkload(t, tb, GenConfig{NumQueries: 40, Seed: 2})
 	var buf bytes.Buffer
 	if err := w.Write(&buf); err != nil {
 		t.Fatal(err)

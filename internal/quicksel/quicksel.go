@@ -89,7 +89,10 @@ func New(t *dataset.Table, train *query.Workload, cfg Config) (*Estimator, error
 			// boxes by half a code below.
 			continue
 		}
-		lo, hi := c.MinMax()
+		lo, hi, err := c.MinMax()
+		if err != nil {
+			return nil, fmt.Errorf("quicksel: column %s: %w", c.Name, err)
+		}
 		e.colLo[j] = lo
 		e.colSpan[j] = math.Max(hi-lo, 1e-9)
 	}

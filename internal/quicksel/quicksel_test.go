@@ -7,16 +7,17 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestQuickSelLearnsFromQueries(t *testing.T) {
 	tb := dataset.SynthTWI(6000, 1)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 400, Seed: 2})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 400, Seed: 2})
 	e, err := New(tb, train, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 80, Seed: 4})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 80, Seed: 4})
 	ev, err := estimator.Evaluate(e, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +31,7 @@ func TestQuickSelLearnsFromQueries(t *testing.T) {
 
 func TestTrainingFitImproves(t *testing.T) {
 	tb := dataset.SynthTWI(4000, 5)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 200, Seed: 6})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 200, Seed: 6})
 	e, err := New(tb, train, Config{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +54,7 @@ func TestTrainingFitImproves(t *testing.T) {
 
 func TestWeightsOnSimplex(t *testing.T) {
 	tb := dataset.SynthHIGGS(2000, 8)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 9})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 100, Seed: 9})
 	e, err := New(tb, train, Config{MaxKernels: 64, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +101,7 @@ func TestNeedsTrainingWorkload(t *testing.T) {
 
 func TestUnconstrainedIsOne(t *testing.T) {
 	tb := dataset.SynthTWI(2000, 12)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 13})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 100, Seed: 13})
 	e, err := New(tb, train, Config{Seed: 14})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestSamplingAccuracy(t *testing.T) {
@@ -15,7 +16,7 @@ func TestSamplingAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 100, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +34,7 @@ func TestSamplingFullSampleIsExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 30, Seed: 6})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 30, Seed: 6})
 	for i, q := range w.Queries {
 		got, err := e.Estimate(q)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"iam/internal/dataset"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 // TestExpectationMatchesBruteForce checks E[g(X)·1(X∈q)] against a direct
@@ -58,7 +59,7 @@ func TestExpectationIdentityReducesToEstimate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 20, Seed: 4, SkipExec: true})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 20, Seed: 4, SkipExec: true})
 	for i, q := range w.Queries {
 		a, err := e.Estimate(q)
 		if err != nil {

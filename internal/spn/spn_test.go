@@ -7,6 +7,7 @@ import (
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func TestSPNWorkloadAccuracy(t *testing.T) {
@@ -15,7 +16,7 @@ func TestSPNWorkloadAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := query.MustGenerate(tb, query.GenConfig{NumQueries: 100, Seed: 3})
+	w := testutil.Workload(t, tb, query.GenConfig{NumQueries: 100, Seed: 3})
 	ev, err := estimator.Evaluate(e, w, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)

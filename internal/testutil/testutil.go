@@ -1,0 +1,23 @@
+// Package testutil holds shared helpers for this module's tests. It exists
+// because library packages must not panic (the nopanic invariant): instead
+// of a panicking MustGenerate in internal/query, tests route generation
+// failures through testing.TB.Fatal.
+package testutil
+
+import (
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+)
+
+// Workload generates a random workload over t and fails the test on error.
+// It replaces the former query.MustGenerate for test code.
+func Workload(tb testing.TB, t *dataset.Table, cfg query.GenConfig) *query.Workload {
+	tb.Helper()
+	w, err := query.Generate(t, cfg)
+	if err != nil {
+		tb.Fatalf("generating workload: %v", err)
+	}
+	return w
+}

@@ -12,6 +12,7 @@
 package uae
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -38,6 +39,9 @@ type Config struct {
 	// steps (default 128 — smaller than inference width to keep training
 	// affordable).
 	TrainSamples int
+	// Ctx optionally carries a cancellation context into the query-training
+	// loop (mirrors nn.TrainConfig.Ctx); nil means context.Background().
+	Ctx context.Context
 }
 
 func (c *Config) fillDefaults() {
@@ -102,6 +106,10 @@ func (m *Model) queryTrain(train *query.Workload, cfg Config) error {
 	if len(train.Queries) == 0 || len(train.Queries) != len(train.TrueSel) {
 		return fmt.Errorf("uae: needs a labelled training workload")
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	arm := m.AR()
 	rng := rand.New(rand.NewSource(cfg.Base.Seed + 101))
 	sess := arm.Net.NewSession(cfg.QueryBatch * cfg.TrainSamples)
@@ -114,6 +122,9 @@ func (m *Model) queryTrain(train *query.Workload, cfg Config) error {
 	n := len(train.Queries)
 	idx := rng.Perm(n)
 	for epoch := 0; epoch < cfg.QueryEpochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for start := 0; start < n; start += cfg.QueryBatch {
 			end := start + cfg.QueryBatch
 			if end > n {

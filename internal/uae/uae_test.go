@@ -7,6 +7,7 @@ import (
 	"iam/internal/estimator"
 	"iam/internal/naru"
 	"iam/internal/query"
+	"iam/internal/testutil"
 )
 
 func baseCfg() naru.Config {
@@ -32,7 +33,7 @@ func skewedTable(n int, seed int64) *dataset.Table {
 
 func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 	tb := skewedTable(4000, 2)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 300, Seed: 3})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 300, Seed: 3})
 	cfg := Config{Base: baseCfg(), QueryEpochs: 6, QueryBatch: 16, QueryLR: 2e-3}
 
 	m, err := TrainUAEQ(tb, train, cfg)
@@ -47,7 +48,7 @@ func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 4})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 4})
 	evQ, err := estimator.Evaluate(m, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
@@ -67,13 +68,13 @@ func TestUAEQLearnsFromQueriesOnly(t *testing.T) {
 
 func TestUAEAtLeastMatchesData(t *testing.T) {
 	tb := dataset.SynthTWI(4000, 5)
-	train := query.MustGenerate(tb, query.GenConfig{NumQueries: 200, Seed: 6})
+	train := testutil.Workload(t, tb, query.GenConfig{NumQueries: 200, Seed: 6})
 	cfg := Config{Base: baseCfg(), QueryEpochs: 3, QueryBatch: 16}
 	m, err := TrainUAE(tb, train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	test := query.MustGenerate(tb, query.GenConfig{NumQueries: 60, Seed: 7})
+	test := testutil.Workload(t, tb, query.GenConfig{NumQueries: 60, Seed: 7})
 	ev, err := estimator.Evaluate(m, test, tb.NumRows())
 	if err != nil {
 		t.Fatal(err)
