@@ -1,0 +1,40 @@
+# Developer entry points. Everything here is plain go-tool plumbing; the
+# Makefile only fixes the flags so `make lint` on a laptop runs exactly what
+# CI runs.
+
+GO ?= go
+
+.PHONY: build test test-short lint lint-warn lint-fix lint-json vet clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# lint is the blocking gate: error-severity findings only, fact cache on.
+lint:
+	$(GO) run ./cmd/iamlint ./...
+
+# lint-warn is the nightly sweep view: warn-tier findings included.
+lint-warn:
+	$(GO) run ./cmd/iamlint -severity=warn ./...
+
+# lint-fix applies the mechanically safe suggested fixes in place.
+lint-fix:
+	$(GO) run ./cmd/iamlint -fix ./...
+
+# lint-json emits machine-readable diagnostics (used by CI artifacts).
+lint-json:
+	$(GO) run ./cmd/iamlint -json -severity=warn ./...
+
+# vet runs iamlint through the go vet driver, exercising the -vettool path.
+vet:
+	$(GO) build -o .iamlint/iamlint-vettool ./cmd/iamlint
+	$(GO) vet -vettool=$(CURDIR)/.iamlint/iamlint-vettool ./...
+
+clean:
+	rm -rf .iamlint

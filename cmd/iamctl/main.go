@@ -230,7 +230,7 @@ func obtainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
 	if o.loadFrom != "" {
 		f, err := os.Open(o.loadFrom)
 		die(err)
-		defer func() { _ = f.Close() }() // read-only descriptor
+		defer func() { _ = f.Close() }() //lint:ignore errwrap read-only descriptor
 		m, err := core.Load(f, t)
 		die(err)
 		fmt.Fprintf(os.Stderr, "loaded model from %s\n", o.loadFrom)

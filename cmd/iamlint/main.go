@@ -2,18 +2,41 @@
 //
 // Usage:
 //
-//	iamlint [-json] [-checks nopanic,globalrand] [packages...]
+//	iamlint [flags] [packages...]
 //
 // Package patterns follow a subset of the go tool's syntax: "./..." (the
 // default), "<dir>/...", or plain directory / import paths. The exit code is
-// 0 when the tree is clean, 1 when diagnostics were reported, and 2 when the
-// source could not be loaded.
+// 0 when the tree is clean at the selected severity, 1 when diagnostics were
+// reported, and 2 when the source could not be loaded.
+//
+// Flags:
+//
+//	-severity error|warn  minimum severity to report (default error;
+//	                      the nightly CI sweep runs -severity=warn)
+//	-fix                  apply mechanically safe suggested fixes in place
+//	-baseline FILE        subtract the accepted findings in FILE; stale
+//	                      entries are reported at warn severity
+//	-write-baseline FILE  accept the current findings into FILE and exit
+//	-cache auto|off|PATH  fact cache location (default auto:
+//	                      <modroot>/.iamlint/cache.json); warm runs of an
+//	                      unchanged tree skip loading entirely
+//	-json                 emit diagnostics as a JSON array on stdout
+//	-checks a,b           run a subset of checks (disables the cache)
+//	-list                 list available checks and exit
+//	-v                    print cache statistics to stderr
+//
+// iamlint also speaks the go vet -vettool protocol: when invoked by the go
+// tool with a *.cfg unit file (or -V=full / -flags), it type-checks the unit
+// from the export data the go tool provides. Run it as
+//
+//	go build -o iamlint ./cmd/iamlint
+//	go vet -vettool=$(pwd)/iamlint ./...
 //
 // Diagnostics are suppressed per line with
 //
 //	//lint:ignore <check>[,<check>] <reason>
 //
-// on the offending line or the line directly above it; see DESIGN.md
+// on the offending line or above the statement it covers; see DESIGN.md
 // ("Enforced invariants") for each check's rationale.
 package main
 
@@ -32,18 +55,46 @@ func main() {
 }
 
 func run() int {
+	// go vet's unitchecker protocol probes tools with -V=full and -flags and
+	// then invokes them with a JSON unit-config file; detect those shapes
+	// before normal flag parsing.
+	if code, handled := maybeRunVetMode(os.Args[1:]); handled {
+		return code
+	}
+
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
-	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all; disables the cache)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	severity := flag.String("severity", "error", "minimum severity to report: error or warn")
+	fix := flag.Bool("fix", false, "apply mechanically safe suggested fixes in place")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to subtract")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings to this baseline file and exit")
+	cacheMode := flag.String("cache", "auto", "fact cache: auto, off, or an explicit path")
+	verbose := flag.Bool("v", false, "print cache statistics to stderr")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			sev := a.DefaultSeverity
+			if sev == "" {
+				sev = lint.SeverityError
+			}
+			fmt.Printf("%-12s [%s] %s\n", a.Name, sev, a.Doc)
 		}
 		return 0
 	}
+	var minSev lint.Severity
+	switch *severity {
+	case "error":
+		minSev = lint.SeverityError
+	case "warn":
+		minSev = lint.SeverityWarn
+	default:
+		fmt.Fprintf(os.Stderr, "iamlint: -severity must be error or warn, got %q\n", *severity)
+		return 2
+	}
+	cacheEnabled := true
 	if *checks != "" {
 		var sel []*lint.Analyzer
 		for _, name := range strings.Split(*checks, ",") {
@@ -56,6 +107,11 @@ func run() int {
 			sel = append(sel, a)
 		}
 		analyzers = sel
+		// A subset run must not poison the full-set fact store.
+		cacheEnabled = false
+	}
+	if *fix {
+		cacheEnabled = false // files change under us; keys would go stale
 	}
 
 	loader, err := lint.NewLoader(".")
@@ -63,17 +119,55 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
 		return 2
 	}
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
+	cachePath := ""
+	if cacheEnabled {
+		switch *cacheMode {
+		case "auto":
+			cachePath = lint.DefaultCachePath(loader.ModRoot)
+		case "off":
+		default:
+			cachePath = *cacheMode
+		}
 	}
-	pkgs, err := loader.Load(patterns...)
+
+	patterns := flag.Args()
+	diags, stats, err := lint.RunCached(".", patterns, analyzers, cachePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
 		return 2
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "iamlint: %d/%d packages from cache (warm=%v)\n",
+			stats.Hits, stats.Packages, stats.Warm)
+	}
 
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, loader.ModRoot, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "iamlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		entries, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
+			return 2
+		}
+		diags = lint.ApplyBaseline(loader.ModRoot, diags, entries)
+	}
+
+	if *fix {
+		applied, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "iamlint: applied %d fix(es)\n", applied)
+	}
+
+	diags = lint.FilterSeverity(diags, minSev)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -89,9 +183,10 @@ func run() int {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
+	// Only error-severity findings fail the run; warns are informational.
+	if lint.MaxSeverity(diags) == lint.SeverityError {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "iamlint: %d issue(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(os.Stderr, "iamlint: %d issue(s) reported\n", len(diags))
 		}
 		return 1
 	}

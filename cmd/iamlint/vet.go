@@ -1,0 +1,200 @@
+// vet.go teaches iamlint the go vet -vettool protocol (the "unitchecker"
+// convention), so the same binary drives both the standalone module-wide run
+// and per-package invocations by the go tool:
+//
+//	go build -o iamlint ./cmd/iamlint
+//	go vet -vettool=$(pwd)/iamlint ./...
+//
+// The protocol: cmd/go first probes the tool with -V=full (a version line it
+// hashes into its build cache key) and -flags (a JSON description of the
+// tool's flags), then invokes it once per package with the path of a JSON
+// unit-config file (*.cfg) naming the unit's Go files and the export data of
+// every dependency. The tool type-checks the unit against that export data,
+// writes the (possibly empty) facts file the config asks for, prints
+// diagnostics to stderr, and exits non-zero if it found any.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"iam/internal/atomicfile"
+	"iam/internal/lint"
+)
+
+// vetConfig mirrors the unit-config JSON written by cmd/go for vet tools.
+// Fields the tool does not consume are omitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// maybeRunVetMode detects and serves the three protocol shapes. It reports
+// handled=false when the invocation is a normal CLI run.
+func maybeRunVetMode(args []string) (code int, handled bool) {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			// The go tool folds this line into its cache key; it only needs
+			// to be stable for a given tool build.
+			fmt.Println("iamlint version 2")
+			return 0, true
+		}
+		if a == "-flags" || a == "--flags" {
+			// No tool-specific flags are exposed through the vet driver; the
+			// full interface lives in standalone mode.
+			fmt.Println("[]")
+			return 0, true
+		}
+	}
+	if len(args) == 0 || !strings.HasSuffix(args[len(args)-1], ".cfg") {
+		return 0, false
+	}
+	return runVetUnit(args[len(args)-1]), true
+}
+
+// runVetUnit lints one package unit described by a *.cfg file.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "iamlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Test variants (pkg.test, external _test packages, "pkg [pkg.test]")
+	// are out of scope by design: the invariants guard library code.
+	testUnit := strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") ||
+		strings.Contains(cfg.ImportPath, " [")
+
+	diags, err := lintVetUnit(&cfg, testUnit)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg)
+		}
+		fmt.Fprintf(os.Stderr, "iamlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if code := writeVetx(&cfg); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Only error-severity findings fail a vet run; the warn tier belongs to
+	// the standalone `iamlint -severity=warn` sweep.
+	diags = lint.FilterSeverity(diags, lint.SeverityError)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Column, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx creates the facts file the go tool expects. iamlint keeps no
+// cross-package vet facts, so the file is an empty JSON object; it must still
+// exist for the go tool's bookkeeping.
+func writeVetx(cfg *vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := atomicfile.WriteBytes(cfg.VetxOutput, []byte("{}\n")); err != nil {
+		fmt.Fprintf(os.Stderr, "iamlint: writing %s: %v\n", cfg.VetxOutput, err)
+		return 1
+	}
+	return 0
+}
+
+// lintVetUnit parses and type-checks one unit from the export data cmd/go
+// supplied, then runs the analyzer set over it.
+func lintVetUnit(cfg *vetConfig, testUnit bool) ([]lint.Diagnostic, error) {
+	if testUnit {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, b, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		src[name] = b
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	if strings.HasPrefix(cfg.GoVersion, "go") {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &lint.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Src:     src,
+	}
+	return lint.RunAnalyzers([]*lint.Package{p}, lint.Analyzers()), nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol builds the binary and drives it through the real
+// `go vet -vettool=` protocol against a throwaway module: a clean package
+// must pass, a package with an unwrapped error must fail with the errwrap
+// finding on stderr.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and shells out to go vet")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "iamlint")
+
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(filepath.Join(mod, "internal", "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(rel, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module vetcheck\n\ngo 1.21\n")
+	writeFile(filepath.Join("internal", "x", "x.go"),
+		"package x\n\nimport \"fmt\"\n\nfunc F(err error) error {\n\treturn fmt.Errorf(\"wrapping: %w\", err)\n}\n")
+
+	vet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet on a clean module failed: %v\n%s", err, out)
+	}
+
+	writeFile(filepath.Join("internal", "x", "x.go"),
+		"package x\n\nimport \"fmt\"\n\nfunc F(err error) error {\n\treturn fmt.Errorf(\"wrapping: %v\", err)\n}\n")
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet on a dirty module succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "loses the chain") || !strings.Contains(out, "errwrap") {
+		t.Errorf("vet output missing the errwrap finding:\n%s", out)
+	}
+}

@@ -26,7 +26,7 @@ func (m *Model) TrainQueryStep(sess *nn.Session, consList [][]Constraint, target
 	// identical to the ones seen during sampling (inputs ≥ c are ignored).
 	sess.Forward(rec.Rows[:total])
 
-	dl := &vecmath.Matrix{Rows: total, Cols: dLogits.Cols, Data: dLogits.Data[:total*dLogits.Cols]}
+	dl := vecmath.View(dLogits, total)
 	dl.Zero()
 	dist := make([]float64, maxCard(m.Cards))
 	w := make([]float64, maxCard(m.Cards))

@@ -12,6 +12,15 @@ import (
 	"path/filepath"
 )
 
+// WriteBytes atomically replaces path with data. It is WriteFile for callers
+// that already hold the full content in memory.
+func WriteBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
 // WriteFile atomically replaces path with the bytes produced by write. The
 // data lands in <path>.tmp first, is flushed to stable storage, and is then
 // renamed into place; on any error the temp file is removed and the previous
@@ -24,7 +33,7 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	}
 	defer func() {
 		if err != nil {
-			_ = f.Close() // already failing; the write error wins
+			_ = f.Close() //lint:ignore errwrap,closecheck already failing; the write error wins
 			os.Remove(tmp)
 		}
 	}()
@@ -45,7 +54,7 @@ func WriteFile(path string, write func(w io.Writer) error) (err error) {
 	// is already safe, only the directory entry may be replayed.
 	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
 		dir.Sync()
-		_ = dir.Close() // read-only descriptor
+		_ = dir.Close() //lint:ignore errwrap read-only descriptor
 	}
 	return nil
 }

@@ -41,7 +41,9 @@ type Config struct {
 }
 
 // DefaultConfig returns the laptop-scale configuration; the environment
-// variable IAM_BENCH_SCALE (a float multiplier) scales rows and workloads.
+// variable IAM_BENCH_SCALE (a float multiplier) scales rows and workloads,
+// and IAM_BENCH_SEED overrides the base seed every dataset, workload, and
+// model seed derives from.
 func DefaultConfig() Config {
 	cfg := Config{
 		Rows:         10000,
@@ -62,6 +64,11 @@ func DefaultConfig() Config {
 			cfg.TestQueries = int(float64(cfg.TestQueries) * f)
 			cfg.TrainQueries = int(float64(cfg.TrainQueries) * f)
 			cfg.JoinQueries = int(float64(cfg.JoinQueries) * f)
+		}
+	}
+	if sd := os.Getenv("IAM_BENCH_SEED"); sd != "" {
+		if v, err := strconv.ParseInt(sd, 10, 64); err == nil {
+			cfg.Seed = v
 		}
 	}
 	return cfg

@@ -29,7 +29,7 @@ import (
 func (m *Model) EstimateAvg(q *query.Query, col string) (float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.refreshMassEstimators()
+	m.refreshMassEstimatorsLocked()
 
 	ci := m.table.ColumnIndex(col)
 	if ci < 0 {
@@ -100,7 +100,7 @@ func (m *Model) EstimateAvg(q *query.Query, col string) (float64, error) {
 			wts[k] = 1
 		}
 	case kindReduced, kindFactored:
-		return m.estimateAvgSampled(q, ci, iv, cons, rec)
+		return m.estimateAvgSampledLocked(q, ci, iv, cons, rec)
 	}
 
 	// Re-forward the final rows; MADE masks make the target column's
@@ -132,10 +132,10 @@ func (m *Model) EstimateAvg(q *query.Query, col string) (float64, error) {
 	return num / den, nil
 }
 
-// estimateAvgSampled is the fallback AVG path for factored and
+// estimateAvgSampledLocked is the fallback AVG path for factored and
 // alternative-reducer columns: the target column is explicitly sampled and
 // per-sample value estimates are averaged.
-func (m *Model) estimateAvgSampled(q *query.Query, ci int, iv query.Interval, cons []ar.Constraint, rec *ar.SampleRecord) (float64, error) {
+func (m *Model) estimateAvgSampledLocked(q *query.Query, ci int, iv query.Interval, cons []ar.Constraint, rec *ar.SampleRecord) (float64, error) {
 	info := &m.cols[ci]
 	if cons[info.arFirst] == nil {
 		// Force sampling of the target column on a fresh run.
@@ -185,7 +185,7 @@ func (m *Model) estimateAvgSampled(q *query.Query, ci int, iv query.Interval, co
 func (m *Model) EstimateWithCI(q *query.Query) (est, stderr float64, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.refreshMassEstimators()
+	m.refreshMassEstimatorsLocked()
 	cons, err := m.buildConstraints(q)
 	if err != nil {
 		return 0, 0, err

@@ -218,12 +218,14 @@ type Model struct {
 	GMMLosses []float64
 	ARLosses  []float64
 
+	// mu guards the shared inference state below: EstimateBatch runs on
+	// caller goroutines while training callbacks may estimate concurrently.
 	mu        sync.Mutex
-	sess      *nn.Session
-	sessCap   int
-	massRNG   *rand.Rand
-	estRNG    *rand.Rand
-	massDirty bool
+	sess      *nn.Session // iam:guardedby mu
+	sessCap   int         // iam:guardedby mu
+	massRNG   *rand.Rand  // iam:guardedby mu
+	estRNG    *rand.Rand  // iam:guardedby mu
+	massDirty bool        // iam:guardedby mu
 }
 
 // Train fits IAM on table t.
@@ -542,7 +544,7 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 				}
 			}
 			sess.Forward(inputs[:b])
-			dl := &vecmath.Matrix{Rows: b, Cols: dLogits.Cols, Data: dLogits.Data[:b*dLogits.Cols]}
+			dl := vecmath.View(dLogits, b)
 			nll := sess.CrossEntropyGrad(targets[:b], dl)
 			if math.IsNaN(nll) || math.IsInf(nll, 0) {
 				diverged = true // stepping on poisoned logits is pointless
@@ -583,7 +585,7 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 		}
 		m.GMMLosses = append(m.GMMLosses, gmmMean)
 		m.ARLosses = append(m.ARLosses, arMean)
-		m.massDirty = true
+		m.invalidateMasses()
 		good = m.captureJoint()
 		if err := checkpoint(e + 1); err != nil {
 			return err
@@ -663,10 +665,20 @@ func logitDim(arm *ar.Model) int {
 	return d
 }
 
-// refreshMassEstimators (re)builds the per-GMM range-mass preprocessing —
-// the one-time sampling step of §5.2 — after training has moved GMM
-// parameters.
-func (m *Model) refreshMassEstimators() {
+// invalidateMasses marks the GMM mass preprocessing stale after training has
+// moved the mixture parameters. Training runs on one goroutine while OnEpoch
+// callbacks may estimate concurrently, so the flag flip takes the lock.
+func (m *Model) invalidateMasses() {
+	m.mu.Lock()
+	m.massDirty = true
+	m.mu.Unlock()
+}
+
+// refreshMassEstimatorsLocked (re)builds the per-GMM range-mass
+// preprocessing — the one-time sampling step of §5.2 — after training has
+// moved GMM parameters. Callers hold m.mu (the Locked suffix is the
+// guardedby analyzer's held-on-entry contract).
+func (m *Model) refreshMassEstimatorsLocked() {
 	if !m.massDirty {
 		return
 	}
@@ -702,7 +714,7 @@ func (m *Model) Estimate(q *query.Query) (float64, error) {
 func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.refreshMassEstimators()
+	m.refreshMassEstimatorsLocked()
 
 	consList := make([][]ar.Constraint, len(qs))
 	out := make([]float64, len(qs))
@@ -845,6 +857,7 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 		lo := 0
 		if !math.IsInf(r.Lo, -1) {
 			lo = int(math.Ceil(r.Lo))
+			//lint:ignore floateq exact integer roundtrip decides whether an exclusive float bound excludes the integer code
 			if float64(lo) == r.Lo && !r.LoInc {
 				lo++
 			}
@@ -852,6 +865,7 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 		hi := info.enc.Card - 1
 		if !math.IsInf(r.Hi, 1) {
 			hi = int(math.Floor(r.Hi))
+			//lint:ignore floateq exact integer roundtrip decides whether an exclusive float bound excludes the integer code
 			if float64(hi) == r.Hi && !r.HiInc {
 				hi--
 			}

@@ -32,6 +32,7 @@ func BuildEncoder(c *Column) *ColumnEncoder {
 // the column the encoder was built from.
 func (e *ColumnEncoder) EncodeFloat(v float64) (int, error) {
 	i := sort.SearchFloat64s(e.vals, v)
+	//lint:ignore floateq domain membership over exactly stored values; a near-miss is out of domain by definition
 	if i >= len(e.vals) || e.vals[i] != v {
 		return 0, fmt.Errorf("dataset: value %v not in domain of column %q", v, e.Name)
 	}
@@ -53,11 +54,13 @@ func (e *ColumnEncoder) RangeToCodes(lo, hi float64, loInc, hiInc bool) (loCode,
 	}
 	// Smallest index with vals[i] >= lo (or > lo when exclusive).
 	loCode = sort.SearchFloat64s(e.vals, lo)
+	//lint:ignore floateq domain membership over exactly stored values; the code interval is defined by bit equality
 	if !loInc && loCode < len(e.vals) && e.vals[loCode] == lo {
 		loCode++
 	}
 	// Largest index with vals[i] <= hi (or < hi when exclusive).
 	hiCode = sort.SearchFloat64s(e.vals, hi)
+	//lint:ignore floateq domain membership over exactly stored values; the code interval is defined by bit equality
 	if hiCode < len(e.vals) && e.vals[hiCode] == hi && hiInc {
 		// keep: vals[hiCode] == hi qualifies
 	} else {

@@ -23,7 +23,7 @@ import (
 var (
 	armed int32 // non-zero while any site is armed (fast-path gate)
 	mu    sync.Mutex
-	sites map[string]int // remaining firings per site
+	sites map[string]int // iam:guardedby mu — remaining firings per site
 )
 
 // Arm makes site fire `times` times (≤ 0 disarms it). Subsequent Fires calls

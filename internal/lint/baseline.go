@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"iam/internal/atomicfile"
+)
+
+// baseline.go implements accepted-debt tracking. A baseline file is a
+// committed JSON list of findings the team has decided to live with for now;
+// `iamlint -baseline .iamlint-baseline.json` subtracts them from the output
+// so CI stays green while the debt is paid down. Entries match on check name,
+// module-relative file and message — deliberately not on line numbers, which
+// drift with every edit above the finding.
+//
+// Stale entries (present in the baseline, no longer reported) are themselves
+// reported at warn severity: a baseline is a queue, not a landfill.
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // module-root relative, slash-separated
+	Message string `json:"message"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty baseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline persists the given diagnostics as the new accepted set.
+func WriteBaseline(path, modRoot string, diags []Diagnostic) error {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range relDiags(modRoot, diags) {
+		entries = append(entries, BaselineEntry{Check: d.Check, File: d.File, Message: d.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		if entries[i].Check != entries[j].Check {
+			return entries[i].Check < entries[j].Check
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	data, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteBytes(path, append(data, '\n'))
+}
+
+// ApplyBaseline subtracts baselined findings from diags and appends one
+// warn-severity diagnostic per stale entry. Each entry absorbs any number of
+// identical findings.
+func ApplyBaseline(modRoot string, diags []Diagnostic, entries []BaselineEntry) []Diagnostic {
+	if len(entries) == 0 {
+		return diags
+	}
+	type key struct{ check, file, msg string }
+	accepted := map[key]bool{}
+	used := map[key]bool{}
+	for _, e := range entries {
+		accepted[key{e.Check, e.File, e.Message}] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		file := d.File
+		if rel, err := filepath.Rel(modRoot, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		k := key{d.Check, file, d.Message}
+		if accepted[k] {
+			used[k] = true
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, e := range entries {
+		k := key{e.Check, e.File, e.Message}
+		if !used[k] {
+			out = append(out, Diagnostic{
+				Check:    "baseline",
+				Severity: SeverityWarn,
+				File:     filepath.Join(modRoot, filepath.FromSlash(e.File)),
+				Line:     1,
+				Column:   1,
+				Message:  fmt.Sprintf("stale baseline entry for %s (%q) — the finding is gone; remove the entry", e.Check, e.Message),
+			})
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}

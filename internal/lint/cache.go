@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iam/internal/atomicfile"
+)
+
+// cache.go implements the content-hash fact cache that makes warm lint runs
+// fast. Each package gets a key derived from
+//
+//   - the cache schema version and the Go toolchain version,
+//   - the names of the analyzers that ran,
+//   - the name and sha256 of every non-test Go file in the package, and
+//   - recursively, the keys of its module-internal imports,
+//
+// so editing any file invalidates exactly the packages that can see it. The
+// crucial property of the warm path: computing keys needs file hashing and an
+// imports-only parse — no type-checking — so a fully-warm run over an
+// unchanged tree skips loading entirely and replays the stored diagnostics.
+//
+// Suppressions and baselines are applied downstream of the cache (suppressed
+// diagnostics are never stored; baseline filtering happens in the CLI), so a
+// cache hit replays exactly what a cold run would produce.
+
+const cacheSchema = "iamlint-cache-v1"
+
+// cacheFile is the on-disk shape of the fact store.
+type cacheFile struct {
+	Schema  string                `json:"schema"`
+	Entries map[string]cacheEntry `json:"entries"` // keyed by package path
+}
+
+// cacheEntry holds one package's key and its (unsuppressed) diagnostics with
+// file paths stored relative to the module root.
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+// DefaultCachePath is where the CLI keeps the fact store, relative to the
+// module root. The directory is .gitignored.
+func DefaultCachePath(modRoot string) string {
+	return filepath.Join(modRoot, ".iamlint", "cache.json")
+}
+
+// CacheStats reports what a cached run did, for -v output and tests.
+type CacheStats struct {
+	Packages int  // packages in scope
+	Hits     int  // packages served from the cache
+	Warm     bool // true when the whole run avoided loading entirely
+}
+
+// pkgMeta is the per-directory metadata gathered without type-checking.
+type pkgMeta struct {
+	dir     string
+	pkgPath string
+	files   []string // sorted file names
+	hashes  []string // sha256 per file, same order
+	imports []string // module-internal imports
+	err     error
+}
+
+// computeKeys hashes every package directory of the module in parallel and
+// folds the import DAG into per-package transitive keys.
+func computeKeys(modRoot, modPath string, dirs []string, analyzers []*Analyzer) (map[string]*pkgMeta, map[string]string, error) {
+	metas := make([]*pkgMeta, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			metas[i] = hashDir(modRoot, modPath, dir)
+		}(i, dir)
+	}
+	wg.Wait()
+
+	byPath := map[string]*pkgMeta{}
+	for _, m := range metas {
+		if m.err != nil {
+			return nil, nil, m.err
+		}
+		byPath[m.pkgPath] = m
+	}
+
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	base := cacheSchema + "|" + runtime.Version() + "|" + strings.Join(names, ",")
+
+	keys := map[string]string{}
+	var resolve func(path string, trail []string) string
+	resolve = func(path string, trail []string) string {
+		if k, ok := keys[path]; ok {
+			return k
+		}
+		for _, t := range trail {
+			if t == path {
+				return "cycle:" + path // Go forbids cycles; be defensive anyway
+			}
+		}
+		m, ok := byPath[path]
+		if !ok {
+			return "missing:" + path
+		}
+		h := sha256.New()
+		fmt.Fprintln(h, base)
+		fmt.Fprintln(h, path)
+		for i, name := range m.files {
+			fmt.Fprintf(h, "%s %s\n", name, m.hashes[i])
+		}
+		trail = append(trail, path)
+		for _, imp := range m.imports {
+			fmt.Fprintf(h, "import %s %s\n", imp, resolve(imp, trail))
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[path] = k
+		return k
+	}
+	for path := range byPath {
+		resolve(path, nil)
+	}
+	return byPath, keys, nil
+}
+
+// hashDir reads one package directory: file hashes plus an imports-only parse.
+func hashDir(modRoot, modPath, dir string) *pkgMeta {
+	m := &pkgMeta{dir: dir, pkgPath: pkgPathFor(modRoot, modPath, dir)}
+	names, err := sourceFileNames(dir)
+	if err != nil {
+		m.err = err
+		return m
+	}
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			m.err = err
+			return m
+		}
+		sum := sha256.Sum256(src)
+		m.files = append(m.files, name)
+		m.hashes = append(m.hashes, hex.EncodeToString(sum[:]))
+		f, err := parser.ParseFile(fset, full, src, parser.ImportsOnly)
+		if err != nil {
+			m.err = err
+			return m
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				imports[path] = true
+			}
+		}
+	}
+	for path := range imports {
+		m.imports = append(m.imports, path)
+	}
+	sort.Strings(m.imports)
+	return m
+}
+
+// pkgPathFor maps a directory to its import path within the module.
+func pkgPathFor(modRoot, modPath, dir string) string {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
+// loadCache reads the fact store; a missing or unreadable store is just cold.
+func loadCache(path string) *cacheFile {
+	c := &cacheFile{Schema: cacheSchema, Entries: map[string]cacheEntry{}}
+	if path == "" {
+		return c
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var got cacheFile
+	if json.Unmarshal(data, &got) != nil || got.Schema != cacheSchema || got.Entries == nil {
+		return c
+	}
+	return &got
+}
+
+// saveCache persists the fact store crash-safely.
+func saveCache(path string, c *cacheFile) error {
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(c, "", "\t")
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteBytes(path, data)
+}
+
+// relDiags rebases diagnostic file paths onto the module root for storage.
+func relDiags(modRoot string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(modRoot, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = filepath.ToSlash(rel)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// absDiags restores module-root-relative paths to absolute ones for display.
+func absDiags(modRoot string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if !filepath.IsAbs(d.File) {
+			d.File = filepath.Join(modRoot, filepath.FromSlash(d.File))
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// RunCached lints the packages matching patterns, serving unchanged packages
+// from the fact store at cachePath ("" disables caching). On a fully-warm
+// run no package is parsed beyond its import clauses.
+func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath string) ([]Diagnostic, CacheStats, error) {
+	var stats CacheStats
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	dirs, err := ModuleDirs(l.ModRoot)
+	if err != nil {
+		return nil, stats, err
+	}
+	metas, keys, err := computeKeys(l.ModRoot, l.ModPath, dirs, analyzers)
+	if err != nil {
+		return nil, stats, err
+	}
+	targets, err := matchMetas(l, metas, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Packages = len(targets)
+
+	cache := loadCache(cachePath)
+
+	// Warm path: every target package is cached under its current key.
+	var out []Diagnostic
+	allHit := true
+	for _, m := range targets {
+		e, ok := cache.Entries[m.pkgPath]
+		if !ok || e.Key != keys[m.pkgPath] {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		for _, m := range targets {
+			out = append(out, absDiags(l.ModRoot, cache.Entries[m.pkgPath].Diags)...)
+			stats.Hits++
+		}
+		stats.Warm = true
+		SortDiagnostics(out)
+		return out, stats, nil
+	}
+
+	// Cold path: load everything once, analyze only the missed packages.
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, stats, err
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	var misses []*Package
+	for _, m := range targets {
+		e, ok := cache.Entries[m.pkgPath]
+		if ok && e.Key == keys[m.pkgPath] {
+			out = append(out, absDiags(l.ModRoot, e.Diags)...)
+			stats.Hits++
+			continue
+		}
+		p, ok := byPath[m.pkgPath]
+		if !ok {
+			return nil, stats, fmt.Errorf("lint: package %s matched but did not load", m.pkgPath)
+		}
+		misses = append(misses, p)
+	}
+	fresh := RunAnalyzers(misses, analyzers)
+	out = append(out, fresh...)
+
+	perPkg := map[string][]Diagnostic{}
+	for _, d := range fresh {
+		perPkg[pkgOfDiag(misses, d)] = append(perPkg[pkgOfDiag(misses, d)], d)
+	}
+	for _, p := range misses {
+		cache.Entries[p.PkgPath] = cacheEntry{
+			Key:   keys[p.PkgPath],
+			Diags: relDiags(l.ModRoot, perPkg[p.PkgPath]),
+		}
+	}
+	if err := saveCache(cachePath, cache); err != nil {
+		return nil, stats, fmt.Errorf("lint: writing cache: %w", err)
+	}
+	SortDiagnostics(out)
+	return out, stats, nil
+}
+
+// pkgOfDiag attributes a diagnostic to the package whose directory contains
+// its file.
+func pkgOfDiag(pkgs []*Package, d Diagnostic) string {
+	dir := filepath.Dir(d.File)
+	for _, p := range pkgs {
+		if p.Dir == dir {
+			return p.PkgPath
+		}
+	}
+	return ""
+}
+
+// matchMetas filters the hashed package set by the CLI patterns, mirroring
+// Loader pattern semantics without loading.
+func matchMetas(l *Loader, metas map[string]*pkgMeta, patterns []string) ([]*pkgMeta, error) {
+	paths := make([]string, 0, len(metas))
+	for path := range metas {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var out []*pkgMeta
+	for _, pat := range patterns {
+		matched := false
+		for _, path := range paths {
+			m := metas[path]
+			stub := &Package{PkgPath: path, Dir: m.dir}
+			if l.matches(stub, pat) {
+				matched = true
+				if !seen[path] {
+					seen[path] = true
+					out = append(out, m)
+				}
+			}
+		}
+		if !matched {
+			return nil, errors.New("lint: pattern " + strconv.Quote(pat) + " matched no packages")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// cfg.go builds a small intra-procedural control-flow graph over go/ast
+// function bodies. Blocks hold "atomic" nodes — simple statements and the
+// condition/tag expressions of composite statements — in execution order;
+// composite statements (if/for/range/switch/select) decompose into blocks
+// and edges. The graph is the substrate for guardedby's must-hold lock
+// analysis (guardedby.go) and the CFG unit tests.
+//
+// Scope notes, chosen deliberately for a linter (diagnostics, not codegen):
+//   - goto is treated like return (an edge to the exit block). A must-hold
+//     analysis over such a graph can miss a violation after a goto label but
+//     never invents one before it; the module's style bans goto anyway.
+//   - Function literals are NOT inlined: a closure runs at an unknown time,
+//     so analyses visit FuncLit bodies as separate units.
+//   - panic() ends a block like return: control does not continue to the
+//     next statement.
+
+// cfgBlock is one straight-line run of atomic nodes.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	index int // position in cfg.blocks, for dataflow state arrays
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// loopFrame tracks the jump targets of one enclosing breakable/continuable
+// construct, with its label when the construct is labeled.
+type loopFrame struct {
+	label        string
+	breakTarget  *cfgBlock
+	contTarget   *cfgBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g      *cfg
+	cur    *cfgBlock
+	frames []loopFrame
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	g := &cfg{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.newBlock()
+	g.exit = b.newBlock()
+	b.cur = g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches the exit.
+	b.edge(b.cur, g.exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// findFrame resolves the innermost matching frame for a break/continue; an
+// empty label matches the innermost frame that supports the jump.
+func (b *cfgBuilder) findFrame(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.contTarget == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// stmt translates one statement. label carries the name of an immediately
+// enclosing LabeledStmt so labeled loops register their frame under it.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(v.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(v.Stmt, v.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.emit(v)
+		b.edge(b.cur, b.g.exit)
+		b.cur = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		b.emit(v)
+		name := ""
+		if v.Label != nil {
+			name = v.Label.Name
+		}
+		switch v.Tok.String() {
+		case "break":
+			if f := b.findFrame(name, false); f != nil {
+				b.edge(b.cur, f.breakTarget)
+			} else {
+				b.edge(b.cur, b.g.exit)
+			}
+			b.cur = b.newBlock()
+		case "continue":
+			if f := b.findFrame(name, true); f != nil {
+				b.edge(b.cur, f.contTarget)
+			} else {
+				b.edge(b.cur, b.g.exit)
+			}
+			b.cur = b.newBlock()
+		case "goto":
+			b.edge(b.cur, b.g.exit)
+			b.cur = b.newBlock()
+		case "fallthrough":
+			// Handled by the enclosing switch: the case body's block gets an
+			// edge to the next case body.
+		}
+
+	case *ast.IfStmt:
+		if v.Init != nil {
+			b.stmt(v.Init, "")
+		}
+		b.emit(v.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(v.Body.List)
+		b.edge(b.cur, after)
+
+		if v.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(v.Else, "")
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if v.Init != nil {
+			b.stmt(v.Init, "")
+		}
+		header := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		b.edge(b.cur, header)
+		if v.Cond != nil {
+			header.nodes = append(header.nodes, v.Cond)
+			b.edge(header, after)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, contTarget: post})
+		b.cur = body
+		b.stmtList(v.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, post)
+		if v.Post != nil {
+			post.nodes = append(post.nodes, v.Post)
+		}
+		b.edge(post, header)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.emit(v.X)
+		header := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, header)
+		b.edge(header, after) // empty collection
+		if v.Key != nil {
+			header.nodes = append(header.nodes, v.Key)
+		}
+		if v.Value != nil {
+			header.nodes = append(header.nodes, v.Value)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, contTarget: header})
+		b.cur = body
+		b.stmtList(v.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(b.cur, header)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			b.stmt(v.Init, "")
+		}
+		if v.Tag != nil {
+			b.emit(v.Tag)
+		}
+		b.switchClauses(v.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			b.stmt(v.Init, "")
+		}
+		b.emit(v.Assign)
+		b.switchClauses(v.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+
+	case *ast.SelectStmt:
+		dispatch := b.cur
+		after := b.newBlock()
+		hasDefault := false
+		b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+		for _, clause := range v.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(dispatch, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm, "")
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		_ = hasDefault // a select without default still leaves via some clause
+		b.cur = after
+
+	default:
+		// Simple statements: assignments, calls, defers, go, sends, decls,
+		// inc/dec, empty. A panic() call terminates the block.
+		b.emit(s)
+		if isPanicStmt(s) {
+			b.edge(b.cur, b.g.exit)
+			b.cur = b.newBlock()
+		}
+	}
+}
+
+// switchClauses builds the shared structure of expression and type switches:
+// a dispatch block fanning out to case bodies, fallthrough edges, and a
+// shared after block (also the break target). caseNodes extracts the
+// comparison expressions evaluated before a case body runs.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	dispatch := b.cur
+	after := b.newBlock()
+	hasDefault := false
+	bodies := make([]*cfgBlock, 0, len(clauses))
+	ccs := make([]*ast.CaseClause, 0, len(clauses))
+	for _, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		blk.nodes = append(blk.nodes, caseNodes(cc)...)
+		b.edge(dispatch, blk)
+		bodies = append(bodies, blk)
+		ccs = append(ccs, cc)
+	}
+	if !hasDefault {
+		b.edge(dispatch, after) // no case matched
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+	for i, cc := range ccs {
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+// isPanicStmt reports whether s is a bare call to the builtin panic.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// dataflow.go holds the small expression-level dataflow helpers shared by the
+// v2 analyzers: constant extraction through go/types, local assignment
+// chasing, and enclosing-function lookup.
+
+// constIntOf extracts the compile-time integer value of e when go/types
+// evaluated it to a constant (named consts, literals, constant arithmetic).
+func constIntOf(p *Package, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, exact := constant.Int64Val(v)
+	if !exact {
+		return 0, false
+	}
+	return n, true
+}
+
+// assignedExprs collects every expression assigned to obj within scope
+// (definitions and plain assignments with matching arity). Nested function
+// literals are included: a closure assigning a captured variable is still a
+// producer of its values.
+func assignedExprs(p *Package, scope ast.Node, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if p.Info.Defs[id] == obj || p.Info.Uses[id] == obj {
+					out = append(out, v.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(v.Names) != len(v.Values) {
+				return true
+			}
+			for i, name := range v.Names {
+				if p.Info.Defs[name] == obj {
+					out = append(out, v.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingFuncDecl returns the FuncDecl in f whose body spans pos, or nil.
+func enclosingFuncDecl(f *ast.File, pos ast.Node) *ast.FuncDecl {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isParam reports whether obj is declared in fd's signature (parameters,
+// results, or receiver) rather than in its body.
+func isParam(fd *ast.FuncDecl, obj types.Object) bool {
+	if fd == nil {
+		return false
+	}
+	if fd.Recv != nil && fd.Recv.Pos() <= obj.Pos() && obj.Pos() < fd.Recv.End() {
+		return true
+	}
+	return fd.Type.Pos() <= obj.Pos() && obj.Pos() < fd.Type.End()
+}

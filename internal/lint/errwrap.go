@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// errwrap keeps error chains inspectable across package boundaries.
+//
+// Rule 1 (internal packages): an error formatted into fmt.Errorf must use the
+// %w verb, not %v/%s — otherwise errors.Is/errors.As cannot see through the
+// boundary and callers lose the ability to match sentinel errors (the guard
+// cascade matches context.Canceled this way). Plain %v hits carry a suggested
+// fix to %w applied by `iamlint -fix`.
+//
+// Rule 2 (everywhere): `_ = expr` where expr has type error silently discards
+// a failure. Discards that are genuinely fine (best-effort close on a
+// read-only file, cleanup on an already-failing path) must say so with
+// `//lint:ignore errwrap <reason>`.
+
+// AnalyzerErrWrap enforces %w wrapping and explicit error discards.
+var AnalyzerErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors crossing internal boundaries must wrap with %w; `_ =` error discards need //lint:ignore",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		library := libraryPackage(p)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					if library {
+						out = append(out, checkErrorf(p, v)...)
+					}
+				case *ast.AssignStmt:
+					out = append(out, checkErrDiscard(p, v)...)
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// checkErrorf inspects one fmt.Errorf call: every error-typed argument must
+// be consumed by a %w verb.
+func checkErrorf(p *Package, call *ast.CallExpr) []Diagnostic {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || usedPackagePath(p, sel) != "fmt" || sel.Sel.Name != "Errorf" || len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	verbs, ok := parseVerbs(lit.Value)
+	if !ok {
+		return nil // indexed or otherwise exotic format: stay silent
+	}
+	var out []Diagnostic
+	for _, vb := range verbs {
+		argIdx := 1 + vb.arg
+		if argIdx >= len(call.Args) {
+			break // fmt itself will complain about missing args
+		}
+		arg := call.Args[argIdx]
+		if vb.letter == 'w' || !isErrorType(p, arg) {
+			continue
+		}
+		d := diag(p, "errwrap", arg.Pos(),
+			"error formatted with %%%c loses the chain; use %%w so callers can errors.Is/As through it", vb.letter)
+		if vb.plain && (vb.letter == 'v' || vb.letter == 's') {
+			litStart := p.Position(lit.Pos()).Offset
+			d.Fix = &Fix{Start: litStart + vb.off, End: litStart + vb.off + 2, NewText: "%w"}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// verb is one format verb occurrence within a format string literal.
+type verb struct {
+	letter byte
+	arg    int  // zero-based operand index
+	off    int  // byte offset of '%' within the literal (including quotes)
+	plain  bool // no flags/width/precision: the verb is exactly "%x"
+}
+
+// parseVerbs scans a string literal's raw text (quotes included) for format
+// verbs, mapping each to its operand index. It reports ok=false on indexed
+// arguments (%[1]v), which would break the positional mapping.
+//
+// Scanning the raw literal is safe because no escape sequence produces '%',
+// so byte offsets line up with the file for suggested fixes.
+func parseVerbs(raw string) ([]verb, bool) {
+	var out []verb
+	arg := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] != '%' {
+			continue
+		}
+		start := i
+		i++
+		if i < len(raw) && raw[i] == '%' {
+			continue // literal percent
+		}
+		plain := true
+		for i < len(raw) {
+			c := raw[i]
+			if c == '[' {
+				return nil, false // indexed argument
+			}
+			if c == '*' {
+				arg++ // width/precision consumes an operand
+				plain = false
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				plain = false
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(raw) {
+			break
+		}
+		letter := raw[i]
+		if (letter >= 'a' && letter <= 'z') || (letter >= 'A' && letter <= 'Z') {
+			out = append(out, verb{letter: letter, arg: arg, off: start, plain: plain && i == start+1})
+			arg++
+		}
+	}
+	return out, true
+}
+
+// isErrorType reports whether the expression's type implements error.
+func isErrorType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// checkErrDiscard flags `_ = expr` where expr is an error.
+func checkErrDiscard(p *Package, as *ast.AssignStmt) []Diagnostic {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name != "_" {
+		return nil
+	}
+	if !isErrorType(p, as.Rhs[0]) {
+		return nil
+	}
+	return []Diagnostic{diag(p, "errwrap", as.Pos(),
+		"error silently discarded; handle it or add //lint:ignore errwrap <reason>")}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"iam/internal/atomicfile"
+)
+
+// fix.go applies the mechanically safe suggested fixes attached to
+// diagnostics (`iamlint -fix`). Fixes are grouped per file and applied in
+// descending start order so earlier offsets stay valid; overlapping fixes
+// are rejected rather than guessed at.
+
+// ApplyFixes rewrites the files named by diags in place and returns how many
+// fixes were applied.
+func ApplyFixes(diags []Diagnostic) (int, error) {
+	perFile := map[string][]*Fix{}
+	for _, d := range diags {
+		if d.Fix != nil {
+			perFile[d.File] = append(perFile[d.File], d.Fix)
+		}
+	}
+	applied := 0
+	for file, fixes := range perFile {
+		sort.Slice(fixes, func(i, j int) bool { return fixes[i].Start > fixes[j].Start })
+		for i := 1; i < len(fixes); i++ {
+			if fixes[i].End > fixes[i-1].Start {
+				return applied, fmt.Errorf("lint: overlapping fixes in %s at offset %d", file, fixes[i].Start)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		for _, f := range fixes {
+			if f.Start < 0 || f.End > len(src) || f.Start > f.End {
+				return applied, fmt.Errorf("lint: fix out of range in %s (%d..%d of %d bytes)", file, f.Start, f.End, len(src))
+			}
+			var buf []byte
+			buf = append(buf, src[:f.Start]...)
+			buf = append(buf, f.NewText...)
+			buf = append(buf, src[f.End:]...)
+			src = buf
+			applied++
+		}
+		if err := atomicfile.WriteBytes(file, src); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardedby verifies mutex discipline on annotated state. A struct field (or
+// package-level variable) annotated
+//
+//	foo T // iam:guardedby mu
+//
+// may only be read or written while `mu` — a sibling sync.Mutex/RWMutex
+// field (or package-level mutex) — is held. The analyzer runs a must-hold
+// forward dataflow over each function's control-flow graph (cfg.go):
+// x.Lock() adds x to the held set, x.Unlock() removes it, `defer x.Unlock()`
+// leaves it held to the function's end, and control-flow joins intersect the
+// incoming sets, so a lock taken on only one branch does not count after the
+// join.
+//
+// Two escape hatches keep the check intra-procedurally sound without
+// annotations on every helper:
+//   - a receiver that was freshly constructed in the same function (from a
+//     composite literal or new()) is exempt — constructors may populate
+//     fields before the value is published;
+//   - a method whose name ends in "Locked", or whose doc comment carries
+//     `iam:holds <mutex-expr>`, is assumed to be called with that mutex held.
+//
+// Function literals are analyzed as separate units with an empty held set: a
+// closure (goroutine, callback) does not inherit its creator's locks.
+
+const (
+	guardedByDirective = "iam:guardedby"
+	holdsDirective     = "iam:holds"
+)
+
+// guardedObj is one annotated field or package-level variable.
+type guardedObj struct {
+	mutex string          // name of the guarding mutex field / package var
+	owner *types.TypeName // owning named struct type; nil for package vars
+}
+
+// AnalyzerGuardedBy enforces `iam:guardedby` annotations along the CFG.
+var AnalyzerGuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `iam:guardedby <mutex>` may only be accessed while that mutex is held",
+	Run: func(p *Package) []Diagnostic {
+		anns, out := collectGuarded(p)
+		if len(anns) == 0 {
+			return out
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				out = append(out, checkGuardedUnit(p, anns, fd.Body, funcName(fd), entryHeld(p, anns, fd))...)
+				// Closures inside run as separate units with nothing held.
+				name := funcName(fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						out = append(out, checkGuardedUnit(p, anns, fl.Body, "func literal in "+name, nil)...)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+// directiveArg extracts the argument of `<directive> <arg>` from a comment
+// group, or "" when absent.
+func directiveArg(cg *ast.CommentGroup, directive string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+		text = strings.TrimSpace(text)
+		if rest, ok := strings.CutPrefix(text, directive); ok {
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+// collectGuarded gathers iam:guardedby annotations from struct fields and
+// package-level var declarations, validating that the named mutex exists and
+// has a mutex type.
+func collectGuarded(p *Package) (map[types.Object]guardedObj, []Diagnostic) {
+	anns := map[types.Object]guardedObj{}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					owner, _ := p.Info.Defs[ts.Name].(*types.TypeName)
+					out = append(out, collectStructAnns(p, anns, st, owner)...)
+				}
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					mutex := directiveArg(vs.Doc, guardedByDirective)
+					if mutex == "" {
+						mutex = directiveArg(vs.Comment, guardedByDirective)
+					}
+					if mutex == "" {
+						continue
+					}
+					mobj := p.Types.Scope().Lookup(mutex)
+					if mobj == nil || !isMutexType(mobj.Type()) {
+						out = append(out, diag(p, "guardedby", vs.Pos(),
+							"%s names %q, which is not a package-level sync.Mutex/RWMutex", guardedByDirective, mutex))
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							anns[obj] = guardedObj{mutex: mutex}
+						}
+					}
+				}
+			}
+		}
+	}
+	return anns, out
+}
+
+// collectStructAnns registers annotated fields of one struct type.
+func collectStructAnns(p *Package, anns map[types.Object]guardedObj, st *ast.StructType, owner *types.TypeName) []Diagnostic {
+	var out []Diagnostic
+	mutexFields := map[string]bool{}
+	for _, field := range st.Fields.List {
+		tv, ok := p.Info.Types[field.Type]
+		if ok && isMutexType(tv.Type) {
+			for _, name := range field.Names {
+				mutexFields[name.Name] = true
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		mutex := directiveArg(field.Doc, guardedByDirective)
+		if mutex == "" {
+			mutex = directiveArg(field.Comment, guardedByDirective)
+		}
+		if mutex == "" {
+			continue
+		}
+		if !mutexFields[mutex] {
+			out = append(out, diag(p, "guardedby", field.Pos(),
+				"%s names %q, which is not a sibling sync.Mutex/RWMutex field", guardedByDirective, mutex))
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				anns[obj] = guardedObj{mutex: mutex, owner: owner}
+			}
+		}
+	}
+	return out
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// one.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// entryHeld computes the lock set assumed held at a function's entry: the
+// "Locked" name-suffix convention covers every mutex guarding the receiver's
+// annotated fields, and explicit `iam:holds <expr>` doc directives add their
+// literal expression.
+func entryHeld(p *Package, anns map[types.Object]guardedObj, fd *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	if expr := directiveArg(fd.Doc, holdsDirective); expr != "" {
+		held[expr] = true
+	}
+	if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recvName := fd.Recv.List[0].Names[0].Name
+		recvType := recvTypeName(p, fd)
+		for _, g := range anns {
+			if g.owner != nil && g.owner == recvType {
+				held[recvName+"."+g.mutex] = true
+			}
+		}
+	}
+	if len(held) == 0 {
+		return nil
+	}
+	return held
+}
+
+// recvTypeName resolves the named type of fd's receiver, nil for functions.
+func recvTypeName(p *Package, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := p.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// checkGuardedUnit analyzes one function body: fixpoint the held-lock sets
+// over the CFG, then re-walk each block checking annotated accesses.
+func checkGuardedUnit(p *Package, anns map[types.Object]guardedObj, body *ast.BlockStmt, name string, entry map[string]bool) []Diagnostic {
+	if !mentionsGuarded(p, anns, body) {
+		return nil
+	}
+	g := buildCFG(body)
+	exempt := freshLocals(p, body)
+
+	// Forward must-hold fixpoint: in[b] = ∩ out(preds); nil means unvisited.
+	in := make([]map[string]bool, len(g.blocks))
+	in[g.entry.index] = copySet(entry)
+	if in[g.entry.index] == nil {
+		in[g.entry.index] = map[string]bool{}
+	}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := walkGuardedBlock(p, anns, blk, copySet(in[blk.index]), exempt, name, nil)
+		for _, succ := range blk.succs {
+			merged, changed := meetSets(in[succ.index], out)
+			if changed {
+				in[succ.index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Checking pass with converged in-states.
+	var out []Diagnostic
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue // unreachable
+		}
+		walkGuardedBlock(p, anns, blk, copySet(in[blk.index]), exempt, name, &out)
+	}
+	return out
+}
+
+// mentionsGuarded cheaply pre-filters bodies that never touch an annotated
+// object, skipping CFG construction for the vast majority of functions.
+func mentionsGuarded(p *Package, anns map[types.Object]guardedObj, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, ok := anns[obj]; ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkGuardedBlock walks one block's nodes in order, applying Lock/Unlock
+// effects to held and (when diags != nil) reporting unguarded accesses.
+// It returns the block's out-state.
+func walkGuardedBlock(p *Package, anns map[types.Object]guardedObj, blk *cfgBlock, held map[string]bool, exempt map[types.Object]bool, name string, diags *[]Diagnostic) map[string]bool {
+	if held == nil {
+		held = map[string]bool{}
+	}
+	for _, node := range blk.nodes {
+		_, isDefer := node.(*ast.DeferStmt)
+		ast.Inspect(node, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // separate unit
+			}
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if diags != nil {
+					checkGuardedAccess(p, anns, v, held, exempt, name, diags)
+				}
+			case *ast.Ident:
+				if diags != nil {
+					checkGuardedVar(p, anns, v, held, name, diags)
+				}
+			case *ast.CallExpr:
+				// defer x.Unlock() runs at return; it must not clear the
+				// held state for the statements that follow it.
+				if !isDefer {
+					applyLockEffect(p, v, held)
+				}
+			}
+			return true
+		})
+	}
+	return held
+}
+
+// applyLockEffect mutates held for x.Lock()/x.Unlock()/x.RLock()/x.RUnlock()
+// calls on sync mutexes. Held sets are keyed by the canonical source text of
+// the mutex expression (e.g. "m.mu"), matching annotation resolution.
+func applyLockEffect(p *Package, call *ast.CallExpr, held map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	var acquire bool
+	switch method {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return
+	}
+	key := types.ExprString(sel.X)
+	if acquire {
+		held[key] = true
+	} else {
+		delete(held, key)
+	}
+}
+
+// checkGuardedAccess reports sel (base.field) when field is annotated and
+// base's guarding mutex is not in held.
+func checkGuardedAccess(p *Package, anns map[types.Object]guardedObj, sel *ast.SelectorExpr, held map[string]bool, exempt map[types.Object]bool, name string, diags *[]Diagnostic) {
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	g, ok := anns[obj]
+	if !ok || g.owner == nil {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		if rObj := p.Info.Uses[root]; rObj != nil && exempt[rObj] {
+			return // freshly constructed in this function, not yet shared
+		}
+	}
+	need := types.ExprString(sel.X) + "." + g.mutex
+	if !held[need] {
+		*diags = append(*diags, diag(p, "guardedby", sel.Sel.Pos(),
+			"%s is guarded by %s, which is not held here (%s)", types.ExprString(sel), need, name))
+	}
+}
+
+// checkGuardedVar reports uses of annotated package-level variables outside
+// their mutex.
+func checkGuardedVar(p *Package, anns map[types.Object]guardedObj, id *ast.Ident, held map[string]bool, name string, diags *[]Diagnostic) {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	g, ok := anns[obj]
+	if !ok || g.owner != nil {
+		return
+	}
+	if !held[g.mutex] {
+		*diags = append(*diags, diag(p, "guardedby", id.Pos(),
+			"%s is guarded by package mutex %s, which is not held here (%s)", id.Name, g.mutex, name))
+	}
+}
+
+// freshLocals collects local variables initialized from a composite literal,
+// &composite literal, or new(T) anywhere in body — values this function
+// constructed itself and therefore accesses exclusively until published.
+// Nested function literals are excluded; they are separate analysis units.
+func freshLocals(p *Package, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !isFreshExpr(p, rhs) {
+			return
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			fresh[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i := range v.Lhs {
+					mark(v.Lhs[i], v.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(v.Names) == len(v.Values) {
+				for i := range v.Names {
+					mark(v.Names[i], v.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: T{...},
+// &T{...}, or new(T).
+func isFreshExpr(p *Package, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			_, ok := v.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// copySet duplicates a held set; nil stays nil.
+func copySet(s map[string]bool) map[string]bool {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// meetSets intersects the dataflow states cur (nil = unvisited) and incoming,
+// reporting whether the result differs from cur.
+func meetSets(cur, incoming map[string]bool) (map[string]bool, bool) {
+	if cur == nil {
+		return copySet(incoming), true
+	}
+	merged := map[string]bool{}
+	for k := range cur {
+		if incoming[k] {
+			merged[k] = true
+		}
+	}
+	return merged, len(merged) != len(cur)
+}

@@ -2,19 +2,35 @@
 // this module built only on the standard library's go/ast, go/parser and
 // go/types packages — matching the module's zero-dependency ethos.
 //
-// The engine loads every package in the module (parsing and type-checking
-// from source), then runs a pluggable set of analyzers. Each analyzer encodes
-// one IAM-specific invariant whose silent violation would undermine the
-// estimator's correctness guarantees: determinism of checkpoint/resume,
-// unbiasedness of progressive sampling, crash-safety of persisted state, and
-// cancellation of long training loops.
+// The engine loads every package in the module (parsing in parallel and
+// type-checking from source), then runs a pluggable set of analyzers
+// concurrently. Each analyzer encodes one IAM-specific invariant whose silent
+// violation would undermine the estimator's correctness guarantees:
+// determinism of checkpoint/resume, unbiasedness of progressive sampling,
+// crash-safety of persisted state, cancellation of long training loops,
+// mutex discipline on shared inference state, seed provenance, layer-shape
+// consistency, float-comparison hygiene and error-wrapping at package
+// boundaries.
+//
+// Beyond the original purely syntactic checks, the v2 analyzers are dataflow
+// aware: guardedby walks a per-function control-flow graph (cfg.go) tracking
+// which mutexes are definitely held, seedflow traces RNG seed expressions to
+// their origins, and shapecheck constant-propagates matrix and layer
+// dimensions through constructor chains.
+//
+// Diagnostics carry a severity (error or warn), may carry a mechanically
+// safe suggested fix (applied by `iamlint -fix`), can be accepted into a
+// committed baseline file, and are cached per package keyed on content
+// hashes so warm runs skip analysis entirely (cache.go).
 //
 // Diagnostics can be suppressed per line with a comment of the form
 //
 //	//lint:ignore <check>[,<check>...] <reason>
 //
-// placed on the offending line or on the line directly above it. The reason
-// is mandatory: a suppression without one is itself reported.
+// placed on the offending line or above the statement it suppresses (blank
+// lines and further comments between the directive and the statement are
+// skipped). The reason is mandatory: a suppression without one is itself
+// reported.
 package lint
 
 import (
@@ -22,16 +38,39 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
+
+// Severity classifies how a diagnostic affects the build: error-severity
+// findings fail the lint run, warn-severity findings are reported only when
+// asked for (iamlint -severity=warn; the nightly CI sweep) and never block.
+type Severity string
+
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+)
+
+// Fix is a mechanically safe textual rewrite attached to a diagnostic,
+// applied by `iamlint -fix`. Offsets are byte offsets into the file named by
+// the diagnostic.
+type Fix struct {
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
 
 // Diagnostic is one analyzer finding at a source position.
 type Diagnostic struct {
-	Check   string `json:"check"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Column  int    `json:"column"`
-	Message string `json:"message"`
+	Check    string   `json:"check"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Message  string   `json:"message"`
+	Fix      *Fix     `json:"fix,omitempty"`
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -47,6 +86,12 @@ type Package struct {
 	Files   []*ast.File
 	Types   *types.Package
 	Info    *types.Info
+	// Src maps each file's full path to its source bytes, shared by the
+	// suppression scanner, the fact cache's content hashing and -fix.
+	Src map[string][]byte
+	// Imports lists the module-internal import paths of this package, used
+	// by the fact cache to build transitive content-hash keys.
+	Imports []string
 }
 
 // Position resolves a token.Pos against the package's file set.
@@ -54,11 +99,14 @@ func (p *Package) Position(pos token.Pos) token.Position {
 	return p.Fset.Position(pos)
 }
 
-// Analyzer is one pluggable invariant check.
+// Analyzer is one pluggable invariant check. DefaultSeverity (error when
+// empty) applies to diagnostics the analyzer emits without an explicit
+// severity of their own.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Diagnostic
+	Name            string
+	Doc             string
+	DefaultSeverity Severity
+	Run             func(p *Package) []Diagnostic
 }
 
 // diag is a helper for analyzers to build a Diagnostic at a position.
@@ -73,7 +121,8 @@ func diag(p *Package, check string, pos token.Pos, format string, args ...any) D
 	}
 }
 
-// Analyzers returns the full shipped analyzer set in a stable order.
+// Analyzers returns the full shipped analyzer set in a stable order: the six
+// syntactic v1 checks followed by the five dataflow-aware v2 checks.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNoPanic,
@@ -82,6 +131,11 @@ func Analyzers() []*Analyzer {
 		AnalyzerCtxTrain,
 		AnalyzerCloseCheck,
 		AnalyzerMapRange,
+		AnalyzerGuardedBy,
+		AnalyzerSeedFlow,
+		AnalyzerShapeCheck,
+		AnalyzerFloatEq,
+		AnalyzerErrWrap,
 	}
 }
 
@@ -95,23 +149,72 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
-// RunAnalyzers applies the given analyzers to every package, applies
-// //lint:ignore suppressions, and returns the surviving diagnostics sorted by
-// position.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// runPackage applies analyzers to one package and post-processes the result:
+// severity defaults, //lint:ignore suppression, malformed-directive reports.
+func runPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
+	sup := collectSuppressions(p)
 	var out []Diagnostic
-	for _, p := range pkgs {
-		sup := collectSuppressions(p)
-		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				if sup.covers(d) {
-					continue
-				}
-				out = append(out, d)
-			}
+	for _, a := range analyzers {
+		sev := a.DefaultSeverity
+		if sev == "" {
+			sev = SeverityError
 		}
-		out = append(out, sup.malformed...)
+		for _, d := range a.Run(p) {
+			if d.Severity == "" {
+				d.Severity = sev
+			}
+			if sup.covers(d) {
+				continue
+			}
+			out = append(out, d)
+		}
 	}
+	for _, d := range sup.malformed {
+		d.Severity = SeverityError
+		out = append(out, d)
+	}
+	return out
+}
+
+// RunAnalyzers applies the given analyzers to every package concurrently
+// (one worker per CPU), applies //lint:ignore suppressions, and returns the
+// surviving diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	workers := runtime.NumCPU()
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i] = runPackage(pkgs[i], analyzers)
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var out []Diagnostic
+	for _, ds := range perPkg {
+		out = append(out, ds...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, then check name.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
@@ -124,5 +227,32 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return out[i].Check < out[j].Check
 	})
+}
+
+// MaxSeverity returns the highest severity present in diags (error > warn),
+// or "" when diags is empty.
+func MaxSeverity(diags []Diagnostic) Severity {
+	var max Severity
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			return SeverityError
+		}
+		max = SeverityWarn
+	}
+	return max
+}
+
+// FilterSeverity returns the diagnostics at or above the minimum severity:
+// SeverityWarn keeps everything, SeverityError keeps only errors.
+func FilterSeverity(diags []Diagnostic, min Severity) []Diagnostic {
+	if min != SeverityError {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			out = append(out, d)
+		}
+	}
 	return out
 }

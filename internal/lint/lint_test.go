@@ -70,6 +70,11 @@ func TestFixtures(t *testing.T) {
 		{"ctxtrain", "fixture/ctxtrain"},
 		{"closecheck", "fixture/closecheck"},
 		{"maprange", "fixture/maprange"},
+		{"guardedby", "fixture/guardedby"},
+		{"seedflow", "fixture/seedflow"},
+		{"shapecheck", "fixture/shapecheck"},
+		{"floateq", "fixture/floateq"},
+		{"errwrap", "fixture/internal/errwrap"},
 	}
 	for _, c := range cases {
 		t.Run(c.check, func(t *testing.T) {
@@ -166,8 +171,9 @@ func format(ds []Diagnostic) string {
 }
 
 // TestRepoIsClean is the self-application gate: running every analyzer over
-// the whole module must produce zero diagnostics. This is the same
-// invariant CI enforces via `go run ./cmd/iamlint ./...`.
+// the whole module must produce zero error-severity diagnostics. This is the
+// same invariant CI enforces via `go run ./cmd/iamlint ./...` — warn-severity
+// findings belong to the nightly `-severity=warn` sweep and do not fail.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module from source")
@@ -183,7 +189,10 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
 	}
-	for _, d := range RunAnalyzers(pkgs, Analyzers()) {
+	if len(Analyzers()) != 11 {
+		t.Fatalf("analyzer roster has %d entries, want 11", len(Analyzers()))
+	}
+	for _, d := range FilterSeverity(RunAnalyzers(pkgs, Analyzers()), SeverityError) {
 		t.Errorf("%s", d)
 	}
 }

@@ -9,14 +9,22 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Loader parses and type-checks the packages of one Go module from source.
 // It resolves module-internal imports itself (recursively, memoized) and
 // delegates everything else to the standard library's source importer, so it
 // needs no pre-compiled export data and no external dependencies.
+//
+// Parsing is embarrassingly parallel and is done up front by LoadAll with
+// one worker per CPU; type-checking walks the import DAG sequentially
+// (package type-checking is cheap next to stdlib parsing, and go/types
+// wants its imports finished first).
 type Loader struct {
 	ModRoot string // absolute path of the directory containing go.mod
 	ModPath string // module path declared in go.mod
@@ -27,6 +35,17 @@ type Loader struct {
 	// loading guards against import cycles, which would otherwise recurse
 	// forever; Go forbids them, so hitting one means a bad module anyway.
 	loading map[string]bool
+
+	// parsed holds files pre-parsed by preparse, keyed by directory.
+	parsed map[string][]parsedFile
+}
+
+// parsedFile is one source file parsed ahead of type-checking.
+type parsedFile struct {
+	path string
+	src  []byte
+	file *ast.File
+	err  error
 }
 
 // NewLoader locates the enclosing module of dir and prepares a loader for it.
@@ -58,6 +77,7 @@ func NewLoader(dir string) (*Loader, error) {
 		pkgs:    map[string]*Package{},
 		std:     importer.ForCompiler(fset, "source", nil),
 		loading: map[string]bool{},
+		parsed:  map[string][]parsedFile{},
 	}, nil
 }
 
@@ -81,11 +101,12 @@ func readModulePath(path string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", path)
 }
 
-// LoadAll walks the module tree and loads every package in it, skipping
-// hidden directories and testdata trees (mirroring the go tool's rules).
-func (l *Loader) LoadAll() ([]*Package, error) {
+// ModuleDirs lists every directory under root that contains non-test Go
+// files, in sorted order, skipping hidden directories and testdata trees
+// (mirroring the go tool's rules).
+func ModuleDirs(root string) ([]string, error) {
 	var dirs []string
-	err := filepath.WalkDir(l.ModRoot, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -93,7 +114,7 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != l.ModRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 			return filepath.SkipDir
 		}
 		has, err := hasGoFiles(path)
@@ -109,6 +130,92 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// preparse reads and parses every Go file of every directory concurrently,
+// one worker per CPU. Errors are held per file and surface when the owning
+// package is type-checked, keeping diagnostics deterministic.
+func (l *Loader) preparse(dirs []string) error {
+	type job struct {
+		dir, path string
+		idx       int
+	}
+	var jobs []job
+	for _, dir := range dirs {
+		names, err := sourceFileNames(dir)
+		if err != nil {
+			return err
+		}
+		files := make([]parsedFile, len(names))
+		for i, name := range names {
+			files[i] = parsedFile{path: filepath.Join(dir, name)}
+			jobs = append(jobs, job{dir: dir, path: files[i].path, idx: i})
+		}
+		l.parsed[dir] = files
+	}
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				pf := &l.parsed[j.dir][j.idx]
+				pf.src, pf.err = os.ReadFile(j.path)
+				if pf.err != nil {
+					continue
+				}
+				// token.FileSet and parser.ParseFile are safe for
+				// concurrent use with distinct files.
+				pf.file, pf.err = parser.ParseFile(l.Fset, j.path, pf.src, parser.ParseComments)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return nil
+}
+
+// sourceFileNames lists the non-test Go files of dir in sorted order.
+func sourceFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		// Test files are deliberately out of scope: they panic and write
+		// scratch files on purpose, and the invariants guard library code.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadAll walks the module tree and loads every package in it.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := ModuleDirs(l.ModRoot)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.preparse(dirs); err != nil {
+		return nil, err
+	}
 	var out []*Package
 	for _, dir := range dirs {
 		p, err := l.LoadDir(dir, l.importPathFor(dir))
@@ -202,26 +309,30 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	l.loading[pkgPath] = true
 	defer delete(l.loading, pkgPath)
 
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		// Test files are deliberately out of scope: they panic and write
-		// scratch files on purpose, and the invariants guard library code.
-		if strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+	parsed, ok := l.parsed[dir]
+	if !ok {
+		names, err := sourceFileNames(dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		for _, name := range names {
+			pf := parsedFile{path: filepath.Join(dir, name)}
+			pf.src, pf.err = os.ReadFile(pf.path)
+			if pf.err == nil {
+				pf.file, pf.err = parser.ParseFile(l.Fset, pf.path, pf.src, parser.ParseComments)
+			}
+			parsed = append(parsed, pf)
+		}
+		l.parsed[dir] = parsed
+	}
+	var files []*ast.File
+	src := map[string][]byte{}
+	for _, pf := range parsed {
+		if pf.err != nil {
+			return nil, pf.err
+		}
+		files = append(files, pf.file)
+		src[pf.path] = pf.src
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
@@ -249,9 +360,34 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
+		Src:     src,
+		Imports: moduleImports(l.ModPath, files),
 	}
 	l.pkgs[pkgPath] = p
 	return p, nil
+}
+
+// moduleImports extracts the module-internal import paths of files, sorted
+// and deduplicated.
+func moduleImports(modPath string, files []*ast.File) []string {
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // importPkg resolves one import path: module-internal paths are loaded from

@@ -1,0 +1,484 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// shapecheck constant-propagates matrix and layer dimensions through the
+// module's linear-algebra constructor chains and flags shape mismatches that
+// would otherwise only surface as a runtime panic deep inside a kernel.
+//
+// Within each function it tracks, flow-insensitively in source order:
+//
+//   - *vecmath.Matrix locals built by NewMatrix(r, c), &Matrix{Rows:, Cols:},
+//     Clone(), and View(m, rows);
+//   - *nn.MLP locals built by nn.NewMLP(dims, seed) with a resolvable dims
+//     literal (in/out layer widths);
+//   - []float64 locals built by make() or literals (vector lengths);
+//   - []int dimension-list locals built from literals.
+//
+// Each dimension is either a compile-time constant or a symbolic expression
+// string. At call sites with shape contracts — MatMul/MatMulATB/MatMulABT,
+// MLP.Forward/Backward/Predict — it checks the contract and reports only when
+// BOTH sides are known constants that differ: symbolic dims verify chains
+// without ever convicting on a guess, so the analyzer has no false positives
+// by construction. It also rejects degenerate layer stacks (len(dims) < 2,
+// non-positive widths) at NewMLP call sites and in nn.Config Hidden lists.
+
+const (
+	vecmathPath = "iam/internal/vecmath"
+	nnPath      = "iam/internal/nn"
+)
+
+// dimv is one dimension value: a known constant or a symbolic expression.
+type dimv struct {
+	known bool
+	n     int64
+	sym   string
+}
+
+func (d dimv) String() string {
+	if d.known {
+		return strconv.FormatInt(d.n, 10)
+	}
+	if d.sym != "" {
+		return d.sym
+	}
+	return "?"
+}
+
+// matShape is the tracked shape of a matrix value.
+type matShape struct{ rows, cols dimv }
+
+// mlpShape is the tracked input/output width of an MLP.
+type mlpShape struct{ in, out dimv }
+
+// shapeEnv is the per-function tracking state.
+type shapeEnv struct {
+	mats   map[types.Object]matShape
+	mlps   map[types.Object]mlpShape
+	vecs   map[types.Object]dimv // []float64 lengths
+	dims   map[types.Object][]dimv
+}
+
+// AnalyzerShapeCheck propagates layer and matrix dimensions through
+// constructor chains and flags constant mismatches.
+var AnalyzerShapeCheck = &Analyzer{
+	Name: "shapecheck",
+	Doc:  "matrix/layer dimensions must agree where both sides are compile-time constants",
+	Run: func(p *Package) []Diagnostic {
+		var out []Diagnostic
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				env := &shapeEnv{
+					mats: map[types.Object]matShape{},
+					mlps: map[types.Object]mlpShape{},
+					vecs: map[types.Object]dimv{},
+					dims: map[types.Object][]dimv{},
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch v := n.(type) {
+					case *ast.AssignStmt:
+						recordShapes(p, env, v)
+					case *ast.CompositeLit:
+						out = append(out, checkHiddenList(p, v)...)
+					case *ast.CallExpr:
+						out = append(out, checkShapeCall(p, env, v)...)
+					}
+					return true
+				})
+			}
+		}
+		return out
+	},
+}
+
+// dimOf resolves one dimension expression: known constant or symbolic text.
+func dimOf(p *Package, e ast.Expr) dimv {
+	if n, ok := constIntOf(p, e); ok {
+		return dimv{known: true, n: n}
+	}
+	return dimv{sym: types.ExprString(e)}
+}
+
+// dimConflict reports a definite conflict between two dimensions: both known
+// constants with different values. Symbolic or untracked dims never conflict.
+func dimConflict(a, b dimv) bool {
+	return a.known && b.known && a.n != b.n
+}
+
+// recordShapes learns shapes from one assignment statement.
+func recordShapes(p *Package, env *shapeEnv, as *ast.AssignStmt) {
+	// Multi-value form: m, err := nn.NewMLP(dims, seed).
+	if len(as.Lhs) == 2 && len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if sh, ok := mlpShapeOf(p, env, call); ok {
+				if obj := lhsObj(p, as.Lhs[0]); obj != nil {
+					env.mlps[obj] = sh
+				}
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		obj := lhsObj(p, lhs)
+		if obj == nil {
+			continue
+		}
+		rhs := as.Rhs[i]
+		if sh, ok := matShapeOf(p, env, rhs); ok {
+			env.mats[obj] = sh
+			continue
+		}
+		if ds, ok := dimListOf(p, rhs); ok {
+			env.dims[obj] = ds
+			continue
+		}
+		if ln, ok := vecLenOf(p, rhs); ok {
+			env.vecs[obj] = ln
+		}
+	}
+}
+
+// lhsObj resolves the object defined or assigned by a plain identifier LHS.
+func lhsObj(p *Package, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// matShapeOf resolves an expression to a matrix shape when it is a tracked
+// local or a recognized constructor.
+func matShapeOf(p *Package, env *shapeEnv, e ast.Expr) (matShape, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[v]
+		if obj == nil {
+			obj = p.Info.Defs[v]
+		}
+		sh, ok := env.mats[obj]
+		return sh, ok
+	case *ast.ParenExpr:
+		return matShapeOf(p, env, v.X)
+	case *ast.UnaryExpr:
+		if cl, ok := v.X.(*ast.CompositeLit); ok {
+			return matShapeOfLit(p, cl)
+		}
+	case *ast.CompositeLit:
+		return matShapeOfLit(p, v)
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return matShape{}, false
+		}
+		switch {
+		case usedPackagePath(p, sel) == vecmathPath && sel.Sel.Name == "NewMatrix" && len(v.Args) == 2:
+			return matShape{rows: dimOf(p, v.Args[0]), cols: dimOf(p, v.Args[1])}, true
+		case usedPackagePath(p, sel) == vecmathPath && sel.Sel.Name == "View" && len(v.Args) == 2:
+			base, ok := matShapeOf(p, env, v.Args[0])
+			if !ok {
+				base = matShape{cols: dimv{}}
+			}
+			return matShape{rows: dimOf(p, v.Args[1]), cols: base.cols}, true
+		case sel.Sel.Name == "Clone" && len(v.Args) == 0:
+			return matShapeOf(p, env, sel.X)
+		}
+	}
+	return matShape{}, false
+}
+
+// matShapeOfLit reads Rows/Cols out of a vecmath.Matrix composite literal.
+func matShapeOfLit(p *Package, cl *ast.CompositeLit) (matShape, bool) {
+	tv, ok := p.Info.Types[cl]
+	if !ok || !namedTypeIs(tv.Type, vecmathPath, "Matrix") {
+		return matShape{}, false
+	}
+	var sh matShape
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Rows":
+			sh.rows = dimOf(p, kv.Value)
+		case "Cols":
+			sh.cols = dimOf(p, kv.Value)
+		}
+	}
+	return sh, true
+}
+
+// mlpShapeOf resolves nn.NewMLP(dims, seed) calls whose dims argument is a
+// resolvable dimension list.
+func mlpShapeOf(p *Package, env *shapeEnv, call *ast.CallExpr) (mlpShape, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || usedPackagePath(p, sel) != nnPath || sel.Sel.Name != "NewMLP" || len(call.Args) != 2 {
+		return mlpShape{}, false
+	}
+	ds, ok := resolveDimList(p, env, call.Args[0])
+	if !ok || len(ds) < 2 {
+		return mlpShape{}, false
+	}
+	return mlpShape{in: ds[0], out: ds[len(ds)-1]}, true
+}
+
+// dimListOf reads an []int literal into a dimension list.
+func dimListOf(p *Package, e ast.Expr) ([]dimv, bool) {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	tv, ok := p.Info.Types[cl]
+	if !ok {
+		return nil, false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, false
+	}
+	out := make([]dimv, 0, len(cl.Elts))
+	for _, elt := range cl.Elts {
+		if _, ok := elt.(*ast.KeyValueExpr); ok {
+			return nil, false // sparse literal: give up
+		}
+		out = append(out, dimOf(p, elt))
+	}
+	return out, true
+}
+
+// resolveDimList resolves a dims argument: an []int literal in place, or a
+// local previously assigned one.
+func resolveDimList(p *Package, env *shapeEnv, e ast.Expr) ([]dimv, bool) {
+	if ds, ok := dimListOf(p, e); ok {
+		return ds, true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		ds, ok := env.dims[obj]
+		return ds, ok
+	}
+	return nil, false
+}
+
+// vecLenOf resolves the length of a []float64-producing expression.
+func vecLenOf(p *Package, e ast.Expr) (dimv, bool) {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		id, ok := v.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(v.Args) < 2 {
+			return dimv{}, false
+		}
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return dimv{}, false
+		}
+		if !isFloatSlice(p, e) {
+			return dimv{}, false
+		}
+		return dimOf(p, v.Args[1]), true
+	case *ast.CompositeLit:
+		if !isFloatSlice(p, v) {
+			return dimv{}, false
+		}
+		return dimv{known: true, n: int64(len(v.Elts))}, true
+	}
+	return dimv{}, false
+}
+
+// isFloatSlice reports whether e has type []float64 (possibly named).
+func isFloatSlice(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}
+
+// namedTypeIs reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// checkShapeCall checks the shape contract of one call site.
+func checkShapeCall(p *Package, env *shapeEnv, call *ast.CallExpr) []Diagnostic {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	need := func(a, b dimv, what string) {
+		if dimConflict(a, b) {
+			out = append(out, diag(p, "shapecheck", call.Pos(),
+				"%s: %s (%s vs %s)", types.ExprString(sel), what, a.String(), b.String()))
+		}
+	}
+
+	if usedPackagePath(p, sel) == vecmathPath && len(call.Args) == 3 {
+		dst, okD := matShapeOf(p, env, call.Args[0])
+		a, okA := matShapeOf(p, env, call.Args[1])
+		b, okB := matShapeOf(p, env, call.Args[2])
+		if !okD {
+			dst = matShape{}
+		}
+		if !okA {
+			a = matShape{}
+		}
+		if !okB {
+			b = matShape{}
+		}
+		switch sel.Sel.Name {
+		case "MatMul": // dst = a·b
+			need(a.cols, b.rows, "inner dimensions disagree")
+			need(dst.rows, a.rows, "dst rows disagree with a rows")
+			need(dst.cols, b.cols, "dst cols disagree with b cols")
+		case "MatMulATB": // dst = aᵀ·b
+			need(a.rows, b.rows, "shared row count disagrees")
+			need(dst.rows, a.cols, "dst rows disagree with a cols")
+			need(dst.cols, b.cols, "dst cols disagree with b cols")
+		case "MatMulABT": // dst = a·bᵀ
+			need(a.cols, b.cols, "shared col count disagrees")
+			need(dst.rows, a.rows, "dst rows disagree with a rows")
+			need(dst.cols, b.rows, "dst cols disagree with b rows")
+		}
+		return out
+	}
+
+	// NewMLP([]int{...}, seed) degenerate-architecture checks apply even when
+	// the result is not assigned to a tracked local.
+	if usedPackagePath(p, sel) == nnPath && sel.Sel.Name == "NewMLP" && len(call.Args) == 2 {
+		if ds, ok := resolveDimList(p, env, call.Args[0]); ok {
+			if len(ds) < 2 {
+				out = append(out, diag(p, "shapecheck", call.Args[0].Pos(),
+					"nn.NewMLP needs at least an input and an output layer (got %d dims)", len(ds)))
+			}
+			for _, d := range ds {
+				if d.known && d.n < 1 {
+					out = append(out, diag(p, "shapecheck", call.Args[0].Pos(),
+						"nn.NewMLP layer width %s is not positive", d.String()))
+				}
+			}
+		}
+		return out
+	}
+
+	// MLP method contracts on tracked receivers.
+	recvObj := lhsObj(p, sel.X)
+	if recvObj == nil {
+		return out
+	}
+	mlp, ok := env.mlps[recvObj]
+	if !ok {
+		return out
+	}
+	switch sel.Sel.Name {
+	case "Forward": // Forward(st, in): in is batch×inDim
+		if len(call.Args) == 2 {
+			if in, ok := matShapeOf(p, env, call.Args[1]); ok {
+				need(in.cols, mlp.in, "input cols disagree with the MLP input width")
+			}
+		}
+	case "Backward": // Backward(st, dOut, dIn)
+		if len(call.Args) == 3 {
+			if dOut, ok := matShapeOf(p, env, call.Args[1]); ok {
+				need(dOut.cols, mlp.out, "dOut cols disagree with the MLP output width")
+			}
+			if dIn, ok := matShapeOf(p, env, call.Args[2]); ok {
+				need(dIn.cols, mlp.in, "dIn cols disagree with the MLP input width")
+			}
+		}
+	case "Predict": // Predict(st, in, out): len(in)=inDim, len(out)=outDim
+		if len(call.Args) == 3 {
+			if ln, ok := vecOf(p, env, call.Args[1]); ok {
+				need(ln, mlp.in, "len(in) disagrees with the MLP input width")
+			}
+			if ln, ok := vecOf(p, env, call.Args[2]); ok {
+				need(ln, mlp.out, "len(out) disagrees with the MLP output width")
+			}
+		}
+	}
+	return out
+}
+
+// vecOf resolves a []float64 argument to its tracked length.
+func vecOf(p *Package, env *shapeEnv, e ast.Expr) (dimv, bool) {
+	if ln, ok := vecLenOf(p, e); ok {
+		return ln, true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			obj = p.Info.Defs[id]
+		}
+		ln, ok := env.vecs[obj]
+		return ln, ok
+	}
+	return dimv{}, false
+}
+
+// checkHiddenList rejects non-positive widths in nn.Config{Hidden: []int{...}}
+// literals.
+func checkHiddenList(p *Package, cl *ast.CompositeLit) []Diagnostic {
+	tv, ok := p.Info.Types[cl]
+	if !ok || !namedTypeIs(tv.Type, nnPath, "Config") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Hidden" {
+			continue
+		}
+		if ds, ok := dimListOf(p, kv.Value); ok {
+			for _, d := range ds {
+				if d.known && d.n < 1 {
+					out = append(out, diag(p, "shapecheck", kv.Value.Pos(),
+						"nn.Config hidden layer width %s is not positive", d.String()))
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+// Package errwrap is a fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"fmt"
+	"os"
+)
+
+func BadV(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want "loses the chain"
+}
+
+func BadS(err error) error {
+	return fmt.Errorf("loading config: %s", err) // want "loses the chain"
+}
+
+func BadLaterArg(path string, err error) error {
+	return fmt.Errorf("reading %q at step %d: %v", path, 3, err) // want "loses the chain"
+}
+
+func GoodW(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+func GoodNoError(path string) error {
+	return fmt.Errorf("bad path %s", path)
+}
+
+func BadDiscard(f *os.File) {
+	_ = f.Close() // want "silently discarded"
+}
+
+func GoodDiscardAnnotated(f *os.File) {
+	//lint:ignore errwrap fixture: read-only descriptor
+	_ = f.Close()
+}
+
+func GoodHandled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package floateq is a fixture for the floateq analyzer.
+package floateq
+
+func BadEq(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func BadNeq(a, b float64) bool {
+	return a != b // want "exact float comparison"
+}
+
+func BadFloat32(a, b float32) bool {
+	return a == b // want "exact float comparison"
+}
+
+func WarnZero(a float64) bool {
+	return a == 0 // want "exact float comparison"
+}
+
+func BadSwitch(a float64) int {
+	switch a { // want "switch on a float tag"
+	case 1.0:
+		return 1
+	}
+	return 0
+}
+
+func GoodInt(a, b int) bool { return a == b }
+
+func GoodBothConst() bool {
+	const x = 1.5
+	return x == 1.5
+}
+
+func GoodOrdering(a, b float64) bool { return a < b }
+
+func Suppressed(a, b float64) bool {
+	//lint:ignore floateq fixture exercises suppression
+	return a == b
+}

@@ -1,0 +1,98 @@
+// Package guardedby is a fixture for the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+// Counter is shared state with annotated fields.
+type Counter struct {
+	mu sync.Mutex
+	n  int // iam:guardedby mu
+
+	// iam:guardedby n
+	bad int // want "not a sibling sync.Mutex/RWMutex field"
+}
+
+var (
+	pkgMu sync.Mutex
+	total int // iam:guardedby pkgMu
+)
+
+func Bad(c *Counter) int {
+	return c.n // want "guarded by c.mu, which is not held"
+}
+
+func Good(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func GoodDeferUnlock(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.n // the deferred unlock must not clear the held state here
+	return v
+}
+
+func BadAfterUnlock(c *Counter) int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v + c.n // want "guarded by c.mu, which is not held"
+}
+
+func BadBranchJoin(c *Counter, b bool) int {
+	if b {
+		c.mu.Lock()
+	}
+	return c.n // want "guarded by c.mu, which is not held"
+}
+
+func GoodBothBranches(c *Counter, b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++ // held on every path into this block
+	c.mu.Unlock()
+}
+
+func BadEarlyReturn(c *Counter, b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return c.n // want "guarded by c.mu, which is not held"
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func GoodFresh() *Counter {
+	c := &Counter{}
+	c.n = 7 // freshly constructed, not yet shared
+	return c
+}
+
+// bumpLocked's Locked suffix asserts the caller already holds c.mu.
+func (c *Counter) bumpLocked() { c.n++ }
+
+// peek runs only from call sites that hold the lock.
+//
+// iam:holds c.mu
+func peek(c *Counter) int { return c.n }
+
+func BadPkgVar() int {
+	return total // want "guarded by package mutex pkgMu"
+}
+
+func GoodPkgVar() int {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	return total
+}
+
+func Suppressed(c *Counter) int {
+	//lint:ignore guardedby fixture exercises suppression
+	return c.n
+}

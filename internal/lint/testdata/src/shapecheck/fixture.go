@@ -1,0 +1,85 @@
+// Package shapecheck is a fixture for the shapecheck analyzer.
+package shapecheck
+
+import (
+	"iam/internal/nn"
+	"iam/internal/vecmath"
+)
+
+func BadMatMulInner() {
+	a := vecmath.NewMatrix(4, 8)
+	b := vecmath.NewMatrix(9, 16)
+	dst := vecmath.NewMatrix(4, 16)
+	vecmath.MatMul(dst, a, b) // want "inner dimensions disagree"
+}
+
+func BadMatMulDst() {
+	a := vecmath.NewMatrix(4, 8)
+	b := vecmath.NewMatrix(8, 16)
+	dst := vecmath.NewMatrix(5, 16)
+	vecmath.MatMul(dst, a, b) // want "dst rows disagree"
+}
+
+func BadMatMulATB() {
+	a := vecmath.NewMatrix(4, 8)
+	b := vecmath.NewMatrix(5, 16)
+	dst := vecmath.NewMatrix(8, 16)
+	vecmath.MatMulATB(dst, a, b) // want "shared row count disagrees"
+}
+
+func BadViewCols() {
+	base := vecmath.NewMatrix(32, 8)
+	v := vecmath.View(base, 16)
+	w := vecmath.NewMatrix(9, 4)
+	dst := vecmath.NewMatrix(16, 4)
+	vecmath.MatMul(dst, v, w) // want "inner dimensions disagree"
+}
+
+func GoodMatMul(n int) {
+	a := vecmath.NewMatrix(n, 8)
+	b := vecmath.NewMatrix(8, 16)
+	dst := vecmath.NewMatrix(n, 16)
+	vecmath.MatMul(dst, a, b) // symbolic n never convicts
+}
+
+func BadMLPWidth() (*nn.MLP, error) {
+	return nn.NewMLP([]int{8, 0, 4}, 1) // want "layer width 0 is not positive"
+}
+
+func BadMLPTooShort() (*nn.MLP, error) {
+	return nn.NewMLP([]int{8}, 1) // want "at least an input and an output layer"
+}
+
+func BadMLPForward() error {
+	m, err := nn.NewMLP([]int{8, 16, 4}, 1)
+	if err != nil {
+		return err
+	}
+	st := m.NewState(32)
+	in := vecmath.NewMatrix(32, 9)
+	m.Forward(st, in) // want "input cols disagree with the MLP input width"
+	return nil
+}
+
+func GoodMLPForward() error {
+	m, err := nn.NewMLP([]int{8, 16, 4}, 1)
+	if err != nil {
+		return err
+	}
+	st := m.NewState(32)
+	in := vecmath.NewMatrix(32, 8)
+	m.Forward(st, in)
+	return nil
+}
+
+func BadHiddenList() nn.Config {
+	return nn.Config{Hidden: []int{64, 0, 64}} // want "hidden layer width 0 is not positive"
+}
+
+func Suppressed() {
+	a := vecmath.NewMatrix(4, 8)
+	b := vecmath.NewMatrix(9, 16)
+	dst := vecmath.NewMatrix(4, 16)
+	//lint:ignore shapecheck fixture exercises suppression
+	vecmath.MatMul(dst, a, b)
+}

@@ -85,10 +85,12 @@ type Model struct {
 
 	Losses []float64
 
+	// mu guards the shared inference state: Estimate may be called from
+	// multiple goroutines.
 	mu      sync.Mutex
-	sess    *nn.Session
-	sessCap int
-	rng     *rand.Rand
+	sess    *nn.Session // iam:guardedby mu
+	sessCap int         // iam:guardedby mu
+	rng     *rand.Rand  // iam:guardedby mu
 }
 
 // Train fits the model on t.
@@ -250,6 +252,7 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 		lo := 0
 		if !math.IsInf(r.Lo, -1) {
 			lo = int(math.Ceil(r.Lo))
+			//lint:ignore floateq exact integer roundtrip decides whether an exclusive float bound excludes the integer code
 			if float64(lo) == r.Lo && !r.LoInc {
 				lo++
 			}
@@ -257,6 +260,7 @@ func (m *Model) codeRange(ci int, r *query.Interval) (int, int, bool, error) {
 		hi := info.enc.Card - 1
 		if !math.IsInf(r.Hi, 1) {
 			hi = int(math.Floor(r.Hi))
+			//lint:ignore floateq exact integer roundtrip decides whether an exclusive float bound excludes the integer code
 			if float64(hi) == r.Hi && !r.HiInc {
 				hi--
 			}

@@ -81,13 +81,13 @@ func (m *MLP) Forward(st *MLPState, in *vecmath.Matrix) {
 		panic(fmt.Sprintf("nn: MLP batch %d exceeds state max %d", in.Rows, st.maxBatch))
 	}
 	st.B = in.Rows
-	copy(view(st.x[0], st.B).Data, in.Data)
-	cur := view(st.x[0], st.B)
+	copy(vecmath.View(st.x[0], st.B).Data, in.Data)
+	cur := vecmath.View(st.x[0], st.B)
 	last := len(m.layers) - 1
 	for li, l := range m.layers {
-		pre := view(st.pre[li], st.B)
+		pre := vecmath.View(st.pre[li], st.B)
 		l.forward(pre, cur)
-		next := view(st.x[li+1], st.B)
+		next := vecmath.View(st.x[li+1], st.B)
 		if li == last {
 			copy(next.Data, pre.Data) // linear output
 		} else {
@@ -106,28 +106,28 @@ func (m *MLP) Forward(st *MLPState, in *vecmath.Matrix) {
 // Output returns the network output of the current batch (B×OutDim),
 // aliasing state memory.
 func (m *MLP) Output(st *MLPState) *vecmath.Matrix {
-	return view(st.x[len(st.x)-1], st.B)
+	return vecmath.View(st.x[len(st.x)-1], st.B)
 }
 
 // Backward accumulates gradients given dL/dOut; when dIn is non-nil the
 // input gradient is written there (B×InDim).
 func (m *MLP) Backward(st *MLPState, dOut, dIn *vecmath.Matrix) {
 	b := st.B
-	dcur := view(st.dx[len(st.dx)-1], b)
+	dcur := vecmath.View(st.dx[len(st.dx)-1], b)
 	copy(dcur.Data, dOut.Data[:b*m.OutDim()])
 	last := len(m.layers) - 1
 	for li := last; li >= 0; li-- {
 		l := m.layers[li]
 		if li != last {
-			pre := view(st.pre[li], b)
+			pre := vecmath.View(st.pre[li], b)
 			for i := range dcur.Data[:b*l.out] {
 				if pre.Data[i] <= 0 {
 					dcur.Data[i] = 0
 				}
 			}
 		}
-		dprev := view(st.dx[li], b)
-		l.backward(dprev, dcur, view(st.x[li], b))
+		dprev := vecmath.View(st.dx[li], b)
+		l.backward(dprev, dcur, vecmath.View(st.x[li], b))
 		dcur = dprev
 	}
 	if dIn != nil {

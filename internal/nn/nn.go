@@ -369,11 +369,6 @@ func (n *ResMADE) NewSession(maxBatch int) *Session {
 	return s
 }
 
-// view returns m restricted to the first b rows.
-func view(m *vecmath.Matrix, b int) *vecmath.Matrix {
-	return &vecmath.Matrix{Rows: b, Cols: m.Cols, Data: m.Data[:b*m.Cols]}
-}
-
 // Forward runs the network on a batch of encoded rows. Each code may be the
 // column's MaskToken to signal a wildcard input. Logits become available via
 // Logits().
@@ -390,7 +385,7 @@ func (s *Session) Forward(rows [][]int) {
 	}
 	s.rows = s.buf[:s.B]
 
-	x0 := view(s.x[0], s.B)
+	x0 := vecmath.View(s.x[0], s.B)
 	for r, row := range s.rows {
 		dst := x0.Row(r)
 		for c, code := range row {
@@ -404,9 +399,9 @@ func (s *Session) Forward(rows [][]int) {
 
 	cur := x0
 	for li, l := range n.layers {
-		pre := view(s.pre[li], s.B)
+		pre := vecmath.View(s.pre[li], s.B)
 		l.forward(pre, cur)
-		next := view(s.x[li+1], s.B)
+		next := vecmath.View(s.x[li+1], s.B)
 		if l.hasResidue {
 			for i, v := range pre.Data {
 				if v > 0 {
@@ -426,7 +421,7 @@ func (s *Session) Forward(rows [][]int) {
 		}
 		cur = next
 	}
-	n.outLayer.forward(view(s.logits, s.B), cur)
+	n.outLayer.forward(vecmath.View(s.logits, s.B), cur)
 }
 
 // Logits returns the logit slice of column col for batch row r. The slice
@@ -437,7 +432,7 @@ func (s *Session) Logits(r, col int) []float64 {
 }
 
 // AllLogits exposes the full B×outDim logit matrix of the current batch.
-func (s *Session) AllLogits() *vecmath.Matrix { return view(s.logits, s.B) }
+func (s *Session) AllLogits() *vecmath.Matrix { return vecmath.View(s.logits, s.B) }
 
 // Backward accumulates parameter gradients for the current batch given
 // dL/dlogits (B×outDim). Call net.ZeroGrad/AdamStep around it.
@@ -445,13 +440,13 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 	n := s.net
 	b := s.B
 	last := len(n.layers)
-	dcur := view(s.dx[last], b)
-	n.outLayer.backward(dcur, dLogits, view(s.x[last], b))
+	dcur := vecmath.View(s.dx[last], b)
+	n.outLayer.backward(dcur, dLogits, vecmath.View(s.x[last], b))
 
 	for li := len(n.layers) - 1; li >= 0; li-- {
 		l := n.layers[li]
-		pre := view(s.pre[li], b)
-		dpre := view(s.dpre[li], b)
+		pre := vecmath.View(s.pre[li], b)
+		dpre := vecmath.View(s.dpre[li], b)
 		for i := range dpre.Data[:b*l.out] {
 			if pre.Data[i] > 0 {
 				dpre.Data[i] = dcur.Data[i]
@@ -459,8 +454,8 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 				dpre.Data[i] = 0
 			}
 		}
-		dprev := view(s.dx[li], b)
-		l.backward(dprev, dpre, view(s.x[li], b))
+		dprev := vecmath.View(s.dx[li], b)
+		l.backward(dprev, dpre, vecmath.View(s.x[li], b))
 		if l.hasResidue {
 			// Identity path adds dcur straight through.
 			for i := 0; i < b*l.in; i++ {

@@ -190,7 +190,7 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 				}
 			}
 			sess.Forward(inputs[:b])
-			dl := view(dLogits, b)
+			dl := vecmath.View(dLogits, b)
 			nll := sess.CrossEntropyGrad(targets, dl)
 			if math.IsNaN(nll) || math.IsInf(nll, 0) {
 				diverged = true // further batches would train on poisoned logits

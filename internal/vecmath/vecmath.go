@@ -130,6 +130,44 @@ func MatMulABT(dst, a, b *Matrix) {
 	}
 }
 
+// View returns a matrix aliasing the first rows rows of m, without copying.
+// Shrinking a pre-allocated buffer to the current batch size this way keeps
+// the hot training loops allocation-free while leaving the column width — and
+// therefore the layer shape — intact and statically traceable.
+func View(m *Matrix, rows int) *Matrix {
+	if rows < 0 || rows > m.Rows {
+		panic(fmt.Sprintf("vecmath: view of %d rows from a %dx%d matrix", rows, m.Rows, m.Cols))
+	}
+	return &Matrix{Rows: rows, Cols: m.Cols, Data: m.Data[:rows*m.Cols]}
+}
+
+// Eps is the default tolerance of ApproxEqual and ApproxZero: loose enough to
+// absorb accumulated float64 rounding in the kernels, tight enough to
+// distinguish any quantity the estimators care about.
+const Eps = 1e-9
+
+// ApproxEqual reports whether a and b agree within Eps, absolutely for small
+// magnitudes and relatively for large ones. It is the module's sanctioned
+// float comparison: the floateq lint check forbids exact ==/!= on floats
+// everywhere else.
+func ApproxEqual(a, b float64) bool {
+	//lint:ignore floateq identity shortcut also catches equal infinities
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return diff <= Eps*scale
+	}
+	return diff <= Eps
+}
+
+// ApproxZero reports whether v is within Eps of zero.
+func ApproxZero(v float64) bool {
+	return math.Abs(v) <= Eps
+}
+
 // Dot returns the inner product of x and y.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
