@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: build test test-short lint lint-warn lint-fix lint-json vet clean
+# Extra `go test` flags for bench-json; CI's short-scale run uses
+# BENCHFLAGS='-short -benchtime=1x'.
+BENCHFLAGS ?=
+BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMatMul|BenchmarkMatMulABT)$$
+
+.PHONY: build test test-short lint lint-warn lint-fix lint-json vet bench-json clean
 
 build:
 	$(GO) build ./...
@@ -30,6 +35,16 @@ lint-fix:
 # lint-json emits machine-readable diagnostics (used by CI artifacts).
 lint-json:
 	$(GO) run ./cmd/iamlint -json -severity=warn ./...
+
+# bench-json runs the serving benchmarks (EstimateBatch worker scaling,
+# ResMADE forward, matmul kernels) and records them in BENCH_estimate.json —
+# the repo's perf-trajectory file. The intermediate .bench.out keeps go
+# test's exit status visible to make (a pipe would swallow it).
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
+		./internal/core ./internal/nn ./internal/vecmath > .bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_estimate.json < .bench.out
+	rm -f .bench.out
 
 # vet runs iamlint through the go vet driver, exercising the -vettool path.
 vet:

@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable perf-trajectory file BENCH_estimate.json. It keeps the
+// standard per-op columns (ns/op, B/op, allocs/op) plus any custom
+// b.ReportMetric columns, and derives the EstimateBatch worker-scaling ratio
+// (workers=max throughput over the workers=1 baseline) so CI artifacts carry
+// the headline number directly.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... > bench.out
+//	go run ./cmd/benchjson -o BENCH_estimate.json < bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"iam/internal/atomicfile"
+)
+
+type benchResult struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric columns, e.g. "queries/s".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	// EstimateBatchSpeedup is ns/op(workers=1) divided by ns/op(workers=max)
+	// for BenchmarkEstimateBatch — the worker-scaling headline. 0 when either
+	// entry is missing from the run.
+	EstimateBatchSpeedup float64       `json:"estimate_batch_speedup"`
+	Results              []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_estimate.json", "output JSON file")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, out string) error {
+	bf := benchFile{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			bf.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %w", line, err)
+			}
+			if res == nil {
+				continue // a benchmark name echoed with -v, no columns
+			}
+			res.Pkg = pkg
+			bf.Results = append(bf.Results, *res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading bench output: %w", err)
+	}
+	if len(bf.Results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin (did `go test -bench` fail?)")
+	}
+	bf.EstimateBatchSpeedup = speedup(bf.Results)
+
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", out, err)
+	}
+	data = append(data, '\n')
+	if err := atomicfile.WriteFile(out, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("writing %s: %w", out, err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx)\n",
+		len(bf.Results), out, bf.EstimateBatchSpeedup)
+	return nil
+}
+
+// parseBenchLine decodes one result line, e.g.
+//
+//	BenchmarkEstimateBatch/workers=1-8  10  1234 ns/op  0 B/op  0 allocs/op  518.3 queries/s
+//
+// Returns (nil, nil) for lines that carry a benchmark name but no columns
+// (the `-v` echo of a sub-benchmark about to run).
+func parseBenchLine(line string) (*benchResult, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return nil, nil
+	}
+	res := &benchResult{Name: f[0], Procs: 1}
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			res.Name, res.Procs = f[0][:i], p
+		}
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return nil, fmt.Errorf("iteration count %q: %w", f[1], err)
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, nil
+}
+
+// speedup derives the worker-scaling ratio from the two BenchmarkEstimateBatch
+// entries, or 0 if the run did not include both.
+func speedup(results []benchResult) float64 {
+	var base, par float64
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkEstimateBatch/workers=1":
+			base = r.NsPerOp
+		case "BenchmarkEstimateBatch/workers=max":
+			par = r.NsPerOp
+		}
+	}
+	if base <= 0 || par <= 0 {
+		return 0
+	}
+	return base / par
+}

@@ -17,6 +17,10 @@
 // on disk and -resume continues from it. -guard wraps the IAM estimator in
 // a fallback cascade (IAM → sampling → Postgres histogram) so a failing
 // model degrades instead of erroring out.
+//
+// -cpuprofile, -memprofile and -blockprofile write pprof profiles covering
+// the whole run (training and estimation); see README "Profiling" for the
+// workflow.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -65,10 +71,16 @@ func main() {
 		ckpt   = fs.String("checkpoint", "", "write an epoch-granular training checkpoint to this file")
 		resume = fs.Bool("resume", false, "resume IAM training from -checkpoint if it exists")
 		guardQ = fs.Bool("guard", false, "wrap IAM in the fallback cascade IAM → sampling → Postgres")
+
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file before exiting")
+		blockProf = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file before exiting")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	stopProfiles := startProfiles(*cpuProf, *blockProf)
+	defer stopProfiles(*memProf)
 
 	// Ctrl-C cancels training between mini-batches; with -checkpoint the
 	// last completed epoch is flushed before exiting.
@@ -187,6 +199,46 @@ func runJoin(titles int, seed int64, nq, epochs int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: iamctl <stats|estimate|eval|agg|join> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'iamctl <cmd> -h' for the flags of each subcommand")
+}
+
+// startProfiles arms the requested pprof collectors and returns the function
+// that flushes them; main defers it so every subcommand (train, estimate,
+// eval, ...) is covered without per-command plumbing. Profiles are lost on
+// the die()/os.Exit error paths — profiling a failing run is not a workflow
+// we support. See README "Profiling" for usage.
+func startProfiles(cpu, block string) func(mem string) {
+	var cpuFile *os.File
+	if cpu != "" {
+		//lint:ignore atomicwrite pprof streams into the file for the whole run; profiles are scratch diagnostics
+		f, err := os.Create(cpu)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		cpuFile = f
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	return func(mem string) {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			die(cpuFile.Close())
+		}
+		if block != "" {
+			//lint:ignore atomicwrite profiles are scratch diagnostics, not persisted state
+			f, err := os.Create(block)
+			die(err)
+			die(pprof.Lookup("block").WriteTo(f, 0))
+			die(f.Close())
+		}
+		if mem != "" {
+			//lint:ignore atomicwrite profiles are scratch diagnostics, not persisted state
+			f, err := os.Create(mem)
+			die(err)
+			runtime.GC() // heap profile of live objects, not transient garbage
+			die(pprof.WriteHeapProfile(f))
+			die(f.Close())
+		}
+	}
 }
 
 func die(err error) {

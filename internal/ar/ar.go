@@ -75,28 +75,27 @@ type FactoredConstraint struct {
 	Lo, Hi   int
 }
 
-// Fill implements Constraint.
+// Fill implements Constraint. It extracts endpoint digits with
+// FactorSpec.Digit instead of Split so the per-sample inner loop of the
+// progressive sampler stays allocation-free.
 func (fc FactoredConstraint) Fill(prev []int, w []float64) {
-	// Decompose the range endpoints into subcolumn digits.
-	loDigits := fc.Spec.Split(fc.Lo)
-	hiDigits := fc.Spec.Split(fc.Hi)
-	// Compare the sampled prefix with the endpoint prefixes.
+	// Compare the sampled prefix with the range endpoints' digit prefixes.
 	onLo, onHi := true, true
 	for p := 0; p < fc.Part; p++ {
 		v := prev[fc.FirstCol+p]
-		if v != loDigits[p] {
+		if v != fc.Spec.Digit(fc.Lo, p) {
 			onLo = false
 		}
-		if v != hiDigits[p] {
+		if v != fc.Spec.Digit(fc.Hi, p) {
 			onHi = false
 		}
 	}
 	lo, hi := 0, len(w)-1
 	if onLo {
-		lo = loDigits[fc.Part]
+		lo = fc.Spec.Digit(fc.Lo, fc.Part)
 	}
 	if onHi {
-		hi = hiDigits[fc.Part]
+		hi = fc.Spec.Digit(fc.Hi, fc.Part)
 	}
 	for k := range w {
 		if k >= lo && k <= hi {
@@ -194,64 +193,114 @@ func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rn
 // EstimateBatch estimates a batch of queries at once (paper §5.3, Table 7):
 // the per-query sample sets are stacked into one matrix so every AR column
 // needs a single network forward for the whole batch. sess must accommodate
-// len(consList)·numSamples rows.
+// len(consList)·numSamples rows. All queries draw from the one shared rng in
+// a fixed order; EstimateBatchScratch is the reusable-buffer variant with
+// per-query streams.
 func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) ([]float64, error) {
+	nq := len(consList)
+	sc := NewEstimateScratch()
+	sc.ensure(nq, numSamples, len(m.Cards), maxCard(m.Cards))
+	for qi := range sc.rngs {
+		sc.rngs[qi] = rng
+	}
+	res, err := m.estimateBatchInto(sess, sc, consList, numSamples)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, nq)
+	copy(out, res)
+	return out, nil
+}
+
+// EstimateBatchScratch is EstimateBatch on caller-owned scratch buffers with
+// one deterministic RNG stream per query: query i draws only from a generator
+// reseeded to seeds[i], so its estimate is a pure function of (model, query,
+// seed) — independent of batch composition, worker count, or execution order.
+// The returned slice aliases sc and is valid until the next call on sc.
+func (m *Model) EstimateBatchScratch(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int, seeds []int64) ([]float64, error) {
+	if len(seeds) != len(consList) {
+		return nil, fmt.Errorf("ar: %d seeds for %d queries", len(seeds), len(consList))
+	}
+	sc.ensure(len(consList), numSamples, len(m.Cards), maxCard(m.Cards))
+	sc.seed(seeds)
+	return m.estimateBatchInto(sess, sc, consList, numSamples)
+}
+
+// estimateBatchInto is the progressive-sampling core shared by EstimateBatch
+// and EstimateBatchScratch. sc must already be sized by ensure and have
+// sc.rngs populated. It performs no heap allocation beyond what Constraint
+// implementations allocate (the built-in ones allocate nothing).
+func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int) ([]float64, error) {
 	nCols := len(m.Cards)
 	nq := len(consList)
-	total := nq * numSamples
 	for _, cons := range consList {
 		if len(cons) != nCols {
 			return nil, fmt.Errorf("ar: constraint list has %d entries for %d columns", len(cons), nCols)
 		}
 	}
 
-	rows := make([][]int, total)
-	backing := make([]int, total*nCols)
+	rows := sc.rows
 	for i := range rows {
-		rows[i] = backing[i*nCols : (i+1)*nCols]
 		for c := range rows[i] {
 			rows[i][c] = m.Net.MaskToken(c)
 		}
 	}
-	probs := make([]float64, total)
+	probs := sc.probs
 	for i := range probs {
 		probs[i] = 1
 	}
 
-	dist := make([]float64, maxCard(m.Cards))
-	w := make([]float64, maxCard(m.Cards))
-	subRows := make([][]int, 0, total)
 	for c := 0; c < nCols; c++ {
 		// Sub-batch: only the sample rows of queries that constrain this
-		// column need a network forward (wildcard-skipping, §5.3).
-		subRows = subRows[:0]
-		var subQs []int
+		// column need a network forward (wildcard-skipping, §5.3), and of
+		// those only the live rows — a sample whose path probability has
+		// collapsed to zero contributes nothing downstream, so forwarding
+		// it would be pure waste. subPos records each live row's position
+		// in the compacted sub-batch.
+		subRows := sc.subRows[:0]
+		subQs := sc.subQs[:0]
 		for qi, cons := range consList {
-			if cons[c] != nil {
-				subQs = append(subQs, qi)
-				subRows = append(subRows, rows[qi*numSamples:(qi+1)*numSamples]...)
+			if cons[c] == nil {
+				continue
+			}
+			subQs = append(subQs, qi)
+			for s := 0; s < numSamples; s++ {
+				ri := qi*numSamples + s
+				if probs[ri] == 0 {
+					sc.subPos[ri] = -1
+					continue
+				}
+				sc.subPos[ri] = len(subRows)
+				subRows = append(subRows, rows[ri])
 			}
 		}
-		if len(subQs) == 0 {
+		sc.subRows, sc.subQs = subRows, subQs // retain any growth
+		if len(subRows) == 0 {
 			continue
 		}
 		sess.Forward(subRows)
 		card := m.Cards[c]
-		for si, qi := range subQs {
+		for _, qi := range subQs {
 			con := consList[qi][c]
+			rng := sc.rngs[qi]
 			for s := 0; s < numSamples; s++ {
 				ri := qi*numSamples + s
 				if probs[ri] == 0 {
 					continue
 				}
-				d := dist[:card]
-				sess.Dist(si*numSamples+s, c, d)
-				wv := w[:card]
+				d := sc.dist[:card]
+				sess.Dist(sc.subPos[ri], c, d)
+				wv := sc.w[:card]
 				con.Fill(rows[ri], wv)
+				// Fold the admission weights in and build the prefix sums
+				// in one pass; the running total accumulates in exactly the
+				// order the pre-fusion code used, so masses are bit-equal.
+				cdf := sc.cdf[:card]
 				var mass float64
 				for k := 0; k < card; k++ {
 					d[k] *= wv[k]
 					mass += d[k]
+					cdf[k] = mass
 				}
 				probs[ri] *= mass
 				if mass <= 0 || probs[ri] == 0 {
@@ -260,22 +309,12 @@ func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamp
 					continue
 				}
 				// Sample the next coordinate ∝ corrected conditional.
-				u := rng.Float64() * mass
-				var acc float64
-				pick := card - 1
-				for k := 0; k < card; k++ {
-					acc += d[k]
-					if u < acc {
-						pick = k
-						break
-					}
-				}
-				rows[ri][c] = pick
+				rows[ri][c] = pickCategorical(d, cdf, rng.Float64()*mass)
 			}
 		}
 	}
 
-	out := make([]float64, nq)
+	out := sc.out[:nq]
 	for qi := 0; qi < nq; qi++ {
 		var s float64
 		for i := qi * numSamples; i < (qi+1)*numSamples; i++ {
@@ -284,6 +323,42 @@ func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamp
 		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
 	}
 	return out, nil
+}
+
+// bsearchMinCard is the domain size above which the categorical draw switches
+// from a linear cumulative scan to binary search over the prefix sums.
+const bsearchMinCard = 64
+
+// pickCategorical returns the index k drawn by threshold u over the weighted
+// distribution d with prefix sums cdf (cdf[k] = d[0]+…+d[k] accumulated left
+// to right): the first k with u < cdf[k], or len(d)-1 when rounding pushes u
+// to or past the total mass. Small domains scan linearly; larger ones binary
+// search the prefix sums. Both paths pick identical indices because the scan
+// compares u against the same accumulation chain cdf stores.
+func pickCategorical(d, cdf []float64, u float64) int {
+	card := len(d)
+	if card <= bsearchMinCard {
+		var acc float64
+		pick := card - 1
+		for k := 0; k < card; k++ {
+			acc += d[k]
+			if u < acc {
+				pick = k
+				break
+			}
+		}
+		return pick
+	}
+	// Branch-light upper bound: count prefix sums ≤ u, clamped to card-1.
+	lo, n := 0, card
+	for n > 1 {
+		half := n / 2
+		if cdf[lo+half-1] <= u {
+			lo += half
+		}
+		n -= half
+	}
+	return lo
 }
 
 // SampleRecord captures one progressive-sampling run for gradient-based

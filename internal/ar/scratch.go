@@ -1,0 +1,91 @@
+package ar
+
+import "math/rand"
+
+// EstimateScratch owns every buffer one progressive-sampling run needs, so a
+// long-lived caller (one estimate worker) can run EstimateBatchScratch with
+// zero per-call heap allocation in steady state. Buffers grow on demand and
+// are retained across calls; a scratch is NOT safe for concurrent use —
+// create one per worker, next to its nn.Session.
+type EstimateScratch struct {
+	rows    [][]int      // per-sample code rows, re-aimed into backing each call
+	backing []int        // contiguous storage behind rows
+	probs   []float64    // per-sample running path probability
+	subPos  []int        // sample index → row index in the forwarded sub-batch (-1 = dead)
+	dist    []float64    // per-code conditional, reused across samples
+	w       []float64    // per-code admission weights, reused across samples
+	cdf     []float64    // prefix sums of dist for the binary-search draw
+	subRows [][]int      // live rows of the current column's sub-batch
+	subQs   []int        // query indices constraining the current column
+	out     []float64    // per-query estimates returned to the caller
+	rngs    []*rand.Rand // per-query sampling stream used by the core loop
+	owned   []*rand.Rand // reusable rand.Rand objects behind the seeded path
+}
+
+// NewEstimateScratch returns an empty scratch; buffers are sized lazily by
+// the first estimate call.
+func NewEstimateScratch() *EstimateScratch { return &EstimateScratch{} }
+
+// ensure sizes every buffer for nq queries of numSamples samples over nCols
+// columns with maximum cardinality maxCard, growing (never shrinking) the
+// retained capacity, and re-aims the per-sample row slices.
+func (sc *EstimateScratch) ensure(nq, numSamples, nCols, maxCard int) {
+	total := nq * numSamples
+	if cap(sc.backing) < total*nCols {
+		sc.backing = make([]int, total*nCols)
+	}
+	sc.backing = sc.backing[:total*nCols]
+	if cap(sc.rows) < total {
+		sc.rows = make([][]int, total)
+	}
+	sc.rows = sc.rows[:total]
+	for i := range sc.rows {
+		sc.rows[i] = sc.backing[i*nCols : (i+1)*nCols]
+	}
+	if cap(sc.probs) < total {
+		sc.probs = make([]float64, total)
+	}
+	sc.probs = sc.probs[:total]
+	if cap(sc.subPos) < total {
+		sc.subPos = make([]int, total)
+	}
+	sc.subPos = sc.subPos[:total]
+	if cap(sc.dist) < maxCard {
+		sc.dist = make([]float64, maxCard)
+		sc.w = make([]float64, maxCard)
+		sc.cdf = make([]float64, maxCard)
+	}
+	sc.dist = sc.dist[:maxCard]
+	sc.w = sc.w[:maxCard]
+	sc.cdf = sc.cdf[:maxCard]
+	if cap(sc.subRows) < total {
+		sc.subRows = make([][]int, 0, total)
+	}
+	sc.subRows = sc.subRows[:0]
+	if cap(sc.subQs) < nq {
+		sc.subQs = make([]int, 0, nq)
+	}
+	sc.subQs = sc.subQs[:0]
+	if cap(sc.out) < nq {
+		sc.out = make([]float64, nq)
+	}
+	sc.out = sc.out[:nq]
+	if cap(sc.rngs) < nq {
+		sc.rngs = make([]*rand.Rand, nq)
+	}
+	sc.rngs = sc.rngs[:nq]
+}
+
+// seed aims the per-query RNG table at owned generators reseeded from seeds.
+// Generators are reused across calls (rand.NewSource is a ~5 KiB allocation),
+// so in steady state reseeding is allocation-free.
+func (sc *EstimateScratch) seed(seeds []int64) {
+	for qi, s := range seeds {
+		if qi < len(sc.owned) {
+			sc.owned[qi].Seed(s)
+		} else {
+			sc.owned = append(sc.owned, rand.New(rand.NewSource(s)))
+		}
+		sc.rngs[qi] = sc.owned[qi]
+	}
+}

@@ -1,0 +1,227 @@
+package ar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iam/internal/vecmath"
+)
+
+// freshModel builds an untrained model (initialization is deterministic, which
+// is all the plumbing tests here need).
+func freshModel(t *testing.T, cards []int) *Model {
+	t.Helper()
+	m, err := New(cards, []int{16, 16}, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDeadSamplesNotForwarded: a query that dies at the first column (empty
+// constraint) must not have its sample rows forwarded through the network for
+// the remaining columns.
+func TestDeadSamplesNotForwarded(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	ns := 32
+	consLive := []Constraint{RangeConstraint{0, 2}, RangeConstraint{1, 3}, RangeConstraint{0, 4}}
+	consDead := []Constraint{EmptyConstraint{}, RangeConstraint{1, 3}, RangeConstraint{0, 4}}
+
+	sess := m.Net.NewSession(2 * ns)
+	before := sess.ForwardedRows()
+	rng := rand.New(rand.NewSource(9))
+	if _, err := m.EstimateBatch(sess, [][]Constraint{consLive, consDead}, ns, rng); err != nil {
+		t.Fatal(err)
+	}
+	got := sess.ForwardedRows() - before
+	// Column 0 forwards both queries' samples (2·ns). The dead query's
+	// samples all collapse there, so columns 1 and 2 forward only the live
+	// query's ns rows each: 2·ns + ns + ns.
+	want := 4 * ns
+	if got != want {
+		t.Fatalf("forwarded %d rows, want %d (dead samples must be skipped)", got, want)
+	}
+}
+
+// TestPickCategoricalBsearchMatchesLinear proves the binary-search draw picks
+// the same index as the linear cumulative scan for every threshold, including
+// zero-mass plateaus and thresholds at or past the total mass.
+func TestPickCategoricalBsearchMatchesLinear(t *testing.T) {
+	linear := func(d []float64, u float64) int {
+		var acc float64
+		pick := len(d) - 1
+		for k := range d {
+			acc += d[k]
+			if u < acc {
+				pick = k
+				break
+			}
+		}
+		return pick
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, card := range []int{65, 100, 513} {
+		d := make([]float64, card)
+		cdf := make([]float64, card)
+		var mass float64
+		for k := range d {
+			if rng.Intn(3) == 0 {
+				d[k] = 0 // plateau: consecutive equal prefix sums
+			} else {
+				d[k] = rng.Float64()
+			}
+			mass += d[k]
+			cdf[k] = mass
+		}
+		for trial := 0; trial < 2000; trial++ {
+			u := rng.Float64() * mass
+			if got, want := pickCategorical(d, cdf, u), linear(d, u); got != want {
+				t.Fatalf("card %d: pickCategorical(u=%v) = %d, linear scan picks %d", card, u, got, want)
+			}
+		}
+		for _, u := range []float64{0, cdf[card-1], cdf[card-1] * 1.0000001} {
+			if got, want := pickCategorical(d, cdf, u), linear(d, u); got != want {
+				t.Fatalf("card %d: edge u=%v: bsearch %d vs linear %d", card, u, got, want)
+			}
+		}
+	}
+}
+
+// TestLargeCardSameSeedIdenticalPicks is the end-to-end regression for the
+// binary-search draw: on a model with a column wide enough to take the
+// bsearch path, two same-seed runs must produce bit-identical estimates (the
+// draw consumes exactly one uniform per pick, same as the linear scan did).
+func TestLargeCardSameSeedIdenticalPicks(t *testing.T) {
+	m := freshModel(t, []int{100, 6})
+	cons := [][]Constraint{
+		{RangeConstraint{10, 80}, RangeConstraint{1, 4}},
+		{RangeConstraint{0, 99}, nil},
+	}
+	sess := m.Net.NewSession(2 * 64)
+	a, err := m.EstimateBatch(sess, cons, 64, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.EstimateBatch(sess, cons, 64, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("query %d: same-seed runs differ: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestScratchSingleQueryMatchesLegacy: with one query, the scratch path seeded
+// with s must reproduce the legacy path driven by rand.New(rand.NewSource(s))
+// bit-for-bit — both consume the identical uniform stream.
+func TestScratchSingleQueryMatchesLegacy(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	cons := []Constraint{RangeConstraint{1, 2}, nil, RangeConstraint{0, 3}}
+	ns := 128
+	sess := m.Net.NewSession(ns)
+
+	var seed int64 = 77
+	legacy, err := m.EstimateBatch(sess, [][]Constraint{cons}, ns, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewEstimateScratch()
+	got, err := m.EstimateBatchScratch(sess, sc, [][]Constraint{cons}, ns, []int64{seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[0]) != math.Float64bits(legacy[0]) {
+		t.Fatalf("scratch path %v differs from legacy same-seed path %v", got[0], legacy[0])
+	}
+}
+
+// TestScratchBatchCompositionIndependent: with per-query seeds, a query's
+// estimate must not depend on which other queries share its batch.
+func TestScratchBatchCompositionIndependent(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	q0 := []Constraint{RangeConstraint{0, 1}, RangeConstraint{2, 3}, nil}
+	q1 := []Constraint{nil, RangeConstraint{0, 3}, RangeConstraint{1, 4}}
+	q2 := []Constraint{RangeConstraint{3, 3}, nil, RangeConstraint{0, 2}}
+	ns := 64
+	sess := m.Net.NewSession(3 * ns)
+	sc := NewEstimateScratch()
+
+	batched, err := m.EstimateBatchScratch(sess, sc, [][]Constraint{q0, q1, q2}, ns, []int64{101, 102, 103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append([]float64(nil), batched...)
+	for i, q := range [][]Constraint{q0, q1, q2} {
+		solo, err := m.EstimateBatchScratch(sess, sc, [][]Constraint{q}, ns, []int64{101 + int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(solo[0]) != math.Float64bits(all[i]) {
+			t.Fatalf("query %d: solo %v vs batched %v — per-query streams must decouple batch composition", i, solo[0], all[i])
+		}
+	}
+}
+
+// TestEstimateBatchScratchNoAlloc pins the tentpole property: after warm-up,
+// the scratch estimate path performs zero heap allocations per call.
+func TestEstimateBatchScratchNoAlloc(t *testing.T) {
+	prev := vecmath.Parallelism(1)
+	defer vecmath.Parallelism(prev)
+
+	m := freshModel(t, []int{4, 16, 5})
+	wts := make([]float64, 16)
+	for i := range wts {
+		wts[i] = float64(i%3) / 2
+	}
+	consList := [][]Constraint{
+		{RangeConstraint{1, 2}, WeightConstraint{W: wts}, nil},
+		{nil, RangeConstraint{3, 12}, RangeConstraint{0, 4}},
+	}
+	seeds := []int64{11, 12}
+	ns := 32
+	sess := m.Net.NewSession(2 * ns)
+	sc := NewEstimateScratch()
+	if _, err := m.EstimateBatchScratch(sess, sc, consList, ns, seeds); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.EstimateBatchScratch(sess, sc, consList, ns, seeds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 0 {
+		t.Fatalf("steady-state EstimateBatchScratch allocates %v per op, want 0", n)
+	}
+}
+
+// TestScratchReuseAcrossShapes: one scratch must serve growing and shrinking
+// workloads (buffers grow monotonically, slices re-aim correctly).
+func TestScratchReuseAcrossShapes(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	sc := NewEstimateScratch()
+	sess := m.Net.NewSession(8 * 64)
+	q := []Constraint{RangeConstraint{0, 2}, nil, RangeConstraint{1, 3}}
+	for _, nq := range []int{1, 8, 2, 5} {
+		consList := make([][]Constraint, nq)
+		seeds := make([]int64, nq)
+		for i := range consList {
+			consList[i] = q
+			seeds[i] = int64(200 + i)
+		}
+		got, err := m.EstimateBatchScratch(sess, sc, consList, 64, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != nq {
+			t.Fatalf("nq=%d: got %d estimates", nq, len(got))
+		}
+		for i, v := range got {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("nq=%d query %d: estimate %v out of range", nq, i, v)
+			}
+		}
+	}
+}

@@ -10,9 +10,13 @@ import (
 
 func benchModel(b *testing.B) (*Model, *dataset.Table, *query.Workload) {
 	b.Helper()
-	tb := dataset.SynthTWI(5000, 1)
+	rows, epochs := 5000, 4
+	if testing.Short() {
+		rows, epochs = 2000, 2 // CI bench job scale: same shape, faster setup
+	}
+	tb := dataset.SynthTWI(rows, 1)
 	m, err := Train(tb, Config{
-		Epochs: 4, Hidden: []int{64, 32, 32, 64}, NumSamples: 500, Seed: 2,
+		Epochs: epochs, Hidden: []int{64, 32, 32, 64}, NumSamples: 500, Seed: 2,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -41,6 +45,35 @@ func BenchmarkIAMEstimate(b *testing.B) {
 		if _, err := m.Estimate(w.Queries[i%len(w.Queries)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEstimateBatch is the headline serving benchmark: one 64-query
+// batch per iteration in the serving configuration (mass cache on, worker
+// pool warmed by a discarded first batch). workers=1 is the committed
+// single-threaded baseline; workers=max resolves Workers=-1 to GOMAXPROCS.
+// `make bench-json` records both entries in BENCH_estimate.json together
+// with their throughput ratio.
+func BenchmarkEstimateBatch(b *testing.B) {
+	m, _, w := benchModel(b)
+	m.cfg.MassCacheSize = 256
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", -1}} {
+		b.Run(bc.name, func(b *testing.B) {
+			m.cfg.Workers = bc.workers
+			if _, err := m.EstimateBatch(w.Queries); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.EstimateBatch(w.Queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(w.Queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
 	}
 }
 

@@ -125,6 +125,8 @@ func resumeTraining(ctx context.Context, t *dataset.Table, cfg Config) (*Model, 
 	m.cfg.MaxRetries = cfg.MaxRetries
 	m.cfg.MaxGradNorm = cfg.MaxGradNorm
 	m.cfg.OnEpoch = cfg.OnEpoch
+	m.cfg.Workers = cfg.Workers
+	m.cfg.MassCacheSize = cfg.MassCacheSize
 	if snap.NextEpoch < m.cfg.Epochs {
 		if err := m.trainJoint(ctx, snap.NextEpoch, snap.LRScale, snap.Retries); err != nil {
 			return nil, err

@@ -83,6 +83,19 @@ type Config struct {
 	ExhaustiveLimit int
 	MassMode        RangeMassMode
 
+	// Workers caps how many goroutines one EstimateBatch call shards its
+	// queries across (each worker gets a pooled session and scratch).
+	// 0 or 1 (the default) runs single-threaded on the caller; negative
+	// means GOMAXPROCS. Every query draws from its own stream derived from
+	// (Seed, query index), so estimates are bit-identical under every
+	// Workers setting and batch composition.
+	Workers int
+	// MassCacheSize bounds the LRU cache of §5.2 per-component range-mass
+	// vectors keyed by (column, interval): repeated predicates skip the
+	// Monte-Carlo/CDF mass computation entirely. 0 (the default) disables
+	// caching.
+	MassCacheSize int
+
 	// ReducerFactory, when non-nil, replaces the GMM with an alternative
 	// domain-reduction method for every reduced column (§6.6 ablation).
 	// Training is then necessarily separate (the alternatives are not
@@ -218,14 +231,29 @@ type Model struct {
 	GMMLosses []float64
 	ARLosses  []float64
 
-	// mu guards the shared inference state below: EstimateBatch runs on
-	// caller goroutines while training callbacks may estimate concurrently.
-	mu        sync.Mutex
+	// mu is the model's reader/writer lock. Estimation paths hold the read
+	// side: any number of EstimateBatch calls proceed concurrently, each on
+	// pooled per-worker sessions. Writers — training mini-batch steps, the
+	// §5.2 mass-preprocessing refresh, Save, and the aggregate paths that
+	// mutate the shared session and estRNG below — hold the write side.
+	// Lock order: mu before poolMu/cacheMu; never the reverse.
+	mu        sync.RWMutex
 	sess      *nn.Session // iam:guardedby mu
 	sessCap   int         // iam:guardedby mu
 	massRNG   *rand.Rand  // iam:guardedby mu
 	estRNG    *rand.Rand  // iam:guardedby mu
 	massDirty bool        // iam:guardedby mu
+
+	// poolMu guards the pool of reusable estimate workers (session + scratch
+	// pairs). Workers are checked out by concurrent EstimateBatch shards and
+	// returned when the shard completes; see getWorker/putWorker.
+	poolMu  sync.Mutex
+	workers []*estWorker // iam:guardedby poolMu
+
+	// cacheMu guards the LRU cache of per-interval GMM range-mass vectors
+	// (§5.2 bias-correction weights), keyed by column and query interval.
+	cacheMu   sync.Mutex
+	massCache *massCache // iam:guardedby cacheMu
 }
 
 // Train fits IAM on table t.
@@ -472,12 +500,16 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 				return err
 			}
 		}
+		m.mu.Lock()
 		m.arm.InitMarginals(initRows)
+		m.mu.Unlock()
 	}
 
 	budget := m.retryBudget()
+	m.mu.Lock()
 	m.setGMMLR(cfg.GMMLR * lrScale)
 	good := m.captureJoint()
+	m.mu.Unlock()
 	checkpoint := func(nextEpoch int) error {
 		if cfg.CheckpointPath == "" {
 			return nil
@@ -494,7 +526,12 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			if ctx.Err() != nil {
 				// Discard the partial epoch so the checkpoint sits exactly
 				// on an epoch boundary; resuming replays epoch e in full.
-				if err := m.restoreJoint(good); err != nil {
+				// (checkpoint → Save takes the write lock itself, so the
+				// restore must release it first.)
+				m.mu.Lock()
+				err := m.restoreJoint(good)
+				m.mu.Unlock()
+				if err != nil {
 					return err
 				}
 				if err := checkpoint(e); err != nil {
@@ -508,6 +545,12 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			}
 			batchIdx := idx[start:end]
 			b := len(batchIdx)
+
+			// One optimizer step mutates GMM and AR parameters, so the whole
+			// mini-batch body holds the write lock; concurrent estimators
+			// (OnEpoch goroutines, external callers) interleave between
+			// batches on the read side.
+			m.mu.Lock()
 
 			// GMM steps, one per mixture, in parallel (§4.2).
 			var wg sync.WaitGroup
@@ -535,6 +578,7 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			// AR step on the re-encoded batch with wildcard masking.
 			for i, ri := range batchIdx {
 				if err := m.encodeRow(ri, targets[i]); err != nil {
+					m.mu.Unlock()
 					return err
 				}
 				copy(inputs[i], targets[i])
@@ -547,6 +591,7 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			dl := vecmath.View(dLogits, b)
 			nll := sess.CrossEntropyGrad(targets[:b], dl)
 			if math.IsNaN(nll) || math.IsInf(nll, 0) {
+				m.mu.Unlock()
 				diverged = true // stepping on poisoned logits is pointless
 				break
 			}
@@ -555,11 +600,13 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			sess.Backward(dl)
 			if cfg.MaxGradNorm > 0 {
 				if gn := m.arm.Net.GradNorm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
+					m.mu.Unlock()
 					diverged = true
 					break
 				}
 			}
 			m.arm.Net.AdamStep(cfg.LR*lrScale, 1/float64(b))
+			m.mu.Unlock()
 			seen += b
 		}
 		gmmMean, arMean := math.NaN(), math.NaN()
@@ -570,7 +617,10 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			arMean = math.NaN()
 		}
 		if diverged || !isFinite(gmmMean) || !isFinite(arMean) {
-			if err := m.restoreJoint(good); err != nil {
+			m.mu.Lock()
+			err := m.restoreJoint(good)
+			m.mu.Unlock()
+			if err != nil {
 				return err
 			}
 			if retries >= budget {
@@ -579,7 +629,9 @@ func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64,
 			}
 			retries++
 			lrScale /= 2
+			m.mu.Lock()
 			m.setGMMLR(cfg.GMMLR * lrScale)
+			m.mu.Unlock()
 			e-- // retry the same epoch from the last good state
 			continue
 		}
@@ -694,6 +746,8 @@ func (m *Model) refreshMassEstimatorsLocked() {
 			info.empirical = gmm.NewEmpirical(info.gm, m.table.Columns[ci].Floats)
 		}
 	}
+	// Cached mass vectors were computed from the old mixture parameters.
+	m.purgeMassCache()
 	m.massDirty = false
 }
 
@@ -710,54 +764,94 @@ func (m *Model) Estimate(q *query.Query) (float64, error) {
 }
 
 // EstimateBatch estimates several queries in one stacked progressive-
-// sampling run (§5.3).
+// sampling run (§5.3). It holds only the read lock, so any number of calls
+// proceed concurrently (each shard samples on a pooled worker session), and
+// shards the queries across min(cfg.Workers, pending) goroutines. Query i
+// draws from its own stream derived from (cfg.Seed, i), which makes the
+// returned estimates bit-identical under every Workers setting.
 func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.refreshMassEstimatorsLocked()
+	m.mu.RLock()
+	if m.massDirty {
+		// Upgrade for the one-time §5.2 mass preprocessing, then downgrade.
+		// refreshMassEstimatorsLocked re-checks the flag under the write
+		// lock, so racing upgraders refresh exactly once.
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.refreshMassEstimatorsLocked()
+		m.mu.Unlock()
+		m.mu.RLock()
+	}
+	defer m.mu.RUnlock()
 
-	consList := make([][]ar.Constraint, len(qs))
 	out := make([]float64, len(qs))
-	solved := make([]bool, len(qs))
-	remaining := 0
+	pending := make([][]ar.Constraint, 0, len(qs))
+	seeds := make([]int64, 0, len(qs))
+	slots := make([]int, 0, len(qs))
 	for i, q := range qs {
 		cons, err := m.buildConstraints(q)
 		if err != nil {
 			return nil, err
 		}
-		consList[i] = cons
 		if m.cfg.ExhaustiveLimit > 0 {
 			if est, ok := m.arm.EstimateExhaustive(cons, m.cfg.ExhaustiveLimit); ok {
 				out[i] = est
-				solved[i] = true
 				continue
 			}
 		}
-		remaining++
+		pending = append(pending, cons)
+		seeds = append(seeds, querySeed(m.cfg.Seed, i))
+		slots = append(slots, i)
 	}
-	if remaining == 0 {
+	if len(pending) == 0 {
 		return out, nil
 	}
-	pending := make([][]ar.Constraint, 0, remaining)
-	for i := range qs {
-		if !solved[i] {
-			pending = append(pending, consList[i])
+
+	nw := m.estimateWorkerCount(len(pending))
+	if nw <= 1 {
+		w := m.getWorker(len(pending) * m.cfg.NumSamples)
+		ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending, m.cfg.NumSamples, seeds)
+		if err != nil {
+			m.putWorker(w)
+			return nil, err
 		}
+		for j, v := range ests {
+			out[slots[j]] = v
+		}
+		m.putWorker(w)
+		return out, nil
 	}
-	need := len(pending) * m.cfg.NumSamples
-	if need > m.sessCap {
-		m.sessCap = need
-		m.sess = m.arm.Net.NewSession(need)
+
+	chunk := (len(pending) + nw - 1) / nw
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			w := m.getWorker((hi - lo) * m.cfg.NumSamples)
+			defer m.putWorker(w)
+			ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending[lo:hi], m.cfg.NumSamples, seeds[lo:hi])
+			if err != nil {
+				errs[wi] = err
+				return
+			}
+			for j, v := range ests {
+				out[slots[lo+j]] = v
+			}
+		}(wi, lo, hi)
 	}
-	ests, err := m.arm.EstimateBatch(m.sess, pending, m.cfg.NumSamples, m.estRNG)
-	if err != nil {
-		return nil, err
-	}
-	j := 0
-	for i := range qs {
-		if !solved[i] {
-			out[i] = ests[j]
-			j++
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
@@ -791,21 +885,28 @@ func (m *Model) buildConstraints(q *query.Query) ([]ar.Constraint, error) {
 				hi = math.Nextafter(hi, math.Inf(-1))
 			}
 			k := info.gm.K()
-			wts := make([]float64, k)
 			if m.cfg.Uncorrected {
+				wts := make([]float64, k)
 				for j := range wts {
 					wts[j] = 1
 				}
-			} else {
-				switch m.cfg.MassMode {
-				case MassMonteCarlo:
-					info.sampler.Mass(lo, hi, wts)
-				case MassExact:
-					info.gm.RangeMassExact(lo, hi, wts)
-				case MassEmpirical:
-					info.empirical.Mass(lo, hi, wts)
-				}
+				cons[info.arFirst] = ar.WeightConstraint{W: wts}
+				continue
 			}
+			if wts, ok := m.massCacheGet(ci, r); ok {
+				cons[info.arFirst] = ar.WeightConstraint{W: wts}
+				continue
+			}
+			wts := make([]float64, k)
+			switch m.cfg.MassMode {
+			case MassMonteCarlo:
+				info.sampler.Mass(lo, hi, wts)
+			case MassExact:
+				info.gm.RangeMassExact(lo, hi, wts)
+			case MassEmpirical:
+				info.empirical.Mass(lo, hi, wts)
+			}
+			m.massCachePut(ci, r, wts)
 			cons[info.arFirst] = ar.WeightConstraint{W: wts}
 		case kindReduced:
 			lo, hi := r.Lo, r.Hi

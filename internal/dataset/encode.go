@@ -203,6 +203,17 @@ func (f FactorSpec) SplitInto(dst []int, code int) {
 	}
 }
 
+// Digit returns subcolumn p of the decomposition of code without allocating —
+// the progressive sampler calls this in its per-sample inner loop, where a
+// Split slice per call would dominate the allocation profile.
+func (f FactorSpec) Digit(code, p int) int {
+	stride := 1
+	for i := len(f.Bases) - 1; i > p; i-- {
+		stride *= f.Bases[i]
+	}
+	return (code / stride) % f.Bases[p]
+}
+
 // Join recomposes subcolumn codes into the original code.
 func (f FactorSpec) Join(sub []int) int {
 	code := 0

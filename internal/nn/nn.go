@@ -341,8 +341,18 @@ type Session struct {
 	dx     []*vecmath.Matrix
 	dpre   []*vecmath.Matrix
 
+	// Reusable batch-view headers over the buffers above. The matmul kernels
+	// may fan work out to goroutines, so their operands escape; aiming these
+	// preallocated headers with vecmath.ViewInto keeps Forward allocation-free
+	// where a fresh vecmath.View header per call would heap-allocate.
+	xV, dxV     []vecmath.Matrix
+	preV, dpreV []vecmath.Matrix
+	logitsV     vecmath.Matrix
+
 	rows [][]int // codes of the current forward batch (for embedding grads)
 	buf  [][]int // owned storage for rows
+
+	forwardedRows int // lifetime row count across Forward calls
 }
 
 // NewSession allocates buffers for batches up to maxBatch rows.
@@ -361,6 +371,10 @@ func (n *ResMADE) NewSession(maxBatch int) *Session {
 		s.dpre = append(s.dpre, vecmath.NewMatrix(maxBatch, l.out))
 	}
 	s.logits = vecmath.NewMatrix(maxBatch, n.outDim)
+	s.xV = make([]vecmath.Matrix, len(s.x))
+	s.dxV = make([]vecmath.Matrix, len(s.dx))
+	s.preV = make([]vecmath.Matrix, len(s.pre))
+	s.dpreV = make([]vecmath.Matrix, len(s.dpre))
 	s.buf = make([][]int, maxBatch)
 	backing := make([]int, maxBatch*n.NumCols())
 	for i := range s.buf {
@@ -379,13 +393,14 @@ func (s *Session) Forward(rows [][]int) {
 		panic(fmt.Sprintf("nn: batch %d exceeds session max %d", len(rows), s.maxBatch))
 	}
 	s.B = len(rows)
+	s.forwardedRows += len(rows)
 	// Keep our own copy of the codes for the embedding backward pass.
 	for i, r := range rows {
 		copy(s.buf[i], r)
 	}
 	s.rows = s.buf[:s.B]
 
-	x0 := vecmath.View(s.x[0], s.B)
+	x0 := vecmath.ViewInto(&s.xV[0], s.x[0], s.B)
 	for r, row := range s.rows {
 		dst := x0.Row(r)
 		for c, code := range row {
@@ -399,9 +414,9 @@ func (s *Session) Forward(rows [][]int) {
 
 	cur := x0
 	for li, l := range n.layers {
-		pre := vecmath.View(s.pre[li], s.B)
+		pre := vecmath.ViewInto(&s.preV[li], s.pre[li], s.B)
 		l.forward(pre, cur)
-		next := vecmath.View(s.x[li+1], s.B)
+		next := vecmath.ViewInto(&s.xV[li+1], s.x[li+1], s.B)
 		if l.hasResidue {
 			for i, v := range pre.Data {
 				if v > 0 {
@@ -421,8 +436,13 @@ func (s *Session) Forward(rows [][]int) {
 		}
 		cur = next
 	}
-	n.outLayer.forward(vecmath.View(s.logits, s.B), cur)
+	n.outLayer.forward(vecmath.ViewInto(&s.logitsV, s.logits, s.B), cur)
 }
+
+// ForwardedRows returns the cumulative number of rows this session has pushed
+// through Forward. The progressive-sampling tests use it to assert that dead
+// samples are dropped from the sub-batches instead of being re-forwarded.
+func (s *Session) ForwardedRows() int { return s.forwardedRows }
 
 // Logits returns the logit slice of column col for batch row r. The slice
 // aliases session memory and is valid until the next Forward.
@@ -440,13 +460,13 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 	n := s.net
 	b := s.B
 	last := len(n.layers)
-	dcur := vecmath.View(s.dx[last], b)
-	n.outLayer.backward(dcur, dLogits, vecmath.View(s.x[last], b))
+	dcur := vecmath.ViewInto(&s.dxV[last], s.dx[last], b)
+	n.outLayer.backward(dcur, dLogits, vecmath.ViewInto(&s.xV[last], s.x[last], b))
 
 	for li := len(n.layers) - 1; li >= 0; li-- {
 		l := n.layers[li]
-		pre := vecmath.View(s.pre[li], b)
-		dpre := vecmath.View(s.dpre[li], b)
+		pre := vecmath.ViewInto(&s.preV[li], s.pre[li], b)
+		dpre := vecmath.ViewInto(&s.dpreV[li], s.dpre[li], b)
 		for i := range dpre.Data[:b*l.out] {
 			if pre.Data[i] > 0 {
 				dpre.Data[i] = dcur.Data[i]
@@ -454,8 +474,8 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 				dpre.Data[i] = 0
 			}
 		}
-		dprev := vecmath.View(s.dx[li], b)
-		l.backward(dprev, dpre, vecmath.View(s.x[li], b))
+		dprev := vecmath.ViewInto(&s.dxV[li], s.dx[li], b)
+		l.backward(dprev, dpre, vecmath.ViewInto(&s.xV[li], s.x[li], b))
 		if l.hasResidue {
 			// Identity path adds dcur straight through.
 			for i := 0; i < b*l.in; i++ {

@@ -1,0 +1,192 @@
+package vecmath
+
+import "fmt"
+
+// Dense matmul kernels. All three are cache-blocked and register-tiled, and
+// parallelize over contiguous output-row blocks via parPlan/fanOut when the
+// operation is large enough (see parallel.go). Each output element is
+// accumulated by a single chain of additions in exactly the reduction order
+// of the straightforward triple loop, so results are bit-identical to the
+// naive kernels for every block size and Parallelism setting — the
+// equivalence tests in kernels_test.go enforce this property.
+
+// kBlock is the reduction-panel height of MatMul: up to kBlock rows of b are
+// reused across a whole row block of a before moving on, keeping the panel
+// in cache. Reduction order per output element stays ascending in k because
+// panels are visited in ascending order.
+const kBlock = 256
+
+// jBlockABT is the width of the b-row panel MatMulABT keeps warm while
+// streaming rows of a past it.
+const jBlockABT = 64
+
+// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from a, b.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("vecmath: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	nw, chunk, sem := parPlan(a.Rows, a.Cols*dst.Cols)
+	if nw <= 1 {
+		matMulBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	fanOut(a.Rows, chunk, sem, func(lo, hi int) { matMulBlock(dst, a, b, lo, hi) })
+}
+
+// matMulBlock computes rows [lo, hi) of dst = a·b.
+func matMulBlock(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	n4 := dst.Cols - dst.Cols%4
+	for k0 := 0; k0 < a.Cols; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := k0; k < k1; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := 0; j < n4; j += 4 {
+					drow[j] += av * brow[j]
+					drow[j+1] += av * brow[j+1]
+					drow[j+2] += av * brow[j+2]
+					drow[j+3] += av * brow[j+3]
+				}
+				for j := n4; j < dst.Cols; j++ {
+					drow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b, where a is n×r and b is n×c; dst is r×c.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("vecmath: matmulATB shape mismatch")
+	}
+	nw, chunk, sem := parPlan(dst.Rows, a.Rows*b.Cols)
+	if nw <= 1 {
+		matMulATBBlock(dst, a, b, 0, dst.Rows)
+		return
+	}
+	fanOut(dst.Rows, chunk, sem, func(lo, hi int) { matMulATBBlock(dst, a, b, lo, hi) })
+}
+
+// matMulATBBlock computes rows [lo, hi) of dst = aᵀ·b; row i of dst reduces
+// over column i of a, so splitting dst rows never splits a reduction.
+func matMulATBBlock(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	c4 := b.Cols - b.Cols%4
+	for n := 0; n < a.Rows; n++ {
+		arow := a.Row(n)
+		brow := b.Row(n)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j := 0; j < c4; j += 4 {
+				drow[j] += av * brow[j]
+				drow[j+1] += av * brow[j+1]
+				drow[j+2] += av * brow[j+2]
+				drow[j+3] += av * brow[j+3]
+			}
+			for j := c4; j < b.Cols; j++ {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ, where a is n×c and b is m×c; dst is n×m.
+// The inner dot product is unrolled four-wide with two output columns per
+// pass — this is the hottest kernel of the neural-network engine.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("vecmath: matmulABT shape mismatch")
+	}
+	nw, chunk, sem := parPlan(a.Rows, a.Cols*b.Rows)
+	if nw <= 1 {
+		matMulABTBlock(dst, a, b, 0, a.Rows)
+		return
+	}
+	fanOut(a.Rows, chunk, sem, func(lo, hi int) { matMulABTBlock(dst, a, b, lo, hi) })
+}
+
+// matMulABTBlock computes rows [lo, hi) of dst = a·bᵀ. b is consumed in
+// panels of jBlockABT rows that stay cache-resident while the a rows of the
+// block stream past; within a panel two b rows are dotted per pass so each
+// load of an a element feeds two accumulator chains.
+func matMulABTBlock(dst, a, b *Matrix, lo, hi int) {
+	c := a.Cols
+	c4 := c - c%4
+	for j0 := 0; j0 < b.Rows; j0 += jBlockABT {
+		j1 := j0 + jBlockABT
+		if j1 > b.Rows {
+			j1 = b.Rows
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			j := j0
+			for ; j+1 < j1; j += 2 {
+				b0 := b.Row(j)
+				b1 := b.Row(j + 1)
+				var p0, p1, p2, p3 float64
+				var q0, q1, q2, q3 float64
+				for k := 0; k < c4; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					p0 += a0 * b0[k]
+					p1 += a1 * b0[k+1]
+					p2 += a2 * b0[k+2]
+					p3 += a3 * b0[k+3]
+					q0 += a0 * b1[k]
+					q1 += a1 * b1[k+1]
+					q2 += a2 * b1[k+2]
+					q3 += a3 * b1[k+3]
+				}
+				p := p0 + p1 + p2 + p3
+				q := q0 + q1 + q2 + q3
+				for k := c4; k < c; k++ {
+					p += arow[k] * b0[k]
+					q += arow[k] * b1[k]
+				}
+				drow[j] = p
+				drow[j+1] = q
+			}
+			for ; j < j1; j++ {
+				brow := b.Row(j)
+				var s0, s1, s2, s3 float64
+				for k := 0; k < c4; k += 4 {
+					s0 += arow[k] * brow[k]
+					s1 += arow[k+1] * brow[k+1]
+					s2 += arow[k+2] * brow[k+2]
+					s3 += arow[k+3] * brow[k+3]
+				}
+				s := s0 + s1 + s2 + s3
+				for k := c4; k < c; k++ {
+					s += arow[k] * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	}
+}

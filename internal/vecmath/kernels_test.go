@@ -1,0 +1,260 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Reference implementations: the straightforward triple loops the blocked
+// kernels must match bit-for-bit (these are the pre-blocking kernel bodies).
+
+func naiveMatMul(dst, a, b *Matrix) {
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			//lint:ignore floateq reference kernel mirrors the production zero-skip exactly
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+func naiveMatMulATB(dst, a, b *Matrix) {
+	dst.Zero()
+	for n := 0; n < a.Rows; n++ {
+		arow := a.Row(n)
+		brow := b.Row(n)
+		for i, av := range arow {
+			//lint:ignore floateq reference kernel mirrors the production zero-skip exactly
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+func naiveMatMulABT(dst, a, b *Matrix) {
+	c := a.Cols
+	c4 := c - c%4
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s0, s1, s2, s3 float64
+			for k := 0; k < c4; k += 4 {
+				s0 += arow[k] * brow[k]
+				s1 += arow[k+1] * brow[k+1]
+				s2 += arow[k+2] * brow[k+2]
+				s3 += arow[k+3] * brow[k+3]
+			}
+			s := s0 + s1 + s2 + s3
+			for k := c4; k < c; k++ {
+				s += arow[k] * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+func randMat(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(8) {
+		case 0:
+			m.Data[i] = 0 // exercise the zero-skip paths
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+// bitEqual demands exact bit equality, not ApproxEqual: the blocked kernels
+// claim the same accumulation order as the naive ones.
+func bitEqual(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %v (bits %x), naive %v (bits %x)",
+				name, i, got.Data[i], math.Float64bits(got.Data[i]),
+				want.Data[i], math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+// kernelShapes spans tiny, tail (non-multiple of the unroll/block sizes),
+// and large-enough-to-parallelize shapes.
+var kernelShapes = [][3]int{
+	{1, 1, 1}, {2, 3, 5}, {7, 4, 9}, {8, 8, 8},
+	{17, 33, 65}, {63, 127, 31}, {100, 300, 50}, {256, 40, 300},
+	{513, 7, 129},
+}
+
+func TestBlockedKernelsBitIdenticalToNaive(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		prev := Parallelism(par)
+		rng := rand.New(rand.NewSource(11))
+		for _, sh := range kernelShapes {
+			n, k, m := sh[0], sh[1], sh[2]
+
+			a := randMat(n, k, rng)
+			b := randMat(k, m, rng)
+			got, want := NewMatrix(n, m), NewMatrix(n, m)
+			MatMul(got, a, b)
+			naiveMatMul(want, a, b)
+			bitEqual(t, "MatMul", got, want)
+
+			at := randMat(n, k, rng)
+			bt := randMat(n, m, rng)
+			got, want = NewMatrix(k, m), NewMatrix(k, m)
+			MatMulATB(got, at, bt)
+			naiveMatMulATB(want, at, bt)
+			bitEqual(t, "MatMulATB", got, want)
+
+			aa := randMat(n, k, rng)
+			bb := randMat(m, k, rng)
+			got, want = NewMatrix(n, m), NewMatrix(n, m)
+			MatMulABT(got, aa, bb)
+			naiveMatMulABT(want, aa, bb)
+			bitEqual(t, "MatMulABT", got, want)
+		}
+		Parallelism(prev)
+	}
+}
+
+// TestParallelKernelsConcurrent runs many large matmuls from several
+// goroutines at once: the bounded pool must neither deadlock nor mix up
+// outputs when every caller competes for the same worker budget.
+func TestParallelKernelsConcurrent(t *testing.T) {
+	prev := Parallelism(4)
+	defer Parallelism(prev)
+	rng := rand.New(rand.NewSource(21))
+	a := randMat(200, 80, rng)
+	b := randMat(80, 120, rng)
+	want := NewMatrix(200, 120)
+	naiveMatMul(want, a, b)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := NewMatrix(200, 120)
+			for it := 0; it < 20; it++ {
+				MatMul(dst, a, b)
+				for i := range want.Data {
+					if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+						errs <- "concurrent MatMul diverged from naive result"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestParallelismKnob(t *testing.T) {
+	prev := Parallelism(0) // query
+	if prev < 1 {
+		t.Fatalf("default parallelism %d, want >= 1", prev)
+	}
+	if got := Parallelism(3); got != prev {
+		t.Fatalf("Parallelism(3) returned %d, want previous %d", got, prev)
+	}
+	if got := Parallelism(prev); got != 3 {
+		t.Fatalf("Parallelism restore returned %d, want 3", got)
+	}
+}
+
+// TestSerialMatMulNoAlloc pins the allocation-free property the estimate hot
+// path depends on: with a worker budget of 1 no kernel may heap-allocate.
+func TestSerialMatMulNoAlloc(t *testing.T) {
+	prev := Parallelism(1)
+	defer Parallelism(prev)
+	a := NewMatrix(64, 48)   // 64×48
+	b := NewMatrix(48, 80)   // 48×80: a·b
+	bt := NewMatrix(80, 48)  // 80×48: a·btᵀ
+	b2 := NewMatrix(64, 80)  // 64×80: aᵀ·b2
+	dst := NewMatrix(64, 80) // a·b and a·btᵀ
+	dstATB := NewMatrix(48, 80)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) + 0.5
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(i%5) - 1.5
+	}
+	copy(bt.Data, b.Data[:len(bt.Data)])
+	copy(b2.Data, b.Data)
+	if n := testing.AllocsPerRun(20, func() { MatMul(dst, a, b) }); n > 0 {
+		t.Fatalf("serial MatMul allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { MatMulABT(dst, a, bt) }); n > 0 {
+		t.Fatalf("serial MatMulABT allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { MatMulATB(dstATB, a, b2) }); n > 0 {
+		t.Fatalf("serial MatMulATB allocates %v per op", n)
+	}
+}
+
+func benchMats(n, k, m int) (a, b, bt, dst *Matrix) {
+	rng := rand.New(rand.NewSource(31))
+	a = randMat(n, k, rng)
+	b = randMat(k, m, rng)
+	bt = randMat(m, k, rng)
+	dst = NewMatrix(n, m)
+	return
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	a, bm, _, dst := benchMats(256, 128, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, bm)
+	}
+	flops := 2 * 256 * 128 * 256
+	b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	a, _, bt, dst := benchMats(256, 128, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABT(dst, a, bt)
+	}
+	flops := 2 * 256 * 128 * 256
+	b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMatMulNaiveABT(b *testing.B) {
+	a, _, bt, dst := benchMats(256, 128, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveMatMulABT(dst, a, bt)
+	}
+	flops := 2 * 256 * 128 * 256
+	b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}

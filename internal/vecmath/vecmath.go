@@ -49,87 +49,6 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from a, b.
-func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("vecmath: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	dst.Zero()
-	n4 := dst.Cols - dst.Cols%4
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := 0; j < n4; j += 4 {
-				drow[j] += av * brow[j]
-				drow[j+1] += av * brow[j+1]
-				drow[j+2] += av * brow[j+2]
-				drow[j+3] += av * brow[j+3]
-			}
-			for j := n4; j < dst.Cols; j++ {
-				drow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulATB computes dst = aᵀ·b, where a is n×r and b is n×c; dst is r×c.
-func MatMulATB(dst, a, b *Matrix) {
-	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic("vecmath: matmulATB shape mismatch")
-	}
-	dst.Zero()
-	for n := 0; n < a.Rows; n++ {
-		arow := a.Row(n)
-		brow := b.Row(n)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulABT computes dst = a·bᵀ, where a is n×c and b is m×c; dst is n×m.
-// The inner dot product is unrolled four-wide — this is the hottest kernel
-// of the neural-network engine.
-func MatMulABT(dst, a, b *Matrix) {
-	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic("vecmath: matmulABT shape mismatch")
-	}
-	c := a.Cols
-	c4 := c - c%4
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			var s0, s1, s2, s3 float64
-			for k := 0; k < c4; k += 4 {
-				s0 += arow[k] * brow[k]
-				s1 += arow[k+1] * brow[k+1]
-				s2 += arow[k+2] * brow[k+2]
-				s3 += arow[k+3] * brow[k+3]
-			}
-			s := s0 + s1 + s2 + s3
-			for k := c4; k < c; k++ {
-				s += arow[k] * brow[k]
-			}
-			drow[j] = s
-		}
-	}
-}
-
 // View returns a matrix aliasing the first rows rows of m, without copying.
 // Shrinking a pre-allocated buffer to the current batch size this way keeps
 // the hot training loops allocation-free while leaving the column width — and
@@ -139,6 +58,19 @@ func View(m *Matrix, rows int) *Matrix {
 		panic(fmt.Sprintf("vecmath: view of %d rows from a %dx%d matrix", rows, m.Rows, m.Cols))
 	}
 	return &Matrix{Rows: rows, Cols: m.Cols, Data: m.Data[:rows*m.Cols]}
+}
+
+// ViewInto repoints dst at the first rows rows of src, like View, but reuses
+// the caller-owned header instead of allocating one. The matmul kernels hand
+// large operations to worker goroutines, which makes their operands escape —
+// so a fresh header per call would heap-allocate even on the serial path.
+// Long-lived callers (nn.Session) allocate headers once and re-aim them here.
+func ViewInto(dst, src *Matrix, rows int) *Matrix {
+	if rows < 0 || rows > src.Rows {
+		panic(fmt.Sprintf("vecmath: view of %d rows from a %dx%d matrix", rows, src.Rows, src.Cols))
+	}
+	dst.Rows, dst.Cols, dst.Data = rows, src.Cols, src.Data[:rows*src.Cols]
+	return dst
 }
 
 // Eps is the default tolerance of ApproxEqual and ApproxZero: loose enough to
