@@ -8,6 +8,7 @@ GO ?= go
 # BENCHFLAGS='-short -benchtime=1x'.
 BENCHFLAGS ?=
 BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMatMul|BenchmarkMatMulABT)$$
+TRAIN_BENCH_PATTERN = ^BenchmarkTrainJoint$$
 
 .PHONY: build test test-short lint lint-warn lint-fix lint-json vet bench-json clean
 
@@ -37,13 +38,18 @@ lint-json:
 	$(GO) run ./cmd/iamlint -json -severity=warn ./...
 
 # bench-json runs the serving benchmarks (EstimateBatch worker scaling,
-# ResMADE forward, matmul kernels) and records them in BENCH_estimate.json —
-# the repo's perf-trajectory file. The intermediate .bench.out keeps go
-# test's exit status visible to make (a pipe would swallow it).
+# ResMADE forward, matmul kernels) into BENCH_estimate.json, then the
+# data-parallel training benchmark (TrainJoint worker scaling) into
+# BENCH_train.json — the repo's perf-trajectory files. The intermediate
+# .bench.out keeps go test's exit status visible to make (a pipe would
+# swallow it).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
 		./internal/core ./internal/nn ./internal/vecmath > .bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_estimate.json < .bench.out
+	$(GO) test -run '^$$' -bench '$(TRAIN_BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
+		./internal/core > .bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_train.json < .bench.out
 	rm -f .bench.out
 
 # vet runs iamlint through the go vet driver, exercising the -vettool path.

@@ -1,9 +1,10 @@
-// Command benchjson converts `go test -bench` output on stdin into the
-// machine-readable perf-trajectory file BENCH_estimate.json. It keeps the
-// standard per-op columns (ns/op, B/op, allocs/op) plus any custom
-// b.ReportMetric columns, and derives the EstimateBatch worker-scaling ratio
-// (workers=max throughput over the workers=1 baseline) so CI artifacts carry
-// the headline number directly.
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable perf-trajectory file (BENCH_estimate.json,
+// BENCH_train.json). It keeps the standard per-op columns (ns/op, B/op,
+// allocs/op) plus any custom b.ReportMetric columns, and derives the
+// worker-scaling ratios (workers=max throughput over the workers=1 baseline)
+// for the EstimateBatch and TrainJoint benchmarks so CI artifacts carry the
+// headline numbers directly.
 //
 // Usage:
 //
@@ -43,10 +44,14 @@ type benchFile struct {
 	GOARCH string `json:"goarch"`
 	CPU    string `json:"cpu,omitempty"`
 	// EstimateBatchSpeedup is ns/op(workers=1) divided by ns/op(workers=max)
-	// for BenchmarkEstimateBatch — the worker-scaling headline. 0 when either
-	// entry is missing from the run.
-	EstimateBatchSpeedup float64       `json:"estimate_batch_speedup"`
-	Results              []benchResult `json:"results"`
+	// for BenchmarkEstimateBatch — the serving worker-scaling headline.
+	// Omitted when either entry is missing from the run.
+	EstimateBatchSpeedup float64 `json:"estimate_batch_speedup,omitempty"`
+	// TrainJointSpeedup is the same ratio for BenchmarkTrainJoint — the
+	// data-parallel training headline. Omitted when the run has no training
+	// benchmark entries.
+	TrainJointSpeedup float64       `json:"train_joint_speedup,omitempty"`
+	Results           []benchResult `json:"results"`
 }
 
 func main() {
@@ -88,7 +93,8 @@ func run(r io.Reader, out string) error {
 	if len(bf.Results) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin (did `go test -bench` fail?)")
 	}
-	bf.EstimateBatchSpeedup = speedup(bf.Results)
+	bf.EstimateBatchSpeedup = speedup(bf.Results, "BenchmarkEstimateBatch")
+	bf.TrainJointSpeedup = speedup(bf.Results, "BenchmarkTrainJoint")
 
 	data, err := json.MarshalIndent(&bf, "", "  ")
 	if err != nil {
@@ -101,8 +107,8 @@ func run(r io.Reader, out string) error {
 	}); err != nil {
 		return fmt.Errorf("writing %s: %w", out, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx)\n",
-		len(bf.Results), out, bf.EstimateBatchSpeedup)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx, TrainJoint speedup %.2fx)\n",
+		len(bf.Results), out, bf.EstimateBatchSpeedup, bf.TrainJointSpeedup)
 	return nil
 }
 
@@ -150,15 +156,15 @@ func parseBenchLine(line string) (*benchResult, error) {
 	return res, nil
 }
 
-// speedup derives the worker-scaling ratio from the two BenchmarkEstimateBatch
-// entries, or 0 if the run did not include both.
-func speedup(results []benchResult) float64 {
+// speedup derives the worker-scaling ratio from a benchmark's workers=1 and
+// workers=max sub-entries, or 0 if the run did not include both.
+func speedup(results []benchResult, bench string) float64 {
 	var base, par float64
 	for _, r := range results {
 		switch r.Name {
-		case "BenchmarkEstimateBatch/workers=1":
+		case bench + "/workers=1":
 			base = r.NsPerOp
-		case "BenchmarkEstimateBatch/workers=max":
+		case bench + "/workers=max":
 			par = r.NsPerOp
 		}
 	}

@@ -57,20 +57,21 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		dsName = fs.String("dataset", "twi", "dataset: wisdm | twi | higgs")
-		csvIn  = fs.String("csv", "", "load the table from a CSV file instead of synthesizing")
-		rows   = fs.Int("rows", 20000, "synthetic rows")
-		seed   = fs.Int64("seed", 42, "generation seed")
-		qstr   = fs.String("query", "", "SQL-ish conjunction, e.g. \"latitude <= 40\"")
-		col    = fs.String("col", "", "aggregation target column (agg)")
-		nq     = fs.Int("queries", 200, "workload size (eval)")
-		ests   = fs.String("estimators", "IAM,Neurocard,Postgres", "comma-separated roster (eval)")
-		epochs = fs.Int("epochs", 8, "training epochs")
-		saveTo = fs.String("save", "", "save the trained IAM model to this file (atomic write)")
-		loadFr = fs.String("load", "", "load a previously saved IAM model instead of training")
-		ckpt   = fs.String("checkpoint", "", "write an epoch-granular training checkpoint to this file")
-		resume = fs.Bool("resume", false, "resume IAM training from -checkpoint if it exists")
-		guardQ = fs.Bool("guard", false, "wrap IAM in the fallback cascade IAM → sampling → Postgres")
+		dsName  = fs.String("dataset", "twi", "dataset: wisdm | twi | higgs")
+		csvIn   = fs.String("csv", "", "load the table from a CSV file instead of synthesizing")
+		rows    = fs.Int("rows", 20000, "synthetic rows")
+		seed    = fs.Int64("seed", 42, "generation seed")
+		qstr    = fs.String("query", "", "SQL-ish conjunction, e.g. \"latitude <= 40\"")
+		col     = fs.String("col", "", "aggregation target column (agg)")
+		nq      = fs.Int("queries", 200, "workload size (eval)")
+		ests    = fs.String("estimators", "IAM,Neurocard,Postgres", "comma-separated roster (eval)")
+		epochs  = fs.Int("epochs", 8, "training epochs")
+		trainWk = fs.Int("trainworkers", 0, "data-parallel training workers (0/1 serial, -1 = GOMAXPROCS); trajectory is identical for every setting")
+		saveTo  = fs.String("save", "", "save the trained IAM model to this file (atomic write)")
+		loadFr  = fs.String("load", "", "load a previously saved IAM model instead of training")
+		ckpt    = fs.String("checkpoint", "", "write an epoch-granular training checkpoint to this file")
+		resume  = fs.Bool("resume", false, "resume IAM training from -checkpoint if it exists")
+		guardQ  = fs.Bool("guard", false, "wrap IAM in the fallback cascade IAM → sampling → Postgres")
 
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file before exiting")
@@ -88,7 +89,7 @@ func main() {
 	defer stop()
 
 	opts := trainOpts{
-		epochs: *epochs, seed: *seed,
+		epochs: *epochs, seed: *seed, trainWorkers: *trainWk,
 		loadFrom: *loadFr, saveTo: *saveTo,
 		checkpoint: *ckpt, resume: *resume,
 	}
@@ -268,12 +269,13 @@ func parseOrDie(t *dataset.Table, s string) *query.Query {
 }
 
 type trainOpts struct {
-	epochs     int
-	seed       int64
-	loadFrom   string
-	saveTo     string
-	checkpoint string
-	resume     bool
+	epochs       int
+	seed         int64
+	trainWorkers int
+	loadFrom     string
+	saveTo       string
+	checkpoint   string
+	resume       bool
 }
 
 // obtainIAM loads a saved model when -load is given, otherwise trains
@@ -330,6 +332,7 @@ func trainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
 	fmt.Fprintf(os.Stderr, "training IAM on %s (%d rows, %d epochs)...\n", t.Name, t.NumRows(), o.epochs)
 	m, err := core.TrainContext(ctx, t, core.Config{
 		Epochs: o.epochs, Seed: o.seed, Hidden: []int{64, 32, 32, 64},
+		TrainWorkers:   o.trainWorkers,
 		CheckpointPath: o.checkpoint, Resume: o.resume,
 	})
 	if errors.Is(err, context.Canceled) {

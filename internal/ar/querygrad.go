@@ -69,9 +69,9 @@ func (m *Model) TrainQueryStep(sess *nn.Session, consList [][]Constraint, target
 		}
 	}
 	if anyGrad {
-		m.Net.ZeroGrad()
+		sess.ZeroGrad()
 		sess.Backward(dl)
-		m.Net.AdamStep(lr, 1/float64(len(consList)))
+		m.Net.AdamStep(lr, 1/float64(len(consList)), sess.Grads())
 	}
 	return lossSum / float64(len(consList))
 }

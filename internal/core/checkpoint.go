@@ -127,6 +127,7 @@ func resumeTraining(ctx context.Context, t *dataset.Table, cfg Config) (*Model, 
 	m.cfg.OnEpoch = cfg.OnEpoch
 	m.cfg.Workers = cfg.Workers
 	m.cfg.MassCacheSize = cfg.MassCacheSize
+	m.cfg.TrainWorkers = cfg.TrainWorkers
 	if snap.NextEpoch < m.cfg.Epochs {
 		if err := m.trainJoint(ctx, snap.NextEpoch, snap.LRScale, snap.Retries); err != nil {
 			return nil, err

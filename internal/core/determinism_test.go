@@ -42,3 +42,46 @@ func TestTrainByteIdenticalAcrossRuns(t *testing.T) {
 		t.Fatalf("same seed produced different model bytes (%d vs %d bytes); training is nondeterministic", len(a), len(b))
 	}
 }
+
+// TestTrainBitIdenticalAcrossTrainWorkers is the training-side determinism
+// contract of the data-parallel engine (train.go): because the shard plan
+// depends only on the batch size and per-shard gradients are reduced in
+// fixed shard order, the whole trajectory — and therefore the serialized
+// model — must be bit-identical for every TrainWorkers setting.
+func TestTrainBitIdenticalAcrossTrainWorkers(t *testing.T) {
+	train := func(tw int) []byte {
+		t.Helper()
+		tb := dataset.SynthTWI(1500, 9)
+		cfg := Config{
+			Components:   8,
+			Hidden:       []int{16, 16},
+			EmbedDim:     8,
+			Epochs:       2,
+			BatchSize:    128,
+			NumSamples:   50,
+			GMMSamples:   1000,
+			Seed:         77,
+			TrainWorkers: tw,
+		}
+		m, err := Train(tb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// TrainWorkers is itself persisted (it is a config knob); zero it so
+		// the byte comparison covers only the trained parameters.
+		m.cfg.TrainWorkers = 0
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := train(1)
+	for _, tw := range []int{0, 2, 8, -1} {
+		got := train(tw)
+		if !bytes.Equal(got, base) {
+			t.Fatalf("TrainWorkers=%d produced different model bytes (%d vs %d) than TrainWorkers=1; the shard/reduce order leaked into the trajectory",
+				tw, len(got), len(base))
+		}
+	}
+}

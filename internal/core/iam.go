@@ -20,10 +20,8 @@ import (
 	"iam/internal/ar"
 	"iam/internal/dataset"
 	"iam/internal/gmm"
-	"iam/internal/guard/faultinject"
 	"iam/internal/nn"
 	"iam/internal/query"
-	"iam/internal/vecmath"
 )
 
 // RangeMassMode selects how per-component range masses P̂_GMM(R) are
@@ -95,6 +93,15 @@ type Config struct {
 	// Monte-Carlo/CDF mass computation entirely. 0 (the default) disables
 	// caching.
 	MassCacheSize int
+	// TrainWorkers caps how many goroutines one joint-training mini-batch
+	// fans its shards across (each shard runs forward/backward on its own
+	// pooled session and gradient buffer; see train.go). 0 or 1 (the
+	// default) runs the sharded pipeline inline on the caller; negative
+	// means GOMAXPROCS. The shard plan depends only on the batch size —
+	// never on this knob — and per-shard gradients are reduced in fixed
+	// shard order, so the training trajectory is bit-identical under every
+	// setting. Persisted through save/checkpoint like Workers.
+	TrainWorkers int
 
 	// ReducerFactory, when non-nil, replaces the GMM with an alternative
 	// domain-reduction method for every reduced column (§6.6 ablation).
@@ -356,7 +363,8 @@ func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, er
 	if trainErr != nil {
 		return nil, trainErr
 	}
-	m.massDirty = true
+	// Locked: estimators spawned by OnEpoch callbacks may still be running.
+	m.invalidateMasses()
 	return m, nil
 }
 
@@ -466,187 +474,6 @@ func (m *Model) retryBudget() int {
 	default:
 		return m.cfg.MaxRetries
 	}
-}
-
-// trainJoint runs the end-to-end loop of §4.3: every mini-batch first takes
-// one SGD step on each GMM (loss_GMM) and then one AR step on the freshly
-// re-encoded batch (loss_AR), so all parameters follow Eq. 6 together.
-//
-// The loop is fault tolerant. A divergence watchdog validates every epoch:
-// NaN/Inf GMM or AR loss (or an exploding AR gradient when MaxGradNorm is
-// set) restores the last good epoch's parameters and optimizer state, halves
-// the learning rates and retries, up to the retry budget. With a checkpoint
-// path configured, each completed epoch is persisted atomically; cancelling
-// ctx discards the partial epoch, flushes a checkpoint of the last completed
-// one, and returns promptly.
-func (m *Model) trainJoint(ctx context.Context, startEpoch int, lrScale float64, retries int) error {
-	cfg := m.cfg
-	n := m.table.NumRows()
-	nAR := len(m.arm.Cards)
-	sess := m.arm.Net.NewSession(cfg.BatchSize)
-	dLogits := vecmath.NewMatrix(cfg.BatchSize, logitDim(m.arm))
-
-	inputs := makeRows(cfg.BatchSize, nAR)
-	targets := makeRows(cfg.BatchSize, nAR)
-
-	if startEpoch == 0 {
-		// Calibrate every output head at the (initial-assignment) log
-		// marginal frequencies; assignments drift slightly as the GMMs train
-		// jointly, but rare components start orders of magnitude closer to
-		// truth. Skipped on resume: the checkpoint carries trained heads.
-		initRows := makeRows(n, nAR)
-		for ri := 0; ri < n; ri++ {
-			if err := m.encodeRow(ri, initRows[ri]); err != nil {
-				return err
-			}
-		}
-		m.mu.Lock()
-		m.arm.InitMarginals(initRows)
-		m.mu.Unlock()
-	}
-
-	budget := m.retryBudget()
-	m.mu.Lock()
-	m.setGMMLR(cfg.GMMLR * lrScale)
-	good := m.captureJoint()
-	m.mu.Unlock()
-	checkpoint := func(nextEpoch int) error {
-		if cfg.CheckpointPath == "" {
-			return nil
-		}
-		return m.writeCheckpoint(cfg.CheckpointPath, nextEpoch, lrScale, retries)
-	}
-	for e := startEpoch; e < cfg.Epochs; e++ {
-		erng := epochRNG(cfg.Seed, e)
-		idx := erng.Perm(n)
-		var arNLL, gmmNLL float64
-		var seen int
-		diverged := false
-		for start := 0; start < n; start += cfg.BatchSize {
-			if ctx.Err() != nil {
-				// Discard the partial epoch so the checkpoint sits exactly
-				// on an epoch boundary; resuming replays epoch e in full.
-				// (checkpoint → Save takes the write lock itself, so the
-				// restore must release it first.)
-				m.mu.Lock()
-				err := m.restoreJoint(good)
-				m.mu.Unlock()
-				if err != nil {
-					return err
-				}
-				if err := checkpoint(e); err != nil {
-					return err
-				}
-				return ctx.Err()
-			}
-			end := start + cfg.BatchSize
-			if end > n {
-				end = n
-			}
-			batchIdx := idx[start:end]
-			b := len(batchIdx)
-
-			// One optimizer step mutates GMM and AR parameters, so the whole
-			// mini-batch body holds the write lock; concurrent estimators
-			// (OnEpoch goroutines, external callers) interleave between
-			// batches on the read side.
-			m.mu.Lock()
-
-			// GMM steps, one per mixture, in parallel (§4.2).
-			var wg sync.WaitGroup
-			var gmmLossMu sync.Mutex
-			for ci := range m.cols {
-				if m.cols[ci].kind != kindGMM {
-					continue
-				}
-				wg.Add(1)
-				go func(ci int) {
-					defer wg.Done()
-					vals := make([]float64, b)
-					col := m.table.Columns[ci].Floats
-					for i, ri := range batchIdx {
-						vals[i] = col[ri]
-					}
-					loss := m.cols[ci].trainer.Step(vals)
-					gmmLossMu.Lock()
-					gmmNLL += loss * float64(b)
-					gmmLossMu.Unlock()
-				}(ci)
-			}
-			wg.Wait()
-
-			// AR step on the re-encoded batch with wildcard masking.
-			for i, ri := range batchIdx {
-				if err := m.encodeRow(ri, targets[i]); err != nil {
-					m.mu.Unlock()
-					return err
-				}
-				copy(inputs[i], targets[i])
-				k := erng.Intn(nAR + 1)
-				for _, c := range erng.Perm(nAR)[:k] {
-					inputs[i][c] = m.arm.Net.MaskToken(c)
-				}
-			}
-			sess.Forward(inputs[:b])
-			dl := vecmath.View(dLogits, b)
-			nll := sess.CrossEntropyGrad(targets[:b], dl)
-			if math.IsNaN(nll) || math.IsInf(nll, 0) {
-				m.mu.Unlock()
-				diverged = true // stepping on poisoned logits is pointless
-				break
-			}
-			arNLL += nll
-			m.arm.Net.ZeroGrad()
-			sess.Backward(dl)
-			if cfg.MaxGradNorm > 0 {
-				if gn := m.arm.Net.GradNorm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
-					m.mu.Unlock()
-					diverged = true
-					break
-				}
-			}
-			m.arm.Net.AdamStep(cfg.LR*lrScale, 1/float64(b))
-			m.mu.Unlock()
-			seen += b
-		}
-		gmmMean, arMean := math.NaN(), math.NaN()
-		if seen > 0 {
-			gmmMean, arMean = gmmNLL/float64(seen), arNLL/float64(seen)
-		}
-		if faultinject.Fires("core.train.nanloss") {
-			arMean = math.NaN()
-		}
-		if diverged || !isFinite(gmmMean) || !isFinite(arMean) {
-			m.mu.Lock()
-			err := m.restoreJoint(good)
-			m.mu.Unlock()
-			if err != nil {
-				return err
-			}
-			if retries >= budget {
-				return fmt.Errorf("core: joint training diverged at epoch %d (gmm=%v ar=%v) after %d rollback(s)",
-					e, gmmMean, arMean, retries)
-			}
-			retries++
-			lrScale /= 2
-			m.mu.Lock()
-			m.setGMMLR(cfg.GMMLR * lrScale)
-			m.mu.Unlock()
-			e-- // retry the same epoch from the last good state
-			continue
-		}
-		m.GMMLosses = append(m.GMMLosses, gmmMean)
-		m.ARLosses = append(m.ARLosses, arMean)
-		m.invalidateMasses()
-		good = m.captureJoint()
-		if err := checkpoint(e + 1); err != nil {
-			return err
-		}
-		if cfg.OnEpoch != nil && !cfg.OnEpoch(e, m, gmmMean, arMean) {
-			return nil
-		}
-	}
-	return nil
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -62,7 +62,7 @@ type persistedConfig struct {
 	MassMode                               int
 	Uncorrected                            bool
 	Seed                                   int64
-	Workers, MassCacheSize                 int
+	Workers, MassCacheSize, TrainWorkers   int
 }
 
 // Save serializes the trained model to w.
@@ -88,6 +88,7 @@ func (m *Model) Save(w io.Writer) error {
 			GMMSamples: m.cfg.GMMSamples, NumSamples: m.cfg.NumSamples,
 			MassMode: int(m.cfg.MassMode), Uncorrected: m.cfg.Uncorrected, Seed: m.cfg.Seed,
 			Workers: m.cfg.Workers, MassCacheSize: m.cfg.MassCacheSize,
+			TrainWorkers: m.cfg.TrainWorkers,
 		},
 	}
 	for ci := range m.cols {
@@ -148,7 +149,7 @@ func Load(r io.Reader, t *dataset.Table) (*Model, error) {
 		LR: c.LR, GMMLR: c.GMMLR, SeparateTraining: c.SeparateTraining,
 		GMMSamples: c.GMMSamples, NumSamples: c.NumSamples,
 		MassMode: RangeMassMode(c.MassMode), Uncorrected: c.Uncorrected, Seed: c.Seed,
-		Workers: c.Workers, MassCacheSize: c.MassCacheSize,
+		Workers: c.Workers, MassCacheSize: c.MassCacheSize, TrainWorkers: c.TrainWorkers,
 	}
 	for _, cs := range snap.Cols {
 		info := colInfo{kind: colKind(cs.Kind), arFirst: cs.ArFirst, arCount: cs.ArCount}

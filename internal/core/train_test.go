@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"iam/internal/query"
+	"iam/internal/testutil"
+	"iam/internal/vecmath"
+)
+
+// TestTrainWorkerCountResolution pins the cfg.TrainWorkers contract, the
+// training-side twin of estimateWorkerCount: 0 and 1 mean inline execution,
+// negative expands to GOMAXPROCS, and a batch never gets more workers than
+// it has shards.
+func TestTrainWorkerCountResolution(t *testing.T) {
+	m := &Model{cfg: Config{TrainWorkers: 0}}
+	if got := m.trainWorkerCount(8); got != 1 {
+		t.Fatalf("TrainWorkers=0 resolves to %d, want 1", got)
+	}
+	m.cfg.TrainWorkers = 1
+	if got := m.trainWorkerCount(8); got != 1 {
+		t.Fatalf("TrainWorkers=1 resolves to %d, want 1", got)
+	}
+	m.cfg.TrainWorkers = 4
+	if got := m.trainWorkerCount(2); got != 2 {
+		t.Fatalf("TrainWorkers=4, 2 shards resolves to %d, want 2", got)
+	}
+	m.cfg.TrainWorkers = -1
+	if got := m.trainWorkerCount(1000); got < 1 {
+		t.Fatalf("TrainWorkers=-1 resolves to %d, want >= 1 (GOMAXPROCS)", got)
+	}
+}
+
+// TestMaskSeedIndependentOfSchedule pins the property the wildcard-mask
+// streams rely on: the seed of a row's stream depends only on (model seed,
+// epoch, position-in-epoch), and neighboring positions get distinct streams.
+func TestMaskSeedIndependentOfSchedule(t *testing.T) {
+	if maskSeed(7, 1, 100) != maskSeed(7, 1, 100) {
+		t.Fatal("maskSeed is not a pure function")
+	}
+	if maskSeed(7, 1, 100) == maskSeed(7, 1, 101) {
+		t.Fatal("adjacent rows share a mask stream")
+	}
+	if maskSeed(7, 1, 100) == maskSeed(7, 2, 100) {
+		t.Fatal("adjacent epochs share a mask stream")
+	}
+	if maskSeed(7, 1, 100) == maskSeed(8, 1, 100) {
+		t.Fatal("different model seeds share a mask stream")
+	}
+}
+
+// TestTrainBatchSteadyStateAllocs budgets the steady-state training inner
+// loop: after warm-up, one full runBatch (GMM steps + shard fan-out +
+// fixed-order reduce + AdamStep) must stay within a small constant number of
+// allocations — the residual is the handful of func-literal headers passed to
+// vecmath.Do and the shard fan-out, not per-row or per-tensor garbage.
+func TestTrainBatchSteadyStateAllocs(t *testing.T) {
+	prev := vecmath.Parallelism(1)
+	defer vecmath.Parallelism(prev)
+
+	cfg := fastCfg()
+	cfg.Epochs = 1
+	m, _ := trainTWI(t, cfg)
+	m.cfg.TrainWorkers = 1
+	eng := m.newTrainEngine()
+	batchIdx := make([]int, m.cfg.BatchSize)
+	for i := range batchIdx {
+		batchIdx[i] = i
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Warm-up builds the lazily-allocated session state (grads, backward and
+	// softmax scratch).
+	if _, _, _, err := eng.runBatch(0, 0, batchIdx, 1); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, _, _, err := eng.runBatch(0, 0, batchIdx, 1); err != nil {
+			t.Errorf("runBatch: %v", err)
+		}
+	})
+	// 128-row batch = 4 shards: one closure per vecmath.Do call (4 shard
+	// ZeroGrads, ReduceGrads, AdamStep) plus goroutine/WaitGroup noise
+	// headroom. Anything past ~2× that means a per-row or per-tensor
+	// allocation crept back into the hot loop.
+	const budget = 16
+	t.Logf("steady-state runBatch: %.1f allocs/batch (budget %d)", avg, budget)
+	if avg > budget {
+		t.Fatalf("steady-state runBatch allocates %.1f times per batch, budget %d", avg, budget)
+	}
+}
+
+// TestConcurrentTrainEstimateStress trains with a multi-worker shard fan-out
+// while 4 goroutines hammer EstimateBatch on the same model — the write/read
+// lock interleaving of the training and serving paths (each mini-batch holds
+// the write lock; estimators slot in between batches). Run with -race this is
+// the data-race gate for the parallel training path.
+func TestConcurrentTrainEstimateStress(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Epochs = 4
+	if testing.Short() {
+		cfg.Epochs = 2
+	}
+	cfg.NumSamples = 120
+	cfg.Workers = 2
+	cfg.TrainWorkers = 4
+	cfg.MassCacheSize = 16
+
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	var once sync.Once
+	cfg.OnEpoch = func(epoch int, m *Model, gmmNLL, arNLL float64) bool {
+		// First completed epoch: unleash the estimators for the rest of the
+		// run. They race against every subsequent training batch.
+		once.Do(func() {
+			w := testutil.Workload(t, m.table, query.GenConfig{NumQueries: 8, Seed: 61})
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						ests, err := m.EstimateBatch(w.Queries)
+						if err != nil {
+							errs <- err
+							return
+						}
+						for _, v := range ests {
+							if math.IsNaN(v) || v < 0 || v > 1 {
+								errs <- errEstimateOutOfRange
+								return
+							}
+						}
+					}
+				}()
+			}
+		})
+		return true
+	}
+	stopped := false
+	stopAll := func() {
+		if !stopped {
+			stopped = true
+			close(stop)
+			wg.Wait()
+		}
+	}
+	defer stopAll() // trainTWI's t.Fatal path still reaps the goroutines
+	trainTWI(t, cfg)
+	stopAll()
+	close(errs)
+	if err, ok := <-errs; ok {
+		t.Fatal(err)
+	}
+}

@@ -298,6 +298,10 @@ type SGDTrainer struct {
 	mSig, vSig []float64
 
 	resp []float64 // scratch responsibilities
+	// Per-Step gradient scratch, reused across mini-batches so the joint
+	// training inner loop does not re-allocate three slices per GMM column
+	// per batch. Excluded from CaptureState: scratch, not optimizer state.
+	gW, gMu, gSig []float64
 }
 
 // NewSGDTrainer wraps an initialized model (e.g. from InitKMeansPP).
@@ -312,6 +316,7 @@ func NewSGDTrainer(m *Model, lr float64) *SGDTrainer {
 		mMu: make([]float64, k), vMu: make([]float64, k),
 		mSig: make([]float64, k), vSig: make([]float64, k),
 		resp: make([]float64, k),
+		gW:   make([]float64, k), gMu: make([]float64, k), gSig: make([]float64, k),
 	}
 	for i := 0; i < k; i++ {
 		w := math.Max(m.Weights[i], 1e-8)
@@ -339,9 +344,10 @@ func (t *SGDTrainer) SetLR(lr float64) { t.lr = lr }
 // NLL *before* the update. The wrapped Model is kept in sync.
 func (t *SGDTrainer) Step(batch []float64) float64 {
 	k := t.Model.K()
-	gW := make([]float64, k)
-	gMu := make([]float64, k)
-	gSig := make([]float64, k)
+	gW, gMu, gSig := t.gW, t.gMu, t.gSig
+	for j := 0; j < k; j++ {
+		gW[j], gMu[j], gSig[j] = 0, 0, 0
+	}
 	var nll float64
 	for _, x := range batch {
 		t.Model.logJoint(x, t.resp)

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+
+	"iam/internal/vecmath"
+)
+
+// Gradient accumulators.
+//
+// Historically the gradient buffers lived on the network itself, which forced
+// every training loop through one serialized backward/update sequence. They
+// are now a standalone Grads value: each Session owns one (lazily built, so
+// inference-only sessions never pay for it), any number of sessions can
+// accumulate concurrently, and the data-parallel joint trainer merges
+// per-shard accumulators into a master Grads with ReduceGrads in a fixed
+// order before a single AdamStep. The Adam moments stay on the network —
+// they are optimizer state, updated exactly once per step.
+
+// layerGrads accumulates one maskedLinear's parameter gradients.
+type layerGrads struct {
+	dw *vecmath.Matrix
+	db []float64
+}
+
+// Grads holds one gradient accumulator per trainable tensor of a ResMADE:
+// the per-column embedding tables, the hidden layers and the output layer
+// (last entry of layers). A Grads is not safe for concurrent mutation; give
+// each accumulating goroutine its own and merge with ReduceGrads.
+type Grads struct {
+	dEmbeds []*vecmath.Matrix
+	layers  []layerGrads // hidden layers in order, then the output layer
+}
+
+// NewGrads allocates a zeroed gradient accumulator shaped for n.
+func (n *ResMADE) NewGrads() *Grads {
+	g := &Grads{}
+	for i := range n.embeds {
+		g.dEmbeds = append(g.dEmbeds, vecmath.NewMatrix(n.Cards[i]+1, n.EmbedDims[i]))
+	}
+	for _, l := range n.allLayers() {
+		g.layers = append(g.layers, layerGrads{
+			dw: vecmath.NewMatrix(l.out, l.in),
+			db: make([]float64, l.out),
+		})
+	}
+	return g
+}
+
+// tensorCount returns the number of independent tensors in g — the task
+// granularity for the layer-parallel operations below.
+func (g *Grads) tensorCount() int { return len(g.dEmbeds) + len(g.layers) }
+
+// Zero clears every accumulator. Tensors are cleared in parallel on the
+// vecmath worker pool; each task owns one tensor, so the result is exact
+// under every Parallelism setting.
+func (g *Grads) Zero() {
+	ne := len(g.dEmbeds)
+	vecmath.Do(g.tensorCount(), func(i int) {
+		if i < ne {
+			g.dEmbeds[i].Zero()
+			return
+		}
+		lg := &g.layers[i-ne]
+		lg.dw.Zero()
+		for j := range lg.db {
+			lg.db[j] = 0
+		}
+	})
+}
+
+// Norm returns the L2 norm of all accumulated gradients. NaN/Inf entries make
+// the result non-finite, so one check covers both explosion and numeric
+// corruption. The sum runs serially in tensor order — it feeds the divergence
+// watchdog, which must see a deterministic value.
+func (g *Grads) Norm() float64 {
+	var ss float64
+	for _, d := range g.dEmbeds {
+		for _, v := range d.Data {
+			ss += v * v
+		}
+	}
+	for i := range g.layers {
+		for _, v := range g.layers[i].dw.Data {
+			ss += v * v
+		}
+		for _, v := range g.layers[i].db {
+			ss += v * v
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// ReduceGrads overwrites dst with the sum of srcs, accumulated strictly in
+// srcs order: dst = srcs[0] + srcs[1] + … element-wise, left to right. The
+// fixed order makes the merged gradient a pure function of the shard
+// decomposition, not of which goroutine finished first — the keystone of the
+// data-parallel trainer's bit-determinism. Tensors are merged in parallel on
+// the vecmath worker pool (each task owns one tensor; within a tensor the
+// source order is serial), so parallel execution is still exact. All Grads
+// must be shaped for n; srcs must be non-empty.
+func (n *ResMADE) ReduceGrads(dst *Grads, srcs ...*Grads) {
+	ne := len(dst.dEmbeds)
+	vecmath.Do(dst.tensorCount(), func(i int) {
+		if i < ne {
+			d := dst.dEmbeds[i].Data
+			copy(d, srcs[0].dEmbeds[i].Data)
+			for _, s := range srcs[1:] {
+				addInto(d, s.dEmbeds[i].Data)
+			}
+			return
+		}
+		li := i - ne
+		dw := dst.layers[li].dw.Data
+		db := dst.layers[li].db
+		copy(dw, srcs[0].layers[li].dw.Data)
+		copy(db, srcs[0].layers[li].db)
+		for _, s := range srcs[1:] {
+			addInto(dw, s.layers[li].dw.Data)
+			addInto(db, s.layers[li].db)
+		}
+	})
+}
+
+func addInto(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}

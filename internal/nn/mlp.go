@@ -14,6 +14,11 @@ type MLP struct {
 	dims   []int
 	layers []*maskedLinear
 	step   int
+	// MLP training is single-threaded (the query-driven baselines), so the
+	// network owns one gradient accumulator and backward scratch per layer
+	// instead of the per-session accumulators ResMADE uses.
+	grads []layerGrads
+	gtmp  []*vecmath.Matrix
 }
 
 // NewMLP builds a network with the given layer dimensions
@@ -30,6 +35,11 @@ func NewMLP(dims []int, seed int64) (*MLP, error) {
 			mask.Data[j] = 1
 		}
 		m.layers = append(m.layers, newMaskedLinear(dims[i], dims[i+1], mask, rng))
+		m.grads = append(m.grads, layerGrads{
+			dw: vecmath.NewMatrix(dims[i+1], dims[i]),
+			db: make([]float64, dims[i+1]),
+		})
+		m.gtmp = append(m.gtmp, vecmath.NewMatrix(dims[i+1], dims[i]))
 	}
 	return m, nil
 }
@@ -127,7 +137,7 @@ func (m *MLP) Backward(st *MLPState, dOut, dIn *vecmath.Matrix) {
 			}
 		}
 		dprev := vecmath.View(st.dx[li], b)
-		l.backward(dprev, dcur, vecmath.View(st.x[li], b))
+		l.backward(dprev, dcur, vecmath.View(st.x[li], b), &m.grads[li], m.gtmp[li])
 		dcur = dprev
 	}
 	if dIn != nil {
@@ -137,16 +147,19 @@ func (m *MLP) Backward(st *MLPState, dOut, dIn *vecmath.Matrix) {
 
 // ZeroGrad clears accumulated gradients.
 func (m *MLP) ZeroGrad() {
-	for _, l := range m.layers {
-		l.zeroGrad()
+	for i := range m.grads {
+		m.grads[i].dw.Zero()
+		for j := range m.grads[i].db {
+			m.grads[i].db[j] = 0
+		}
 	}
 }
 
 // AdamStep applies one Adam update (scale multiplies gradients first).
 func (m *MLP) AdamStep(lr, scale float64) {
 	m.step++
-	for _, l := range m.layers {
-		l.adamStep(lr, m.step, scale)
+	for i, l := range m.layers {
+		l.adamStep(lr, m.step, scale, &m.grads[i])
 	}
 }
 

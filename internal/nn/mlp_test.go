@@ -48,8 +48,8 @@ func TestMLPGradientCheck(t *testing.T) {
 			down := loss()
 			l.w.Data[i] = orig
 			fd := (up - down) / (2 * h)
-			if math.Abs(fd-l.dw.Data[i]) > 1e-4*(1+math.Abs(fd)) {
-				t.Fatalf("layer %d w[%d]: analytic %v vs fd %v", li, i, l.dw.Data[i], fd)
+			if math.Abs(fd-m.grads[li].dw.Data[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("layer %d w[%d]: analytic %v vs fd %v", li, i, m.grads[li].dw.Data[i], fd)
 			}
 		}
 	}

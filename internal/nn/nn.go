@@ -50,8 +50,6 @@ type maskedLinear struct {
 	in, out    int
 	w, mask    *vecmath.Matrix // out×in
 	b          []float64
-	dw         *vecmath.Matrix
-	db         []float64
 	mw, vw     *vecmath.Matrix
 	mb, vb     []float64
 	hasResidue bool // residual connection from the previous activation
@@ -62,7 +60,6 @@ func newMaskedLinear(in, out int, mask *vecmath.Matrix, rng *rand.Rand) *maskedL
 		in: in, out: out,
 		w: vecmath.NewMatrix(out, in), mask: mask,
 		b:  make([]float64, out),
-		dw: vecmath.NewMatrix(out, in), db: make([]float64, out),
 		mw: vecmath.NewMatrix(out, in), vw: vecmath.NewMatrix(out, in),
 		mb: make([]float64, out), vb: make([]float64, out),
 	}
@@ -100,19 +97,20 @@ func (l *maskedLinear) forward(y, x *vecmath.Matrix) {
 	}
 }
 
-// backward accumulates parameter gradients and computes dx = dy·W.
-// dx may be nil when the input gradient is not needed.
-func (l *maskedLinear) backward(dx, dy, x *vecmath.Matrix) {
+// backward accumulates parameter gradients into g and computes dx = dy·W.
+// dx may be nil when the input gradient is not needed. gtmp is caller-owned
+// out×in scratch for the unmasked weight gradient (reused across calls so the
+// hot loop stays allocation-free).
+func (l *maskedLinear) backward(dx, dy, x *vecmath.Matrix, g *layerGrads, gtmp *vecmath.Matrix) {
 	// dW += dyᵀ·x, masked.
-	tmp := vecmath.NewMatrix(l.out, l.in)
-	vecmath.MatMulATB(tmp, dy, x)
+	vecmath.MatMulATB(gtmp, dy, x)
 	for i, m := range l.mask.Data {
-		l.dw.Data[i] += tmp.Data[i] * m
+		g.dw.Data[i] += gtmp.Data[i] * m
 	}
 	for r := 0; r < dy.Rows; r++ {
 		row := dy.Row(r)
 		for i, v := range row {
-			l.db[i] += v
+			g.db[i] += v
 		}
 	}
 	if dx != nil {
@@ -120,16 +118,9 @@ func (l *maskedLinear) backward(dx, dy, x *vecmath.Matrix) {
 	}
 }
 
-func (l *maskedLinear) zeroGrad() {
-	l.dw.Zero()
-	for i := range l.db {
-		l.db[i] = 0
-	}
-}
-
-func (l *maskedLinear) adamStep(lr float64, step int, scale float64) {
-	adamUpdate(l.w.Data, l.dw.Data, l.mw.Data, l.vw.Data, lr, step, scale)
-	adamUpdate(l.b, l.db, l.mb, l.vb, lr, step, scale)
+func (l *maskedLinear) adamStep(lr float64, step int, scale float64, g *layerGrads) {
+	adamUpdate(l.w.Data, g.dw.Data, l.mw.Data, l.vw.Data, lr, step, scale)
+	adamUpdate(l.b, g.db, l.mb, l.vb, lr, step, scale)
 	// Re-apply the mask: numerical drift must never leak through dead edges.
 	for i, m := range l.mask.Data {
 		l.w.Data[i] *= m
@@ -171,7 +162,6 @@ type ResMADE struct {
 	embedOff   []int // offset of column i's block in the embedded input
 	logitOff   []int // offset of column i's logits in the output
 	embeds     []*vecmath.Matrix
-	dEmbeds    []*vecmath.Matrix
 	mEmb, vEmb []*vecmath.Matrix
 	layers     []*maskedLinear
 	outLayer   *maskedLinear
@@ -226,7 +216,6 @@ func NewResMADE(cfg Config) (*ResMADE, error) {
 
 	// Embedding tables: one extra row per column for the MASK token.
 	net.embeds = make([]*vecmath.Matrix, nCols)
-	net.dEmbeds = make([]*vecmath.Matrix, nCols)
 	net.mEmb = make([]*vecmath.Matrix, nCols)
 	net.vEmb = make([]*vecmath.Matrix, nCols)
 	for i := range net.embeds {
@@ -236,7 +225,6 @@ func NewResMADE(cfg Config) (*ResMADE, error) {
 			e.Data[j] = rng.NormFloat64() * 0.1
 		}
 		net.embeds[i] = e
-		net.dEmbeds[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
 		net.mEmb[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
 		net.vEmb[i] = vecmath.NewMatrix(rows, net.EmbedDims[i])
 	}
@@ -352,6 +340,14 @@ type Session struct {
 	rows [][]int // codes of the current forward batch (for embedding grads)
 	buf  [][]int // owned storage for rows
 
+	// Training state, allocated lazily on the first Backward/CrossEntropyGrad
+	// so inference-only sessions never pay for gradient memory. grads is this
+	// session's private accumulator: concurrent shards each own a session and
+	// accumulate independently, then the trainer merges them with ReduceGrads.
+	grads *Grads
+	gtmp  []*vecmath.Matrix // per-layer out×in backward scratch (then outLayer)
+	probs []float64         // softmax scratch for CrossEntropyGrad
+
 	forwardedRows int // lifetime row count across Forward calls
 }
 
@@ -454,14 +450,39 @@ func (s *Session) Logits(r, col int) []float64 {
 // AllLogits exposes the full B×outDim logit matrix of the current batch.
 func (s *Session) AllLogits() *vecmath.Matrix { return vecmath.View(s.logits, s.B) }
 
-// Backward accumulates parameter gradients for the current batch given
-// dL/dlogits (B×outDim). Call net.ZeroGrad/AdamStep around it.
+// ensureGrads lazily builds the session's gradient accumulator and backward
+// scratch. Inference-only sessions (the estimate worker pool) never call it,
+// so they stay as light as before the session-owned-grads refactor.
+func (s *Session) ensureGrads() *Grads {
+	if s.grads == nil {
+		s.grads = s.net.NewGrads()
+		for _, l := range s.net.allLayers() {
+			s.gtmp = append(s.gtmp, vecmath.NewMatrix(l.out, l.in))
+		}
+	}
+	return s.grads
+}
+
+// Grads exposes this session's gradient accumulator (allocating it on first
+// use). The returned value aliases session state: it is only coherent between
+// a Backward and the next ZeroGrad, and must not be mutated concurrently with
+// this session's Backward.
+func (s *Session) Grads() *Grads { return s.ensureGrads() }
+
+// ZeroGrad clears this session's accumulated gradients.
+func (s *Session) ZeroGrad() { s.ensureGrads().Zero() }
+
+// Backward accumulates parameter gradients for the current batch into the
+// session's own Grads, given dL/dlogits (B×outDim). Call Session.ZeroGrad
+// before and net.AdamStep(lr, scale, sess.Grads()) after — or merge several
+// sessions' accumulators with ReduceGrads first for data-parallel training.
 func (s *Session) Backward(dLogits *vecmath.Matrix) {
 	n := s.net
+	g := s.ensureGrads()
 	b := s.B
 	last := len(n.layers)
 	dcur := vecmath.ViewInto(&s.dxV[last], s.dx[last], b)
-	n.outLayer.backward(dcur, dLogits, vecmath.ViewInto(&s.xV[last], s.x[last], b))
+	n.outLayer.backward(dcur, dLogits, vecmath.ViewInto(&s.xV[last], s.x[last], b), &g.layers[last], s.gtmp[last])
 
 	for li := len(n.layers) - 1; li >= 0; li-- {
 		l := n.layers[li]
@@ -475,7 +496,7 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 			}
 		}
 		dprev := vecmath.ViewInto(&s.dxV[li], s.dx[li], b)
-		l.backward(dprev, dpre, vecmath.ViewInto(&s.xV[li], s.x[li], b))
+		l.backward(dprev, dpre, vecmath.ViewInto(&s.xV[li], s.x[li], b), &g.layers[li], s.gtmp[li])
 		if l.hasResidue {
 			// Identity path adds dcur straight through.
 			for i := 0; i < b*l.in; i++ {
@@ -489,35 +510,32 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 	for r, row := range s.rows {
 		src := dcur.Row(r)
 		for c, code := range row {
-			g := n.dEmbeds[c].Row(code)
+			ge := g.dEmbeds[c].Row(code)
 			off := n.embedOff[c]
-			for d := range g {
-				g[d] += src[off+d]
+			for d := range ge {
+				ge[d] += src[off+d]
 			}
 		}
 	}
 }
 
-// ZeroGrad clears all accumulated gradients.
-func (n *ResMADE) ZeroGrad() {
-	for _, d := range n.dEmbeds {
-		d.Zero()
-	}
-	for _, l := range n.layers {
-		l.zeroGrad()
-	}
-	n.outLayer.zeroGrad()
-}
-
-// AdamStep applies one Adam update with the given learning rate; scale
-// multiplies all gradients first (use 1/batchSize for mean loss).
-func (n *ResMADE) AdamStep(lr, scale float64) {
+// AdamStep applies one Adam update from the accumulated gradients in g with
+// the given learning rate; scale multiplies all gradients first (use
+// 1/batchSize for mean loss). Tensors update in parallel on the vecmath
+// worker pool — each task owns one tensor's parameters and moments, so the
+// result is bit-identical under every Parallelism setting. The step counter
+// and moments stay on the network: call this exactly once per optimization
+// step, never concurrently.
+func (n *ResMADE) AdamStep(lr, scale float64, g *Grads) {
 	n.step++
-	for i := range n.embeds {
-		adamUpdate(n.embeds[i].Data, n.dEmbeds[i].Data, n.mEmb[i].Data, n.vEmb[i].Data, lr, n.step, scale)
-	}
-	for _, l := range n.layers {
-		l.adamStep(lr, n.step, scale)
-	}
-	n.outLayer.adamStep(lr, n.step, scale)
+	step := n.step
+	ne := len(n.embeds)
+	layers := n.allLayers()
+	vecmath.Do(ne+len(layers), func(i int) {
+		if i < ne {
+			adamUpdate(n.embeds[i].Data, g.dEmbeds[i].Data, n.mEmb[i].Data, n.vEmb[i].Data, lr, step, scale)
+			return
+		}
+		layers[i-ne].adamStep(lr, step, scale, &g.layers[i-ne])
+	})
 }

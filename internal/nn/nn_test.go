@@ -96,9 +96,10 @@ func TestGradientCheck(t *testing.T) {
 	}
 
 	sess.Forward(batch)
-	net.ZeroGrad()
+	sess.ZeroGrad()
 	sess.CrossEntropyGrad(batch, dLogits)
 	sess.Backward(dLogits)
+	grads := sess.Grads()
 
 	const h = 1e-6
 	const tol = 1e-4
@@ -126,14 +127,15 @@ func TestGradientCheck(t *testing.T) {
 	checkParam := func(name string, p, g []float64, limit int) {
 		checkParamMasked(name, p, g, nil, limit)
 	}
-	for _, l := range net.layers {
-		checkParamMasked("w", l.w.Data, l.dw.Data, l.mask.Data, 30)
-		checkParam("b", l.b, l.db, 10)
+	for li, l := range net.layers {
+		checkParamMasked("w", l.w.Data, grads.layers[li].dw.Data, l.mask.Data, 30)
+		checkParam("b", l.b, grads.layers[li].db, 10)
 	}
-	checkParamMasked("outW", net.outLayer.w.Data, net.outLayer.dw.Data, net.outLayer.mask.Data, 30)
-	checkParam("outB", net.outLayer.b, net.outLayer.db, 10)
+	outG := &grads.layers[len(net.layers)]
+	checkParamMasked("outW", net.outLayer.w.Data, outG.dw.Data, net.outLayer.mask.Data, 30)
+	checkParam("outB", net.outLayer.b, outG.db, 10)
 	for c := range net.embeds {
-		checkParam("embed", net.embeds[c].Data, net.dEmbeds[c].Data, 20)
+		checkParam("embed", net.embeds[c].Data, grads.dEmbeds[c].Data, 20)
 	}
 }
 

@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 )
 
 // TrainState is a deep copy of every mutable training quantity of a ResMADE:
@@ -76,25 +75,4 @@ func (n *ResMADE) RestoreState(st *TrainState) error {
 	}
 	n.step = st.Step
 	return nil
-}
-
-// GradNorm returns the L2 norm of all accumulated gradients (embeddings,
-// hidden layers, output layer). NaN/Inf gradients make the result non-finite,
-// so a single check covers both explosion and numeric corruption.
-func (n *ResMADE) GradNorm() float64 {
-	var ss float64
-	for _, d := range n.dEmbeds {
-		for _, v := range d.Data {
-			ss += v * v
-		}
-	}
-	for _, l := range n.allLayers() {
-		for _, v := range l.dw.Data {
-			ss += v * v
-		}
-		for _, v := range l.db {
-			ss += v * v
-		}
-	}
-	return math.Sqrt(ss)
 }

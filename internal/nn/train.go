@@ -80,7 +80,10 @@ func epochRNG(seed int64, epoch int) *rand.Rand {
 func (s *Session) CrossEntropyGrad(targets [][]int, dLogits *vecmath.Matrix) float64 {
 	n := s.net
 	var nll float64
-	probs := make([]float64, maxCard(n.Cards))
+	if s.probs == nil {
+		s.probs = make([]float64, maxCard(n.Cards))
+	}
+	probs := s.probs
 	for r := 0; r < s.B; r++ {
 		drow := dLogits.Row(r)
 		for c := range n.Cards {
@@ -126,6 +129,28 @@ func (n *ResMADE) NLL(sess *Session, rows [][]int) float64 {
 	return total / float64(len(rows))
 }
 
+// MaskColumns replaces a uniform-size random subset of in's codes with the
+// network's MASK tokens (Naru wildcard-skipping training). idx is reusable
+// caller scratch of length NumCols; intn draws a uniform int in [0, n). The
+// subset size k is drawn first, then k distinct columns are chosen by a
+// partial Fisher–Yates shuffle over idx — equivalent in distribution to
+// rand.Perm(nCols)[:k] but allocation-free, and usable with any uniform
+// integer source (the data-parallel trainer feeds it per-row splitmix64
+// streams so mask generation no longer serializes the batch loop).
+func MaskColumns(in, idx []int, n *ResMADE, intn func(int) int) {
+	nc := len(idx)
+	k := intn(nc + 1)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + intn(nc-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		c := idx[i]
+		in[c] = n.MaskToken(c)
+	}
+}
+
 func maxCard(cards []int) int {
 	m := 0
 	for _, c := range cards {
@@ -155,6 +180,7 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 		inputs[i] = inputBacking[i*n.NumCols() : (i+1)*n.NumCols()]
 	}
 	targets := make([][]int, 0, cfg.BatchSize)
+	maskIdx := make([]int, n.NumCols()) // wildcard column-subset scratch
 
 	var losses []float64
 	lr := cfg.LR
@@ -182,11 +208,11 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 				in := inputs[bi]
 				copy(in, row)
 				if cfg.Wildcard {
-					// Mask a uniform-size random subset of input columns.
-					k := erng.Intn(n.NumCols() + 1)
-					for _, c := range erng.Perm(n.NumCols())[:k] {
-						in[c] = n.MaskToken(c)
-					}
+					// Mask a uniform-size random subset of input columns,
+					// chosen by a partial Fisher–Yates over the reusable
+					// index scratch (erng.Perm would allocate two slices
+					// per row per batch).
+					MaskColumns(in, maskIdx, n, erng.Intn)
 				}
 			}
 			sess.Forward(inputs[:b])
@@ -198,15 +224,15 @@ func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 			}
 			epochNLL += nll
 			seen += b
-			n.ZeroGrad()
+			sess.ZeroGrad()
 			sess.Backward(dl)
 			if cfg.MaxGradNorm > 0 {
-				if gn := n.GradNorm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
+				if gn := sess.Grads().Norm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
 					diverged = true // skip the update that would apply it
 					break
 				}
 			}
-			n.AdamStep(lr, 1/float64(b))
+			n.AdamStep(lr, 1/float64(b), sess.Grads())
 		}
 		mean := math.NaN()
 		if seen > 0 {

@@ -90,6 +90,44 @@ func parPlan(n, rowWork int) (nw, chunk int, sem chan struct{}) {
 	return nw, chunk, sem
 }
 
+// Do runs task(0) … task(n−1), handing all but the last task to helper
+// goroutines when the shared worker budget has capacity and running the rest
+// inline on the caller. It returns once every task has completed. Tasks are
+// never split or reordered relative to their own work, so as long as each
+// task touches disjoint state (the caller's contract — e.g. one network
+// layer's parameters per task), results are bit-identical for every
+// Parallelism setting. With a budget of 1 the loop runs inline without
+// forming a single closure, keeping serial callers allocation-free.
+func Do(n int, task func(i int)) {
+	parMu.Lock()
+	maxW := parMax
+	sem := parSem
+	parMu.Unlock()
+	if maxW <= 1 || sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				task(i)
+			}(i)
+		default:
+			// No budget free: run this task on the caller.
+			task(i)
+		}
+	}
+	task(n - 1)
+	wg.Wait()
+}
+
 // fanOut runs body over [0, n) in chunks, handing all but the last chunk to
 // helper goroutines when the semaphore has budget and running the rest
 // inline. Only reached on the parallel path, so the closure allocation is

@@ -1,0 +1,60 @@
+package vecmath
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsEveryTaskOnce: Do must execute each task exactly once under every
+// worker budget, including budgets larger than the task count.
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, budget := range []int{1, 2, 8, runtime.GOMAXPROCS(0) + 3} {
+		prev := Parallelism(budget)
+		hits := make([]int32, 37)
+		Do(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+		Parallelism(prev)
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("budget %d: task %d ran %d times", budget, i, h)
+			}
+		}
+	}
+	// n = 0 and n = 1 edge cases must not deadlock or skip.
+	Do(0, func(int) { t.Fatal("task ran for n = 0") })
+	ran := false
+	Do(1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("task skipped for n = 1")
+	}
+}
+
+// TestDoDisjointTasksBitIdentical: tasks that each own a disjoint slice
+// region must produce bit-identical results for every budget, since Do never
+// splits a task's own (serial) accumulation.
+func TestDoDisjointTasksBitIdentical(t *testing.T) {
+	const rows, cols = 16, 257
+	run := func(budget int) []float64 {
+		prev := Parallelism(budget)
+		defer Parallelism(prev)
+		out := make([]float64, rows*cols)
+		Do(rows, func(r int) {
+			acc := 0.0
+			for c := 0; c < cols; c++ {
+				acc += 1 / float64(r*cols+c+1)
+				out[r*cols+c] = acc
+			}
+		})
+		return out
+	}
+	want := run(1)
+	for _, budget := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(budget)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("budget %d: element %d = %v, want %v", budget, i, got[i], want[i])
+			}
+		}
+	}
+}
