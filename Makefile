@@ -9,6 +9,7 @@ GO ?= go
 BENCHFLAGS ?=
 BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMatMul|BenchmarkMatMulABT)$$
 TRAIN_BENCH_PATTERN = ^BenchmarkTrainJoint$$
+SERVE_BENCH_PATTERN = ^BenchmarkServeLatency$$
 
 .PHONY: build test test-short lint lint-warn lint-fix lint-json vet bench-json clean
 
@@ -37,12 +38,13 @@ lint-fix:
 lint-json:
 	$(GO) run ./cmd/iamlint -json -severity=warn ./...
 
-# bench-json runs the serving benchmarks (EstimateBatch worker scaling,
-# ResMADE forward, matmul kernels) into BENCH_estimate.json, then the
+# bench-json runs the estimation benchmarks (EstimateBatch worker scaling,
+# ResMADE forward, matmul kernels) into BENCH_estimate.json, the
 # data-parallel training benchmark (TrainJoint worker scaling) into
-# BENCH_train.json — the repo's perf-trajectory files. The intermediate
-# .bench.out keeps go test's exit status visible to make (a pipe would
-# swallow it).
+# BENCH_train.json, and the end-to-end server latency benchmark
+# (ServeLatency p50/p95/p99) into BENCH_serve.json — the repo's
+# perf-trajectory files. The intermediate .bench.out keeps go test's exit
+# status visible to make (a pipe would swallow it).
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
 		./internal/core ./internal/nn ./internal/vecmath > .bench.out
@@ -50,6 +52,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(TRAIN_BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
 		./internal/core > .bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_train.json < .bench.out
+	$(GO) test -run '^$$' -bench '$(SERVE_BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
+		./internal/serve > .bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json < .bench.out
 	rm -f .bench.out
 
 # vet runs iamlint through the go vet driver, exercising the -vettool path.

@@ -1,10 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable perf-trajectory file (BENCH_estimate.json,
-// BENCH_train.json). It keeps the standard per-op columns (ns/op, B/op,
-// allocs/op) plus any custom b.ReportMetric columns, and derives the
-// worker-scaling ratios (workers=max throughput over the workers=1 baseline)
-// for the EstimateBatch and TrainJoint benchmarks so CI artifacts carry the
-// headline numbers directly.
+// BENCH_train.json, BENCH_serve.json). It keeps the standard per-op columns
+// (ns/op, B/op, allocs/op) plus any custom b.ReportMetric columns, and
+// derives the headline numbers directly: worker-scaling ratios (workers=max
+// throughput over the workers=1 baseline) for the EstimateBatch and
+// TrainJoint benchmarks, and the p50/p95/p99 request-latency quantiles for
+// the ServeLatency benchmark.
 //
 // Usage:
 //
@@ -50,7 +51,13 @@ type benchFile struct {
 	// TrainJointSpeedup is the same ratio for BenchmarkTrainJoint — the
 	// data-parallel training headline. Omitted when the run has no training
 	// benchmark entries.
-	TrainJointSpeedup float64       `json:"train_joint_speedup,omitempty"`
+	TrainJointSpeedup float64 `json:"train_joint_speedup,omitempty"`
+	// ServeLatencyP50Us/P95/P99 are the end-to-end request latency quantiles
+	// (µs) reported by BenchmarkServeLatency — the serving-layer headline.
+	// Omitted when the run has no serving benchmark entries.
+	ServeLatencyP50Us float64       `json:"serve_latency_p50_us,omitempty"`
+	ServeLatencyP95Us float64       `json:"serve_latency_p95_us,omitempty"`
+	ServeLatencyP99Us float64       `json:"serve_latency_p99_us,omitempty"`
 	Results           []benchResult `json:"results"`
 }
 
@@ -95,6 +102,9 @@ func run(r io.Reader, out string) error {
 	}
 	bf.EstimateBatchSpeedup = speedup(bf.Results, "BenchmarkEstimateBatch")
 	bf.TrainJointSpeedup = speedup(bf.Results, "BenchmarkTrainJoint")
+	bf.ServeLatencyP50Us = serveMetric(bf.Results, "p50-us")
+	bf.ServeLatencyP95Us = serveMetric(bf.Results, "p95-us")
+	bf.ServeLatencyP99Us = serveMetric(bf.Results, "p99-us")
 
 	data, err := json.MarshalIndent(&bf, "", "  ")
 	if err != nil {
@@ -107,8 +117,9 @@ func run(r io.Reader, out string) error {
 	}); err != nil {
 		return fmt.Errorf("writing %s: %w", out, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx, TrainJoint speedup %.2fx)\n",
-		len(bf.Results), out, bf.EstimateBatchSpeedup, bf.TrainJointSpeedup)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx, TrainJoint speedup %.2fx, serve p50/p95/p99 %.0f/%.0f/%.0f µs)\n",
+		len(bf.Results), out, bf.EstimateBatchSpeedup, bf.TrainJointSpeedup,
+		bf.ServeLatencyP50Us, bf.ServeLatencyP95Us, bf.ServeLatencyP99Us)
 	return nil
 }
 
@@ -154,6 +165,17 @@ func parseBenchLine(line string) (*benchResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// serveMetric lifts one quantile column out of BenchmarkServeLatency's
+// custom metrics, or 0 if the run did not include the serving benchmark.
+func serveMetric(results []benchResult, unit string) float64 {
+	for _, r := range results {
+		if r.Name == "BenchmarkServeLatency" {
+			return r.Metrics[unit]
+		}
+	}
+	return 0
 }
 
 // speedup derives the worker-scaling ratio from a benchmark's workers=1 and

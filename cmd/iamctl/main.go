@@ -3,6 +3,7 @@
 //
 // Subcommands:
 //
+//	iamctl train    -dataset twi -rows 20000 -epochs 8 -save twi.model
 //	iamctl stats    -dataset wisdm -rows 20000
 //	iamctl estimate -dataset twi -rows 20000 -query "latitude <= 40 AND longitude >= -100"
 //	iamctl eval     -dataset higgs -rows 20000 -queries 200 -estimators IAM,Neurocard,Postgres
@@ -107,6 +108,13 @@ func main() {
 		}
 	}
 	switch cmd {
+	case "train":
+		if opts.saveTo == "" && opts.checkpoint == "" {
+			die(fmt.Errorf("train requires -save and/or -checkpoint (otherwise the model is discarded)"))
+		}
+		m := obtainIAM(ctx, t, opts)
+		fmt.Printf("trained %s on %s: %d epochs, model size %d bytes\n",
+			m.Name(), t.Name, *epochs, m.SizeBytes())
 	case "stats":
 		st := dataset.Describe(t)
 		fmt.Printf("dataset   %s\nrows      %d\ncols      %d categorical, %d continuous\n",
@@ -198,7 +206,7 @@ func runJoin(titles int, seed int64, nq, epochs int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: iamctl <stats|estimate|eval|agg|join> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: iamctl <train|stats|estimate|eval|agg|join> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'iamctl <cmd> -h' for the flags of each subcommand")
 }
 

@@ -597,6 +597,20 @@ func (m *Model) Estimate(q *query.Query) (float64, error) {
 // draws from its own stream derived from (cfg.Seed, i), which makes the
 // returned estimates bit-identical under every Workers setting.
 func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
+	return m.EstimateBatchSeeded(qs, nil)
+}
+
+// EstimateBatchSeeded is EstimateBatch with caller-chosen sampling streams:
+// query i draws from qseeds[i] instead of the position-derived stream. A nil
+// qseeds reproduces EstimateBatch exactly. The serving layer uses this to
+// keep estimates a pure function of (model, query) even when the dynamic
+// batcher coalesces queries into batches of shifting composition — it passes
+// seeds derived from the query content, so an estimate never depends on
+// which other queries happened to share the batch.
+func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float64, error) {
+	if qseeds != nil && len(qseeds) != len(qs) {
+		return nil, fmt.Errorf("core: %d seeds for %d queries", len(qseeds), len(qs))
+	}
 	m.mu.RLock()
 	if m.massDirty {
 		// Upgrade for the one-time §5.2 mass preprocessing, then downgrade.
@@ -626,7 +640,11 @@ func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 			}
 		}
 		pending = append(pending, cons)
-		seeds = append(seeds, querySeed(m.cfg.Seed, i))
+		if qseeds != nil {
+			seeds = append(seeds, qseeds[i])
+		} else {
+			seeds = append(seeds, querySeed(m.cfg.Seed, i))
+		}
 		slots = append(slots, i)
 	}
 	if len(pending) == 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/list"
+	"math"
 	"runtime"
 
 	"iam/internal/ar"
@@ -172,4 +173,48 @@ func (m *Model) purgeMassCache() {
 	m.cacheMu.Lock()
 	m.massCache = nil
 	m.cacheMu.Unlock()
+}
+
+// QuerySeed derives the deterministic sampling stream the serving layer
+// assigns to q: a content hash (column indices, bounds, bound kinds) mixed
+// with the model seed through the same finalizer as querySeed. Two requests
+// for the same query always draw the same stream regardless of batch
+// composition, so server-side batching preserves bit-identical estimates.
+func (m *Model) QuerySeed(q *query.Query) int64 {
+	h := uint64(m.cfg.Seed)
+	mix := func(v uint64) {
+		h ^= v
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	for ci, r := range q.Ranges {
+		if r == nil {
+			continue
+		}
+		mix(uint64(ci) + 1)
+		mix(math.Float64bits(r.Lo))
+		mix(math.Float64bits(r.Hi))
+		var kinds uint64
+		if r.LoInc {
+			kinds |= 1
+		}
+		if r.HiInc {
+			kinds |= 2
+		}
+		mix(kinds + 1)
+	}
+	return int64(h)
+}
+
+// ReleaseWorkers empties the pooled worker list, dropping the (large)
+// cached sessions and scratch buffers. In-flight shards are unaffected:
+// they keep the workers they checked out and return them to the now-empty
+// pool, from which everything is rebuilt lazily on the next demand. The
+// serving layer calls this when retiring a model version after a hot swap;
+// a rolled-back version that becomes current again simply re-warms.
+func (m *Model) ReleaseWorkers() {
+	m.poolMu.Lock()
+	m.workers = nil
+	m.poolMu.Unlock()
 }

@@ -13,6 +13,7 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,8 @@ func Reset() {
 	defer mu.Unlock()
 	sites = nil
 	atomic.StoreInt32(&armed, 0)
+	delays = nil
+	atomic.StoreInt32(&delayArmed, 0)
 }
 
 // Fires reports whether site should misbehave now, consuming one firing.
@@ -161,3 +164,148 @@ func (c *ConstEstimator) Name() string {
 }
 
 func (c *ConstEstimator) Estimate(q *query.Query) (float64, error) { return c.Value, nil }
+
+// --- Latency payloads ---
+
+// ArmDelay arms site with a latency payload: the next `times` FireDelay
+// calls report the delay, which the instrumented code is expected to sleep.
+// Delays and plain firings share the site namespace but not state — a site
+// armed with Arm never reports a delay and vice versa.
+func ArmDelay(site string, times int, d time.Duration) {
+	mu.Lock()
+	defer mu.Unlock()
+	if delays == nil {
+		delays = map[string]delayBudget{}
+	}
+	if times <= 0 || d <= 0 {
+		delete(delays, site)
+	} else {
+		delays[site] = delayBudget{remaining: times, delay: d}
+	}
+	atomic.StoreInt32(&delayArmed, int32(len(delays)))
+}
+
+type delayBudget struct {
+	remaining int
+	delay     time.Duration
+}
+
+var (
+	delayArmed int32                  // non-zero while any delay site is armed
+	delays     map[string]delayBudget // iam:guardedby mu — latency payloads per site
+)
+
+// FireDelay reports the latency payload site should inject now (consuming
+// one firing), or (0, false). With nothing armed it is a single atomic load.
+func FireDelay(site string) (time.Duration, bool) {
+	if atomic.LoadInt32(&delayArmed) == 0 {
+		return 0, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	b, ok := delays[site]
+	if !ok {
+		return 0, false
+	}
+	if b.remaining <= 1 {
+		delete(delays, site)
+	} else {
+		b.remaining--
+		delays[site] = b
+	}
+	atomic.StoreInt32(&delayArmed, int32(len(delays)))
+	return b.delay, true
+}
+
+// --- Chaos estimator ---
+
+// ChaosMode selects one failure behavior of a ChaosEstimator call.
+type ChaosMode int
+
+const (
+	// ChaosValid answers with a valid selectivity.
+	ChaosValid ChaosMode = iota
+	// ChaosPanic panics mid-call.
+	ChaosPanic
+	// ChaosNaN returns NaN without erroring.
+	ChaosNaN
+	// ChaosError returns an explicit error.
+	ChaosError
+	// ChaosSlow sleeps Delay before answering validly.
+	ChaosSlow
+	chaosModes // number of modes
+)
+
+// ChaosEstimator is a deterministic storm of every failure mode at once:
+// call i misbehaves according to a splitmix64 stream over (Seed, i), so a
+// chaos run is exactly reproducible from its seed yet looks adversarially
+// random to the system under test. It implements estimator.BatchEstimator;
+// batch calls draw one mode per call (not per query), mirroring a model
+// replica failing as a unit. The zero value is usable; concurrency-safe.
+type ChaosEstimator struct {
+	Label string
+	Seed  uint64
+	// Value is the selectivity returned on valid calls.
+	Value float64
+	// Delay is the latency payload of ChaosSlow calls.
+	Delay time.Duration
+	// ValidEvery forces every ValidEvery-th call valid so cascades always
+	// make progress; 0 disables the override.
+	ValidEvery int
+	calls      atomic.Uint64
+}
+
+func (c *ChaosEstimator) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "chaos"
+}
+
+// Mode returns the failure mode of call i — exported so tests can predict
+// the exact fault sequence for a given seed.
+func (c *ChaosEstimator) Mode(i uint64) ChaosMode {
+	if c.ValidEvery > 0 && i%uint64(c.ValidEvery) == 0 {
+		return ChaosValid
+	}
+	// splitmix64 finalizer over the (seed, call) pair.
+	z := c.Seed + 0x9e3779b97f4a7c15*(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return ChaosMode(z % uint64(chaosModes))
+}
+
+func (c *ChaosEstimator) act() (float64, error) {
+	i := c.calls.Add(1) - 1
+	switch c.Mode(i) {
+	case ChaosPanic:
+		//lint:ignore nopanic this estimator exists to inject panics so guard recovery paths can be tested
+		panic(fmt.Sprintf("%s: injected chaos panic on call %d", c.Name(), i))
+	case ChaosNaN:
+		return math.NaN(), nil
+	case ChaosError:
+		return 0, fmt.Errorf("%s: injected chaos error on call %d", c.Name(), i)
+	case ChaosSlow:
+		time.Sleep(c.Delay)
+	}
+	return c.Value, nil
+}
+
+func (c *ChaosEstimator) Estimate(q *query.Query) (float64, error) { return c.act() }
+
+// EstimateBatch fails or succeeds as a unit: one mode draw covers the batch.
+func (c *ChaosEstimator) EstimateBatch(qs []*query.Query) ([]float64, error) {
+	v, err := c.act()
+	if err != nil {
+		return nil, err
+	}
+	sels := make([]float64, len(qs))
+	for i := range sels {
+		sels[i] = v
+	}
+	return sels, nil
+}
+
+// Calls reports how many Estimate/EstimateBatch calls have been made.
+func (c *ChaosEstimator) Calls() uint64 { return c.calls.Load() }

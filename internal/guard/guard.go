@@ -10,6 +10,7 @@
 package guard
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -23,7 +24,8 @@ type Config struct {
 	// Timeout bounds each underlying Estimate call. Zero disables the
 	// deadline. A timed-out call keeps running on its goroutine (Go cannot
 	// kill it), but the cascade moves on immediately and its eventual
-	// result is discarded.
+	// result is discarded; such stragglers are visible in the per-tier
+	// Abandoned gauge until they finish.
 	Timeout time.Duration
 	// Name overrides the wrapper's reported name. Default "guarded(<first>)".
 	Name string
@@ -36,8 +38,14 @@ type EstimatorStats struct {
 	Served uint64
 	// Errors counts returned errors, Panics recovered panics, Invalid
 	// results rejected by validation (NaN/Inf/outside [0,1]), Timeouts
-	// calls abandoned after Config.Timeout.
+	// calls abandoned after Config.Timeout or a context deadline.
 	Errors, Panics, Invalid, Timeouts uint64
+	// Abandoned is an in-flight *gauge*, not a counter: the number of
+	// timed-out calls whose goroutine is still running right now (Go cannot
+	// kill them; the cascade moved on and will discard their result). It
+	// rises on every timeout and returns to zero as stragglers finish, so a
+	// persistently non-zero value means the wrapped estimator is wedged.
+	Abandoned int64
 }
 
 // Failures is the total number of queries this tier failed to answer.
@@ -49,6 +57,7 @@ type tier struct {
 	est estimator.Estimator
 
 	served, errors, panics, invalid, timeouts atomic.Uint64
+	abandoned                                 atomic.Int64 // gauge: timed-out calls still running
 }
 
 // Guarded is an estimator.Estimator (and BatchEstimator) that delegates to
@@ -96,10 +105,36 @@ type estResult struct {
 	err error
 }
 
-// call runs one tier's Estimate with panic recovery and, when configured,
-// a deadline. It reports the estimate, the failure (if any), and which
-// counter the failure belongs to.
-func (g *Guarded) call(t *tier, q *query.Query) (float64, error) {
+// tierBudget resolves the wall-clock budget of one tier call: the smaller of
+// Config.Timeout and the time left on ctx, either of which may be absent
+// (≤ 0 means unbounded). The terminal tier ignores the context — it is the
+// cascade's cannot-fail answer, so a request that overran its deadline still
+// gets a conservative estimate instead of an error. expired reports that the
+// context deadline has already passed, so a non-terminal tier should be
+// skipped without being run.
+func (g *Guarded) tierBudget(ctx context.Context, last bool) (budget time.Duration, expired bool) {
+	budget = g.cfg.Timeout
+	if last {
+		return budget, false
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return budget, false
+	}
+	rem := time.Until(d)
+	if rem <= 0 {
+		return budget, true
+	}
+	if budget <= 0 || rem < budget {
+		budget = rem
+	}
+	return budget, false
+}
+
+// call runs one tier's Estimate with panic recovery and, when positive, a
+// wall-clock budget. It reports the estimate, the failure (if any), and
+// records which counter the failure belongs to.
+func (g *Guarded) call(t *tier, q *query.Query, budget time.Duration) (float64, error) {
 	run := func() (res estResult) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -119,30 +154,59 @@ func (g *Guarded) call(t *tier, q *query.Query) (float64, error) {
 		return estResult{sel: sel}
 	}
 
-	if g.cfg.Timeout <= 0 {
+	if budget <= 0 {
 		res := run()
 		return res.sel, res.err
 	}
 	ch := make(chan estResult, 1)
 	go func() { ch <- run() }()
-	timer := time.NewTimer(g.cfg.Timeout)
+	timer := time.NewTimer(budget)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
 		return res.sel, res.err
 	case <-timer.C:
 		t.timeouts.Add(1)
-		return 0, fmt.Errorf("guard: %s timed out after %v", t.est.Name(), g.cfg.Timeout)
+		watchAbandoned(t, ch)
+		return 0, fmt.Errorf("guard: %s timed out after %v", t.est.Name(), budget)
 	}
+}
+
+// watchAbandoned accounts for a timed-out call whose goroutine keeps running:
+// the tier's Abandoned gauge rises now and falls when the straggler finally
+// delivers its (discarded) result into the buffered channel.
+func watchAbandoned[T any](t *tier, ch <-chan T) {
+	t.abandoned.Add(1)
+	go func() {
+		<-ch
+		t.abandoned.Add(-1)
+	}()
 }
 
 // Estimate implements estimator.Estimator: it tries each tier in order and
 // returns the first valid estimate. If every tier fails, it returns an
 // error joining each tier's failure.
 func (g *Guarded) Estimate(q *query.Query) (float64, error) {
+	return g.EstimateCtx(context.Background(), q)
+}
+
+// EstimateCtx is Estimate with a per-request deadline: the time remaining on
+// ctx caps each non-terminal tier's budget (on top of Config.Timeout), and a
+// tier whose turn comes after the deadline has passed is skipped and counted
+// as a timeout. The terminal tier always runs, so a late request still gets
+// the conservative fallback estimate rather than an error.
+func (g *Guarded) EstimateCtx(ctx context.Context, q *query.Query) (float64, error) {
 	var firstErr error
-	for _, t := range g.tiers {
-		sel, err := g.call(t, q)
+	for i, t := range g.tiers {
+		budget, expired := g.tierBudget(ctx, i == len(g.tiers)-1)
+		if expired {
+			t.timeouts.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("guard: %s skipped: %w", t.est.Name(), ctx.Err())
+			}
+			continue
+		}
+		sel, err := g.call(t, q, budget)
 		if err == nil {
 			t.served.Add(1)
 			return sel, nil
@@ -160,22 +224,38 @@ func (g *Guarded) Estimate(q *query.Query) (float64, error) {
 // panic/validation/timeout protection); per-query failures within a batch
 // fall through to the next tier query by query.
 func (g *Guarded) EstimateBatch(qs []*query.Query) ([]float64, error) {
+	return g.EstimateBatchCtx(context.Background(), qs)
+}
+
+// EstimateBatchCtx is EstimateBatch with a per-request deadline, with the
+// same semantics as EstimateCtx: ctx caps every non-terminal tier's budget
+// (shared across the whole batch call), expired non-terminal tiers are
+// skipped and counted as timeouts, and the terminal tier always answers.
+func (g *Guarded) EstimateBatchCtx(ctx context.Context, qs []*query.Query) ([]float64, error) {
 	out := make([]float64, len(qs))
 	pending := make([]int, len(qs)) // indices into qs still unanswered
 	for i := range qs {
 		pending[i] = i
 	}
 	var firstErr error
-	for _, t := range g.tiers {
+	for ti, t := range g.tiers {
 		if len(pending) == 0 {
 			break
+		}
+		budget, expired := g.tierBudget(ctx, ti == len(g.tiers)-1)
+		if expired {
+			t.timeouts.Add(uint64(len(pending)))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("guard: %s skipped: %w", t.est.Name(), ctx.Err())
+			}
+			continue
 		}
 		if be, ok := t.est.(estimator.BatchEstimator); ok {
 			sub := make([]*query.Query, len(pending))
 			for i, qi := range pending {
 				sub[i] = qs[qi]
 			}
-			sels, err := g.callBatch(t, be, sub)
+			sels, err := g.callBatch(t, be, sub, budget)
 			if err == nil {
 				next := pending[:0]
 				for i, qi := range pending {
@@ -200,7 +280,7 @@ func (g *Guarded) EstimateBatch(qs []*query.Query) ([]float64, error) {
 		}
 		next := pending[:0]
 		for _, qi := range pending {
-			sel, err := g.call(t, qs[qi])
+			sel, err := g.call(t, qs[qi], budget)
 			if err == nil {
 				out[qi] = sel
 				t.served.Add(1)
@@ -222,8 +302,8 @@ func (g *Guarded) EstimateBatch(qs []*query.Query) ([]float64, error) {
 }
 
 // callBatch is call for a whole batch: panic recovery, validation of the
-// result length, and the shared timeout applied to the batch as a whole.
-func (g *Guarded) callBatch(t *tier, be estimator.BatchEstimator, qs []*query.Query) ([]float64, error) {
+// result length, and the shared budget applied to the batch as a whole.
+func (g *Guarded) callBatch(t *tier, be estimator.BatchEstimator, qs []*query.Query, budget time.Duration) ([]float64, error) {
 	type batchResult struct {
 		sels []float64
 		err  error
@@ -246,20 +326,21 @@ func (g *Guarded) callBatch(t *tier, be estimator.BatchEstimator, qs []*query.Qu
 		}
 		return batchResult{sels: sels}
 	}
-	if g.cfg.Timeout <= 0 {
+	if budget <= 0 {
 		res := run()
 		return res.sels, res.err
 	}
 	ch := make(chan batchResult, 1)
 	go func() { ch <- run() }()
-	timer := time.NewTimer(g.cfg.Timeout)
+	timer := time.NewTimer(budget)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
 		return res.sels, res.err
 	case <-timer.C:
 		t.timeouts.Add(1)
-		return nil, fmt.Errorf("guard: %s batch timed out after %v", be.Name(), g.cfg.Timeout)
+		watchAbandoned(t, ch)
+		return nil, fmt.Errorf("guard: %s batch timed out after %v", be.Name(), budget)
 	}
 }
 
@@ -268,12 +349,13 @@ func (g *Guarded) Stats() []EstimatorStats {
 	out := make([]EstimatorStats, len(g.tiers))
 	for i, t := range g.tiers {
 		out[i] = EstimatorStats{
-			Name:     t.est.Name(),
-			Served:   t.served.Load(),
-			Errors:   t.errors.Load(),
-			Panics:   t.panics.Load(),
-			Invalid:  t.invalid.Load(),
-			Timeouts: t.timeouts.Load(),
+			Name:      t.est.Name(),
+			Served:    t.served.Load(),
+			Errors:    t.errors.Load(),
+			Panics:    t.panics.Load(),
+			Invalid:   t.invalid.Load(),
+			Timeouts:  t.timeouts.Load(),
+			Abandoned: t.abandoned.Load(),
 		}
 	}
 	return out

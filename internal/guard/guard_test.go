@@ -1,6 +1,7 @@
 package guard
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -196,5 +197,99 @@ func TestGuardedName(t *testing.T) {
 	}
 	if !strings.Contains(g.String(), "served=") {
 		t.Fatalf("String() = %q", g.String())
+	}
+}
+
+// TestAbandonedGaugeReturnsToZero drives a timeout, observes the straggling
+// goroutine on the Abandoned gauge, and verifies the gauge drains once the
+// straggler delivers its (discarded) result.
+func TestAbandonedGaugeReturnsToZero(t *testing.T) {
+	g, err := New(Config{Timeout: 10 * time.Millisecond},
+		&faultinject.SlowEstimator{Label: "slow", Delay: 150 * time.Millisecond, Value: 0.9},
+		&faultinject.ConstEstimator{Label: "fast", Value: 0.1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel, err := g.Estimate(testQuery(t)); err != nil || sel != 0.1 {
+		t.Fatalf("got (%v, %v), want fast fallback 0.1", sel, err)
+	}
+	if st := g.Stats(); st[0].Abandoned != 1 {
+		t.Fatalf("Abandoned gauge right after timeout = %d, want 1 (straggler still sleeping)", st[0].Abandoned)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := g.Stats(); st[0].Abandoned == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Abandoned gauge did not return to zero; stats: %+v", g.Stats()[0])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := g.Stats(); st[0].Timeouts != 1 {
+		t.Fatalf("timeout counter = %d, want 1", st[0].Timeouts)
+	}
+}
+
+// TestEstimateCtxDeadlineSkipsToTerminalTier verifies context plumbing: an
+// already-expired deadline skips every non-terminal tier (counted as a
+// timeout) and the terminal tier still answers.
+func TestEstimateCtxDeadlineSkipsToTerminalTier(t *testing.T) {
+	slow := &faultinject.SlowEstimator{Label: "slow", Delay: time.Second, Value: 0.9}
+	g, err := New(Config{},
+		slow,
+		&faultinject.ConstEstimator{Label: "terminal", Value: 0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	sel, err := g.EstimateCtx(ctx, testQuery(t))
+	if err != nil || sel != 0.2 {
+		t.Fatalf("got (%v, %v), want terminal 0.2", sel, err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("expired deadline still waited %v on the slow tier", elapsed)
+	}
+	st := g.Stats()
+	if st[0].Timeouts != 1 || st[0].Served != 0 {
+		t.Fatalf("slow tier stats = %+v, want 1 timeout (skipped), 0 served", st[0])
+	}
+	if st[1].Served != 1 {
+		t.Fatalf("terminal tier stats = %+v, want 1 served", st[1])
+	}
+}
+
+// TestEstimateBatchCtxDeadlineCapsModelTier verifies that a near deadline
+// caps a non-terminal tier's budget below Config.Timeout in the batch path.
+func TestEstimateBatchCtxDeadlineCapsModelTier(t *testing.T) {
+	g, err := New(Config{Timeout: 10 * time.Second},
+		&faultinject.SlowEstimator{Label: "slow", Delay: 2 * time.Second, Value: 0.9},
+		&faultinject.ConstEstimator{Label: "terminal", Value: 0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	qs := []*query.Query{testQuery(t), testQuery(t)}
+	start := time.Now()
+	sels, err := g.EstimateBatchCtx(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("batch waited %v; ctx deadline did not cap the 10s tier timeout", elapsed)
+	}
+	for i, sel := range sels {
+		if sel != 0.3 {
+			t.Fatalf("query %d: got %v, want terminal 0.3", i, sel)
+		}
+	}
+	if st := g.Stats(); st[0].Timeouts != 2 {
+		t.Fatalf("slow tier timeouts = %d, want 2 (one per pending query)", st[0].Timeouts)
 	}
 }

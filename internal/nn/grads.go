@@ -30,6 +30,14 @@ type layerGrads struct {
 type Grads struct {
 	dEmbeds []*vecmath.Matrix
 	layers  []layerGrads // hidden layers in order, then the output layer
+
+	// Pre-bound vecmath.Do tasks. A func literal handed to Do escapes (Do
+	// may run it on a helper goroutine), so forming one per call would cost
+	// one heap allocation per Zero/reduce on the training hot path. Binding
+	// them once here keeps the steady-state batch loop allocation-free.
+	zeroTask   func(i int)
+	reduceTask func(i int)
+	reduceSrcs []*Grads // reduce operands, parked only for reduceTask's benefit
 }
 
 // NewGrads allocates a zeroed gradient accumulator shaped for n.
@@ -44,6 +52,8 @@ func (n *ResMADE) NewGrads() *Grads {
 			db: make([]float64, l.out),
 		})
 	}
+	g.zeroTask = g.zeroTensor
+	g.reduceTask = g.reduceTensor
 	return g
 }
 
@@ -55,18 +65,20 @@ func (g *Grads) tensorCount() int { return len(g.dEmbeds) + len(g.layers) }
 // vecmath worker pool; each task owns one tensor, so the result is exact
 // under every Parallelism setting.
 func (g *Grads) Zero() {
-	ne := len(g.dEmbeds)
-	vecmath.Do(g.tensorCount(), func(i int) {
-		if i < ne {
-			g.dEmbeds[i].Zero()
-			return
-		}
-		lg := &g.layers[i-ne]
-		lg.dw.Zero()
-		for j := range lg.db {
-			lg.db[j] = 0
-		}
-	})
+	vecmath.Do(g.tensorCount(), g.zeroTask)
+}
+
+// zeroTensor is the pre-bound Do task behind Zero: clear tensor i.
+func (g *Grads) zeroTensor(i int) {
+	if i < len(g.dEmbeds) {
+		g.dEmbeds[i].Zero()
+		return
+	}
+	lg := &g.layers[i-len(g.dEmbeds)]
+	lg.dw.Zero()
+	for j := range lg.db {
+		lg.db[j] = 0
+	}
 }
 
 // Norm returns the L2 norm of all accumulated gradients. NaN/Inf entries make
@@ -100,26 +112,32 @@ func (g *Grads) Norm() float64 {
 // source order is serial), so parallel execution is still exact. All Grads
 // must be shaped for n; srcs must be non-empty.
 func (n *ResMADE) ReduceGrads(dst *Grads, srcs ...*Grads) {
-	ne := len(dst.dEmbeds)
-	vecmath.Do(dst.tensorCount(), func(i int) {
-		if i < ne {
-			d := dst.dEmbeds[i].Data
-			copy(d, srcs[0].dEmbeds[i].Data)
-			for _, s := range srcs[1:] {
-				addInto(d, s.dEmbeds[i].Data)
-			}
-			return
-		}
-		li := i - ne
-		dw := dst.layers[li].dw.Data
-		db := dst.layers[li].db
-		copy(dw, srcs[0].layers[li].dw.Data)
-		copy(db, srcs[0].layers[li].db)
+	dst.reduceSrcs = srcs
+	vecmath.Do(dst.tensorCount(), dst.reduceTask)
+	dst.reduceSrcs = nil
+}
+
+// reduceTensor is the pre-bound Do task behind ReduceGrads: overwrite
+// tensor i of dst with the sum over reduceSrcs, strictly in source order.
+func (g *Grads) reduceTensor(i int) {
+	srcs := g.reduceSrcs
+	if i < len(g.dEmbeds) {
+		d := g.dEmbeds[i].Data
+		copy(d, srcs[0].dEmbeds[i].Data)
 		for _, s := range srcs[1:] {
-			addInto(dw, s.layers[li].dw.Data)
-			addInto(db, s.layers[li].db)
+			addInto(d, s.dEmbeds[i].Data)
 		}
-	})
+		return
+	}
+	li := i - len(g.dEmbeds)
+	dw := g.layers[li].dw.Data
+	db := g.layers[li].db
+	copy(dw, srcs[0].layers[li].dw.Data)
+	copy(db, srcs[0].layers[li].db)
+	for _, s := range srcs[1:] {
+		addInto(dw, s.layers[li].dw.Data)
+		addInto(db, s.layers[li].db)
+	}
 }
 
 func addInto(dst, src []float64) {

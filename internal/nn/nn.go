@@ -166,6 +166,14 @@ type ResMADE struct {
 	layers     []*maskedLinear
 	outLayer   *maskedLinear
 	step       int
+
+	// Pre-bound AdamStep task plus its per-step operands. A fresh func
+	// literal per step would escape into vecmath.Do's goroutines and cost an
+	// allocation every optimizer step; AdamStep is documented single-caller,
+	// so parking the operands on the network is race-free.
+	adamTask          func(i int)
+	adamLR, adamScale float64
+	adamG             *Grads
 }
 
 // MaskToken returns the input code representing "wildcard" for column i.
@@ -528,14 +536,21 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 // step, never concurrently.
 func (n *ResMADE) AdamStep(lr, scale float64, g *Grads) {
 	n.step++
-	step := n.step
-	ne := len(n.embeds)
-	layers := n.allLayers()
-	vecmath.Do(ne+len(layers), func(i int) {
-		if i < ne {
-			adamUpdate(n.embeds[i].Data, g.dEmbeds[i].Data, n.mEmb[i].Data, n.vEmb[i].Data, lr, step, scale)
-			return
-		}
-		layers[i-ne].adamStep(lr, step, scale, &g.layers[i-ne])
-	})
+	if n.adamTask == nil {
+		n.adamTask = n.adamTensor
+	}
+	n.adamLR, n.adamScale, n.adamG = lr, scale, g
+	vecmath.Do(len(n.embeds)+n.numLayers(), n.adamTask)
+	n.adamG = nil
+}
+
+// adamTensor is the pre-bound Do task behind AdamStep: update tensor i's
+// parameters and moments from the parked operands.
+func (n *ResMADE) adamTensor(i int) {
+	if i < len(n.embeds) {
+		adamUpdate(n.embeds[i].Data, n.adamG.dEmbeds[i].Data, n.mEmb[i].Data, n.vEmb[i].Data, n.adamLR, n.step, n.adamScale)
+		return
+	}
+	li := i - len(n.embeds)
+	n.layerAt(li).adamStep(n.adamLR, n.step, n.adamScale, &n.adamG.layers[li])
 }

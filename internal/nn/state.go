@@ -22,9 +22,22 @@ type TrainState struct {
 	Step    int
 }
 
-// allLayers returns the hidden layers followed by the output layer.
+// allLayers returns the hidden layers followed by the output layer. It
+// allocates a fresh slice; hot paths use numLayers/layerAt instead.
 func (n *ResMADE) allLayers() []*maskedLinear {
 	return append(append([]*maskedLinear(nil), n.layers...), n.outLayer)
+}
+
+// numLayers counts the hidden layers plus the output layer.
+func (n *ResMADE) numLayers() int { return len(n.layers) + 1 }
+
+// layerAt indexes the hidden layers followed by the output layer without
+// materializing the combined slice.
+func (n *ResMADE) layerAt(i int) *maskedLinear {
+	if i < len(n.layers) {
+		return n.layers[i]
+	}
+	return n.outLayer
 }
 
 // CaptureState deep-copies the current parameters and optimizer state.

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iam/internal/query"
+	"iam/internal/testutil"
+)
+
+// BenchmarkServeLatency measures end-to-end request latency through the full
+// serving pipeline — admission, dynamic batching, content-seeded cascade —
+// under GOMAXPROCS concurrent clients, and reports the p50/p95/p99 tail as
+// custom metrics (µs). cmd/benchjson lifts them into BENCH_serve.json as the
+// serving headline numbers.
+func BenchmarkServeLatency(b *testing.B) {
+	m, tbl := testModel(b)
+	w := testutil.Workload(b, tbl, query.GenConfig{NumQueries: 16, Seed: 110})
+	s, err := New(Config{
+		BatchWindow: 500 * time.Microsecond,
+		MaxBatch:    32,
+		MaxInFlight: 4,
+		QueueDepth:  1024,
+	}, tbl, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	var mu sync.Mutex
+	lats := make([]float64, 0, b.N)
+	var rr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]float64, 0, 256)
+		for pb.Next() {
+			q := w.Queries[int(rr.Add(1))%len(w.Queries)]
+			start := time.Now()
+			if _, err := s.Estimate(context.Background(), q); err != nil {
+				b.Error(err)
+				return
+			}
+			local = append(local, float64(time.Since(start).Nanoseconds())/1e3)
+		}
+		mu.Lock()
+		lats = append(lats, local...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Float64s(lats)
+	b.ReportMetric(quantile(lats, 0.50), "p50-us")
+	b.ReportMetric(quantile(lats, 0.95), "p95-us")
+	b.ReportMetric(quantile(lats, 0.99), "p99-us")
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

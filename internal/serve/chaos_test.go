@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iam/internal/core"
+	"iam/internal/dataset"
+	"iam/internal/guard/faultinject"
+	"iam/internal/query"
+	"iam/internal/testutil"
+)
+
+// TestChaosStorm is the fault-injection chaos harness of the robustness
+// issue: a server whose primary tier panics, returns NaN, errors and stalls
+// on a deterministic seeded schedule, with latency spikes injected into the
+// dispatch path and model versions swapped mid-flight — all while clients
+// hammer it concurrently. The invariants under assault:
+//
+//  1. never-invalid: every answered request carries a selectivity in [0,1];
+//  2. no deadlock: every accepted request is answered and Close drains;
+//  3. shed-not-OOM: overload surfaces as ErrOverloaded rejections against a
+//     bounded queue, never as unbounded buffering.
+//
+// Run it under -race: the mid-batch swaps and watchdog/batch answer races
+// are exactly where a torn read would hide.
+func TestChaosStorm(t *testing.T) {
+	defer faultinject.Reset()
+	_, tbl := testModel(t)
+	w := testutil.Workload(t, tbl, query.GenConfig{NumQueries: 16, Seed: 101})
+
+	chaos := func(seed uint64) *faultinject.ChaosEstimator {
+		return &faultinject.ChaosEstimator{
+			Seed:       seed,
+			Value:      0.5,
+			Delay:      8 * time.Millisecond,
+			ValidEvery: 3,
+		}
+	}
+	s, err := NewInjected(Config{
+		MaxBatch:         4,
+		BatchWindow:      time.Millisecond,
+		QueueDepth:       16,
+		MaxInFlight:      2,
+		TierTimeout:      25 * time.Millisecond,
+		DefaultDeadline:  150 * time.Millisecond,
+		ShedLatency:      20 * time.Millisecond,
+		RollbackMinCalls: 10,
+	}, tbl, chaos(1), &faultinject.ConstEstimator{Value: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Latency spikes on the dispatch path.
+	faultinject.ArmDelay(SiteDispatchLatency, 200, 2*time.Millisecond)
+
+	duration := 1500 * time.Millisecond
+	if testing.Short() {
+		duration = 400 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var answered, rejectedCount, invalid atomic.Uint64
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := w.Queries[(c+i)%len(w.Queries)]
+				res, err := s.Estimate(context.Background(), q)
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					rejectedCount.Add(1)
+					time.Sleep(s.RetryAfter() / 10)
+				case errors.Is(err, ErrClosed):
+					return
+				case err != nil:
+					t.Errorf("client %d: unexpected error: %v", c, err)
+					return
+				default:
+					answered.Add(1)
+					if !(res.Selectivity >= 0 && res.Selectivity <= 1) {
+						invalid.Add(1)
+						t.Errorf("client %d: invalid selectivity %v (source %q, v%d)",
+							c, res.Selectivity, res.Source, res.Version)
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Mid-batch swapper: new chaos versions land while batches are in
+	// flight; the rollback monitor may bounce some of them back.
+	swapSeed := uint64(2)
+	swapTick := time.NewTicker(40 * time.Millisecond)
+	defer swapTick.Stop()
+swapLoop:
+	for deadline := time.After(duration); ; {
+		select {
+		case <-swapTick.C:
+			swapSeed++
+			if _, err := s.SwapInjected(chaos(swapSeed), &faultinject.ConstEstimator{Value: 0.2}); err != nil {
+				t.Errorf("swap: %v", err)
+			}
+		case <-deadline:
+			break swapLoop
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after chaos: %v", err)
+	}
+	if _, err := s.Estimate(context.Background(), w.Queries[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close error = %v, want ErrClosed", err)
+	}
+	if answered.Load() == 0 {
+		t.Fatal("chaos storm answered zero requests")
+	}
+	if invalid.Load() != 0 {
+		t.Fatalf("%d invalid selectivities leaked", invalid.Load())
+	}
+	st := s.Stats()
+	if st.QueueLen != 0 || st.InFlight != 0 {
+		t.Fatalf("drain left queue_len=%d in_flight=%d", st.QueueLen, st.InFlight)
+	}
+	t.Logf("chaos: answered=%d rejected=%d swaps=%d rollbacks=%d shed=%d deadlineFB=%d",
+		answered.Load(), rejectedCount.Load(), st.Swaps, st.Rollbacks, st.ShedServed, st.DeadlineFallbacks)
+}
+
+// TestConcurrentSwapDeterminism is the satellite -race stress: while model
+// versions hot-swap under load, any two answers produced by the *same*
+// version's batch path for the same query must be bit-identical — the
+// content-seeded batcher guarantees it no matter how the batches formed.
+func TestConcurrentSwapDeterminism(t *testing.T) {
+	m, tbl := testModel(t)
+	w := testutil.Workload(t, tbl, query.GenConfig{NumQueries: 6, Seed: 102})
+	s, err := New(Config{BatchWindow: time.Millisecond, MaxBatch: 8, MaxInFlight: 2}, tbl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+
+	type key struct {
+		version int
+		query   int
+	}
+	seen := make(map[key]float64)
+	var seenMu sync.Mutex
+
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	stop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(15 * time.Millisecond):
+				clone := cloneModel(t, m, tbl)
+				if clone == nil {
+					return
+				}
+				if _, err := s.Swap(clone); err != nil {
+					t.Errorf("swap: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (c + i) % len(w.Queries)
+				res, err := s.Estimate(context.Background(), w.Queries[qi])
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				if res.Source != SourceBatch {
+					continue // fallback answers are a different (also deterministic) function
+				}
+				k := key{version: res.Version, query: qi}
+				seenMu.Lock()
+				prev, ok := seen[k]
+				if !ok {
+					seen[k] = res.Selectivity
+				}
+				seenMu.Unlock()
+				if ok && prev != res.Selectivity {
+					t.Errorf("version %d query %d: %v then %v — same version diverged",
+						k.version, k.query, prev, res.Selectivity)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	swapWG.Wait()
+	if len(seen) == 0 {
+		t.Fatal("no batch-path answers recorded")
+	}
+	if st := s.Stats(); st.Swaps == 0 {
+		t.Fatal("stress ran without a single swap")
+	}
+}
+
+// cloneModel round-trips m through Save/Load — an independent copy with
+// identical parameters.
+func cloneModel(t *testing.T, m *core.Model, tbl *dataset.Table) *core.Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Errorf("clone save: %v", err)
+		return nil
+	}
+	clone, err := core.Load(&buf, tbl)
+	if err != nil {
+		t.Errorf("clone load: %v", err)
+		return nil
+	}
+	return clone
+}

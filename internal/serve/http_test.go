@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iam/internal/guard/faultinject"
+)
+
+func postEstimate(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPEstimateRoundTrip(t *testing.T) {
+	m, tbl := testModel(t)
+	s, err := New(Config{BatchWindow: time.Millisecond}, tbl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postEstimate(t, ts.URL, `{"query": "latitude <= 40", "deadline_ms": 2000}`)
+	defer func() { _ = resp.Body.Close() }() //lint:ignore errwrap response body
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Selectivity < 0 || er.Selectivity > 1 {
+		t.Fatalf("selectivity %v out of range", er.Selectivity)
+	}
+	if er.Version != 1 || er.Source == "" {
+		t.Fatalf("provenance missing: %+v", er)
+	}
+
+	// Malformed query → 400 with a JSON error body.
+	resp = postEstimate(t, ts.URL, `{"query": "no_such_column <= 40"}`)
+	defer func() { _ = resp.Body.Close() }() //lint:ignore errwrap response body
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d, want 400", resp.StatusCode)
+	}
+	var ee errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ee); err != nil || ee.Error == "" {
+		t.Fatalf("bad query error body: %+v, %v", ee, err)
+	}
+
+	// Malformed JSON → 400.
+	resp = postEstimate(t, ts.URL, `{"query": `)
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", resp.StatusCode)
+	}
+
+	// GET on /estimate → 405 via the method-scoped mux pattern.
+	getResp, err := http.Get(ts.URL + "/estimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := getResp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /estimate status = %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndStatsLifecycle(t *testing.T) {
+	m, tbl := testModel(t)
+	s, err := New(Config{BatchWindow: time.Millisecond}, tbl, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// Serve one request so /stats has something to report.
+	er := postEstimate(t, ts.URL, `{"query": "latitude <= 40"}`)
+	if err := er.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get("/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats not valid JSON: %v\n%s", err, body)
+	}
+	if st.Accepted == 0 || st.Version != 1 || len(st.Cascade) == 0 {
+		t.Fatalf("stats snapshot incomplete: %+v", st)
+	}
+
+	// Draining: healthz flips to 503, estimate refuses with 503.
+	mustClose(t, s)
+	resp, _ = get("/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	resp = postEstimate(t, ts.URL, `{"query": "latitude <= 40"}`)
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-close estimate status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPOverloadSetsRetryAfter(t *testing.T) {
+	_, tbl := testModel(t)
+	// A server whose queue drains slowly: single batch slot, slow primary —
+	// fill it, then expect 429 + Retry-After.
+	s, err := NewInjected(Config{
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+		QueueDepth:  1,
+		MaxInFlight: 1,
+		RetryAfter:  1500 * time.Millisecond,
+	}, tbl, &faultinject.SlowEstimator{Delay: 700 * time.Millisecond, Value: 0.5},
+		&faultinject.ConstEstimator{Value: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := s.Handler()
+
+	// Saturate: one request occupies the dispatcher for 700ms, one waits on
+	// the in-flight slot, one fills the queue. The probe below lands while
+	// all three are still stuck, so rejection is deterministic.
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			r := httptest.NewRequest("POST", "/estimate", strings.NewReader(`{"query": "latitude <= 40"}`))
+			handler.ServeHTTP(httptest.NewRecorder(), r)
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	r := httptest.NewRequest("POST", "/estimate", strings.NewReader(`{"query": "latitude <= 40"}`))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, r)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("probe against a saturated server got %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (1.5s rounded up)", ra, "2")
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	mustClose(t, s)
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"iam/internal/core"
+)
+
+// StartTraining launches background (re)training and hot-swaps the result
+// into the serving path: every swapEvery completed epochs the in-training
+// model is cloned (serialize → deserialize, so the served copy shares no
+// mutable state with the trainer) and installed as a new version, and the
+// finished model is swapped in once training completes. cfg flows straight
+// into core.TrainContext, so the PR 1 checkpoint machinery works unchanged:
+// set cfg.CheckpointPath/cfg.Resume and an interrupted retrain resumes from
+// its last epoch. swapEvery ≤ 0 swaps only the final model.
+//
+// The returned channel receives the terminal error (nil on success) exactly
+// once. Close cancels training — the context cancellation flushes the
+// epoch checkpoint — and waits for this loop to exit.
+func (s *Server) StartTraining(ctx context.Context, cfg core.Config, swapEvery int) (<-chan error, error) {
+	if s.table == nil {
+		return nil, fmt.Errorf("serve: StartTraining needs a server built over a table")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.swapMu.Lock()
+	if s.trainCancel != nil {
+		s.swapMu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("serve: training already running")
+	}
+	s.trainCancel = cancel
+	s.swapMu.Unlock()
+
+	errc := make(chan error, 1)
+	s.trainWG.Add(1)
+	go func() {
+		defer s.trainWG.Done()
+		defer func() {
+			s.swapMu.Lock()
+			s.trainCancel = nil
+			s.swapMu.Unlock()
+			cancel()
+		}()
+		errc <- s.trainLoop(ctx, cfg, swapEvery)
+	}()
+	return errc, nil
+}
+
+func (s *Server) trainLoop(ctx context.Context, cfg core.Config, swapEvery int) error {
+	userHook := cfg.OnEpoch
+	var swapErr error
+	cfg.OnEpoch = func(epoch int, m *core.Model, gmmNLL, arNLL float64) bool {
+		if userHook != nil && !userHook(epoch, m, gmmNLL, arNLL) {
+			return false
+		}
+		if swapEvery > 0 && epoch%swapEvery == 0 {
+			if err := s.swapClone(m); err != nil {
+				// Serving continues on the old version; stop training so
+				// the operator sees the fault instead of a silent stall.
+				swapErr = err
+				return false
+			}
+		}
+		return true
+	}
+	m, err := core.TrainContext(ctx, s.table, cfg)
+	if swapErr != nil {
+		return swapErr
+	}
+	if errors.Is(err, context.Canceled) {
+		// Shutdown-triggered: the checkpoint (if configured) holds the last
+		// completed epoch; not a failure.
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: background training: %w", err)
+	}
+	// Training is done, so the final model has no concurrent writer and can
+	// be served directly — no clone needed.
+	if _, err := s.Swap(m); err != nil {
+		return err
+	}
+	return nil
+}
+
+// swapClone installs a snapshot of a still-training model: a Save/Load
+// round-trip yields an independent copy, so the trainer keeps mutating its
+// own parameters while the clone serves.
+func (s *Server) swapClone(m *core.Model) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return fmt.Errorf("serve: snapshot for swap: %w", err)
+	}
+	clone, err := core.Load(&buf, s.table)
+	if err != nil {
+		return fmt.Errorf("serve: reload snapshot for swap: %w", err)
+	}
+	if _, err := s.Swap(clone); err != nil {
+		return err
+	}
+	return nil
+}
