@@ -11,7 +11,7 @@ BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMat
 TRAIN_BENCH_PATTERN = ^BenchmarkTrainJoint$$
 SERVE_BENCH_PATTERN = ^BenchmarkServeLatency$$
 
-.PHONY: build test test-short lint lint-warn lint-fix lint-json vet bench-json clean
+.PHONY: build test test-short lint lint-warn lint-fix lint-json lint-graph noalloc-check vet bench-json clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,18 @@ lint-fix:
 # lint-json emits machine-readable diagnostics (used by CI artifacts).
 lint-json:
 	$(GO) run ./cmd/iamlint -json -severity=warn ./...
+
+# lint-graph dumps the module's static call graph and lock-order graph as
+# DOT, for eyeballing what the interprocedural analyzers reason over.
+lint-graph:
+	$(GO) run ./cmd/iamlint -graph=call > callgraph.dot
+	$(GO) run ./cmd/iamlint -graph=lock > lockgraph.dot
+	@echo "wrote callgraph.dot lockgraph.dot"
+
+# noalloc-check cross-checks the noalloc analyzer against the compiler's
+# escape analysis (go build -gcflags=-m=2); see cmd/noalloccheck.
+noalloc-check:
+	$(GO) run ./cmd/noalloccheck
 
 # bench-json runs the estimation benchmarks (EstimateBatch worker scaling,
 # ResMADE forward, matmul kernels) into BENCH_estimate.json, the

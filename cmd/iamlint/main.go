@@ -20,6 +20,10 @@
 //	-cache auto|off|PATH  fact cache location (default auto:
 //	                      <modroot>/.iamlint/cache.json); warm runs of an
 //	                      unchanged tree skip loading entirely
+//	-strict-baseline      report stale baseline entries at error severity,
+//	                      so CI fails until the baseline file is re-trimmed
+//	-graph call|lock      dump the module's static call graph or lock-order
+//	                      graph as DOT on stdout and exit (make lint-graph)
 //	-json                 emit diagnostics as a JSON array on stdout
 //	-checks a,b           run a subset of checks (disables the cache)
 //	-list                 list available checks and exit
@@ -70,6 +74,8 @@ func run() int {
 	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to subtract")
 	writeBaseline := flag.String("write-baseline", "", "write the current findings to this baseline file and exit")
 	cacheMode := flag.String("cache", "auto", "fact cache: auto, off, or an explicit path")
+	graph := flag.String("graph", "", "dump a DOT graph and exit: call (static call graph) or lock (lock-order graph)")
+	strictBaseline := flag.Bool("strict-baseline", false, "report stale baseline entries at error severity (CI mode)")
 	verbose := flag.Bool("v", false, "print cache statistics to stderr")
 	flag.Parse()
 
@@ -119,6 +125,25 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
 		return 2
 	}
+
+	if *graph != "" {
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
+			return 2
+		}
+		m := lint.BuildModuleFacts(pkgs)
+		switch *graph {
+		case "call":
+			fmt.Print(m.CallGraphDOT())
+		case "lock":
+			fmt.Print(m.LockGraphDOT())
+		default:
+			fmt.Fprintf(os.Stderr, "iamlint: -graph must be call or lock, got %q\n", *graph)
+			return 2
+		}
+		return 0
+	}
 	cachePath := ""
 	if cacheEnabled {
 		switch *cacheMode {
@@ -155,7 +180,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
 			return 2
 		}
-		diags = lint.ApplyBaseline(loader.ModRoot, diags, entries)
+		if *strictBaseline {
+			diags = lint.ApplyBaselineStrict(loader.ModRoot, diags, entries)
+		} else {
+			diags = lint.ApplyBaseline(loader.ModRoot, diags, entries)
+		}
 	}
 
 	if *fix {

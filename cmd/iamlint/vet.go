@@ -53,7 +53,7 @@ func maybeRunVetMode(args []string) (code int, handled bool) {
 		if a == "-V=full" || a == "--V=full" {
 			// The go tool folds this line into its cache key; it only needs
 			// to be stable for a given tool build.
-			fmt.Println("iamlint version 2")
+			fmt.Println("iamlint version 3")
 			return 0, true
 		}
 		if a == "-flags" || a == "--flags" {

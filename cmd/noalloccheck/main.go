@@ -1,0 +1,142 @@
+// Command noalloccheck cross-checks the iamlint noalloc analyzer against
+// the compiler's escape analysis.
+//
+// iamlint's noalloc check is a types-based heuristic: it recognizes
+// allocation forms (make, append, composite literals, closures, boxing) and
+// module-internal calls that reach them, but it cannot see heap allocations
+// that arise inside dynamic calls or from compiler decisions. The compiler's
+// escape analysis (`go build -gcflags=<pkg>=-m=2`) is the ground truth for
+// "this expression is heap-allocated" — but it runs per build, knows nothing
+// about iam:noalloc regions, and reports a superset of noise (inlining
+// notes, parameter leaks).
+//
+// noalloccheck joins the two: it loads the module with iamlint's own loader,
+// collects every iam:noalloc function's source extent, rebuilds each
+// package containing one with -m=2, and fails when the compiler reports an
+// "escapes to heap" / "moved to heap" note inside a noalloc region that is
+// neither suppressed in place (//lint:ignore noalloc <reason>) nor already
+// an iamlint finding. CI runs it next to the lint gate, so the heuristic
+// and the compiler cannot silently drift apart.
+//
+// Exit codes: 0 clean, 1 unaccounted escape notes, 2 load/build failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"iam/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// noteRE matches one compiler diagnostic line: "file.go:line:col: message".
+// -m=2 flow-explanation lines reuse the same prefix with an indented
+// message, which the indent check below filters out.
+var noteRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func run() int {
+	verbose := flag.Bool("v", false, "print per-package note statistics to stderr")
+	flag.Parse()
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noalloccheck: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noalloccheck: %v\n", err)
+		return 2
+	}
+	audit := lint.BuildNoAllocAudit(pkgs, lint.BuildModuleFacts(pkgs))
+	if len(audit.Regions) == 0 {
+		fmt.Fprintln(os.Stderr, "noalloccheck: no iam:noalloc functions in module")
+		return 0
+	}
+
+	paths := map[string]bool{}
+	for _, r := range audit.Regions {
+		paths[r.PkgPath] = true
+	}
+	targets := make([]string, 0, len(paths))
+	for p := range paths {
+		targets = append(targets, p)
+	}
+	sort.Strings(targets)
+
+	var violations []string
+	checked := 0
+	for _, pkg := range targets {
+		// Scoping -m=2 to the one package keeps the note volume proportional
+		// to what we audit; the build cache replays compiler diagnostics, so
+		// warm re-runs stay cheap.
+		cmd := exec.Command("go", "build", "-gcflags="+pkg+"=-m=2", pkg)
+		cmd.Dir = loader.ModRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noalloccheck: go build %s: %v\n%s", pkg, err, out)
+			return 2
+		}
+		notes := 0
+		for _, line := range strings.Split(string(out), "\n") {
+			m := noteRE.FindStringSubmatch(line)
+			if m == nil || strings.HasPrefix(m[4], " ") {
+				continue // package header, or an indented flow explanation
+			}
+			msg := m[4]
+			if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+				continue
+			}
+			if strings.Contains(msg, "leaking param") {
+				continue // a leak is the caller's allocation, not this site's
+			}
+			if strings.HasPrefix(msg, `"`) || strings.HasPrefix(msg, "`") {
+				// A string literal "escaping" into an interface (panic
+				// argument, constant format string) is materialized as
+				// read-only static data, not a runtime allocation — the
+				// same exemption the iamlint heuristic grants constants.
+				continue
+			}
+			file := m[1]
+			if !filepath.IsAbs(file) {
+				file = filepath.Join(loader.ModRoot, file)
+			}
+			lineNo, _ := strconv.Atoi(m[2])
+			notes++
+			region, ok := audit.RegionAt(file, lineNo)
+			if !ok {
+				continue
+			}
+			checked++
+			if audit.AccountedFor(file, lineNo) {
+				continue
+			}
+			violations = append(violations,
+				fmt.Sprintf("%s:%s: %s (inside iam:noalloc %s)", m[1], m[2], msg, region.ID))
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "noalloccheck: %s: %d escape note(s)\n", pkg, notes)
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "noalloccheck: %d escape note(s) inside iam:noalloc functions not accounted for by iamlint\n", len(violations))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "noalloccheck: %d package(s), %d region(s), %d in-region note(s), all accounted for\n",
+		len(targets), len(audit.Regions), checked)
+	return 0
+}

@@ -198,18 +198,31 @@ func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rn
 // per-query streams.
 func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) ([]float64, error) {
 	nq := len(consList)
+	if err := m.checkArity(consList); err != nil {
+		return nil, err
+	}
 	sc := NewEstimateScratch()
 	sc.ensure(nq, numSamples, len(m.Cards), maxCard(m.Cards))
 	for qi := range sc.rngs {
 		sc.rngs[qi] = rng
 	}
-	res, err := m.estimateBatchInto(sess, sc, consList, numSamples)
-	if err != nil {
-		return nil, err
-	}
+	res := m.estimateBatchInto(sess, sc, consList, numSamples)
 	out := make([]float64, nq)
 	copy(out, res)
 	return out, nil
+}
+
+// checkArity validates that every constraint list covers each AR column
+// exactly once. Kept out of estimateBatchInto so the sampling core stays
+// allocation-free (the error construction is the only heap traffic).
+func (m *Model) checkArity(consList [][]Constraint) error {
+	nCols := len(m.Cards)
+	for _, cons := range consList {
+		if len(cons) != nCols {
+			return fmt.Errorf("ar: constraint list has %d entries for %d columns", len(cons), nCols)
+		}
+	}
+	return nil
 }
 
 // EstimateBatchScratch is EstimateBatch on caller-owned scratch buffers with
@@ -221,23 +234,24 @@ func (m *Model) EstimateBatchScratch(sess *nn.Session, sc *EstimateScratch, cons
 	if len(seeds) != len(consList) {
 		return nil, fmt.Errorf("ar: %d seeds for %d queries", len(seeds), len(consList))
 	}
+	if err := m.checkArity(consList); err != nil {
+		return nil, err
+	}
 	sc.ensure(len(consList), numSamples, len(m.Cards), maxCard(m.Cards))
 	sc.seed(seeds)
-	return m.estimateBatchInto(sess, sc, consList, numSamples)
+	return m.estimateBatchInto(sess, sc, consList, numSamples), nil
 }
 
 // estimateBatchInto is the progressive-sampling core shared by EstimateBatch
 // and EstimateBatchScratch. sc must already be sized by ensure and have
-// sc.rngs populated. It performs no heap allocation beyond what Constraint
-// implementations allocate (the built-in ones allocate nothing).
-func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int) ([]float64, error) {
+// sc.rngs populated; consList must already be arity-checked (checkArity).
+// It performs no heap allocation beyond what Constraint implementations
+// allocate (the built-in ones allocate nothing).
+//
+// iam:noalloc
+func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int) []float64 {
 	nCols := len(m.Cards)
 	nq := len(consList)
-	for _, cons := range consList {
-		if len(cons) != nCols {
-			return nil, fmt.Errorf("ar: constraint list has %d entries for %d columns", len(cons), nCols)
-		}
-	}
 
 	rows := sc.rows
 	for i := range rows {
@@ -263,6 +277,7 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 			if cons[c] == nil {
 				continue
 			}
+			//lint:ignore noalloc sc.subQs is pre-sized to nq by ensure; append reuses retained capacity
 			subQs = append(subQs, qi)
 			for s := 0; s < numSamples; s++ {
 				ri := qi*numSamples + s
@@ -271,6 +286,7 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 					continue
 				}
 				sc.subPos[ri] = len(subRows)
+				//lint:ignore noalloc sc.subRows is pre-sized to nq·numSamples by ensure; append reuses retained capacity
 				subRows = append(subRows, rows[ri])
 			}
 		}
@@ -322,7 +338,7 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 		}
 		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
 	}
-	return out, nil
+	return out
 }
 
 // bsearchMinCard is the domain size above which the categorical draw switches
@@ -335,6 +351,8 @@ const bsearchMinCard = 64
 // to or past the total mass. Small domains scan linearly; larger ones binary
 // search the prefix sums. Both paths pick identical indices because the scan
 // compares u against the same accumulation chain cdf stores.
+//
+// iam:noalloc
 func pickCategorical(d, cdf []float64, u float64) int {
 	card := len(d)
 	if card <= bsearchMinCard {

@@ -244,6 +244,8 @@ type Model struct {
 	// §5.2 mass-preprocessing refresh, Save, and the aggregate paths that
 	// mutate the shared session and estRNG below — hold the write side.
 	// Lock order: mu before poolMu/cacheMu; never the reverse.
+	//
+	// iam:lockorder Model.mu > Model.poolMu/Model.cacheMu
 	mu        sync.RWMutex
 	sess      *nn.Session // iam:guardedby mu
 	sessCap   int         // iam:guardedby mu
@@ -369,6 +371,8 @@ func TrainContext(ctx context.Context, t *dataset.Table, cfg Config) (*Model, er
 }
 
 // encodeRow writes the AR codes of table row ri into dst.
+//
+// iam:noalloc
 func (m *Model) encodeRow(ri int, dst []int) error {
 	for ci := range m.cols {
 		info := &m.cols[ci]
@@ -399,6 +403,8 @@ func (m *Model) encodeRow(ri int, dst []int) error {
 // encoder is built from the very column it encodes, so an error here means
 // the table mutated underneath the model — reported, not panicked, so one
 // bad row cannot kill a whole training run.
+//
+// iam:noalloc
 func (m *Model) rawCode(ci, ri int) (int, error) {
 	c := m.table.Columns[ci]
 	if c.Kind == dataset.Categorical {
@@ -406,6 +412,7 @@ func (m *Model) rawCode(ci, ri int) (int, error) {
 	}
 	code, err := m.cols[ci].enc.EncodeFloat(c.Floats[ri])
 	if err != nil {
+		//lint:ignore noalloc cold encode-failure path, only taken when the table mutated under the model
 		return 0, fmt.Errorf("core: encoding column %q row %d: %w", c.Name, ri, err)
 	}
 	return code, nil

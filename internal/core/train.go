@@ -93,6 +93,7 @@ func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
 // batch — shard s belongs to worker s mod nw — so none of this needs locks.
 type trainShard struct {
 	sess    *nn.Session
+	grads   *nn.Grads // the session's accumulator, materialized at build time
 	dLogits *vecmath.Matrix
 	dlView  vecmath.Matrix // reusable view header over dLogits
 	inputs  [][]int
@@ -115,6 +116,12 @@ type trainEngine struct {
 	shards []*trainShard
 	master *nn.Grads   // fixed-order reduction target fed to AdamStep
 	srcs   []*nn.Grads // per-batch reduce argument scratch
+	// wg joins both per-batch fan-outs (GMM columns, then AR shards — the
+	// phases are sequential, so one group suffices). It lives on the engine
+	// because a `var wg` local is moved to the heap by the closure captures,
+	// a fresh allocation every batch that `-gcflags=-m=2` flagged inside
+	// this iam:noalloc region (cmd/noalloccheck).
+	wg sync.WaitGroup
 
 	gmmCols []int       // indices of kindGMM columns, in column order
 	gmmVals [][]float64 // per-GMM-column gather scratch (satellite: was a per-batch alloc)
@@ -129,7 +136,7 @@ func (m *Model) newTrainEngine() *trainEngine {
 		m:      m,
 		nw:     m.trainWorkerCount(maxShards),
 		master: m.arm.Net.NewGrads(),
-		srcs:   make([]*nn.Grads, 0, maxShards),
+		srcs:   make([]*nn.Grads, maxShards),
 	}
 	for s := 0; s < maxShards; s++ {
 		sh := &trainShard{
@@ -139,6 +146,9 @@ func (m *Model) newTrainEngine() *trainEngine {
 			targets: makeRows(trainShardRows, nAR),
 			maskIdx: make([]int, nAR),
 		}
+		// Materialize the session's lazy gradient accumulator here so the
+		// per-batch hot loop never takes the first-use allocation path.
+		sh.grads = sh.sess.Grads()
 		sh.intn = sh.rng.intn
 		eng.shards = append(eng.shards, sh)
 	}
@@ -168,6 +178,8 @@ func (eng *trainEngine) gmmStep(gi int, batchIdx []int) {
 // the (already stepped) GMM assignments, draw wildcard masks from the
 // per-row streams, forward, cross-entropy and — unless the loss came back
 // non-finite — backward into the shard's own gradient accumulator.
+//
+// iam:noalloc
 func (eng *trainEngine) runShard(s, epoch, startRow int, batchIdx []int) {
 	m := eng.m
 	sh := eng.shards[s]
@@ -208,6 +220,8 @@ func (eng *trainEngine) runShard(s, epoch, startRow int, batchIdx []int) {
 // batch's summed GMM and AR NLL contributions and whether the step diverged
 // (non-finite loss or exploding gradient — the update is then skipped).
 // The caller holds m.mu on the write side.
+//
+// iam:noalloc
 func (eng *trainEngine) runBatch(epoch, startRow int, batchIdx []int, lrScale float64) (gmmNLL, arNLL float64, diverged bool, err error) {
 	m := eng.m
 	cfg := m.cfg
@@ -223,16 +237,16 @@ func (eng *trainEngine) runBatch(epoch, startRow int, batchIdx []int, lrScale fl
 			eng.gmmStep(gi, batchIdx)
 		}
 	} else if len(eng.gmmCols) > 0 {
-		var wg sync.WaitGroup
 		for gi := 1; gi < len(eng.gmmCols); gi++ {
-			wg.Add(1)
+			eng.wg.Add(1)
+			//lint:ignore noalloc deliberate per-batch fan-out; one goroutine per GMM column amortizes its spawn over a full SGD step
 			go func(gi int) {
-				defer wg.Done()
+				defer eng.wg.Done()
 				eng.gmmStep(gi, batchIdx)
 			}(gi)
 		}
 		eng.gmmStep(0, batchIdx)
-		wg.Wait()
+		eng.wg.Wait()
 	}
 	for _, l := range eng.gmmLoss {
 		gmmNLL += l * float64(b)
@@ -250,25 +264,30 @@ func (eng *trainEngine) runBatch(epoch, startRow int, batchIdx []int, lrScale fl
 			eng.runShard(s, epoch, startRow, batchIdx)
 		}
 	} else {
-		var wg sync.WaitGroup
+		// nw is passed as an argument: a captured local that is assigned in
+		// this function would be moved to the heap once per batch.
 		for w := 1; w < nw; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
+			eng.wg.Add(1)
+			//lint:ignore noalloc deliberate per-batch fan-out; one goroutine per worker amortizes its spawn over a full shard chain
+			go func(w, nw int) {
+				defer eng.wg.Done()
 				for s := w; s < nShards; s += nw {
 					eng.runShard(s, epoch, startRow, batchIdx)
 				}
-			}(w)
+			}(w, nw)
 		}
 		for s := 0; s < nShards; s += nw {
 			eng.runShard(s, epoch, startRow, batchIdx)
 		}
-		wg.Wait()
+		eng.wg.Wait()
 	}
 
 	// Phase 3: join, fixed-order reduce, single optimizer step. Shard NLLs
-	// and gradients are folded strictly in shard order.
-	eng.srcs = eng.srcs[:0]
+	// and gradients are folded strictly in shard order. srcs is a fixed
+	// build-time slice written by index: no append growth, and the shard
+	// accumulators were materialized at engine construction, so this loop
+	// performs no heap allocation.
+	nOK := 0
 	for s := 0; s < nShards; s++ {
 		sh := eng.shards[s]
 		if sh.err != nil {
@@ -276,14 +295,15 @@ func (eng *trainEngine) runBatch(epoch, startRow int, batchIdx []int, lrScale fl
 		}
 		arNLL += sh.nll
 		if sh.ok {
-			eng.srcs = append(eng.srcs, sh.sess.Grads())
+			eng.srcs[nOK] = sh.grads
+			nOK++
 		}
 	}
-	if !isFinite(arNLL) || len(eng.srcs) != nShards {
+	if !isFinite(arNLL) || nOK != nShards {
 		return gmmNLL, arNLL, true, nil
 	}
 	net := m.arm.Net
-	net.ReduceGrads(eng.master, eng.srcs...)
+	net.ReduceGrads(eng.master, eng.srcs[:nOK]...)
 	if cfg.MaxGradNorm > 0 {
 		if gn := eng.master.Norm(); gn > cfg.MaxGradNorm || math.IsNaN(gn) {
 			return gmmNLL, arNLL, true, nil

@@ -30,10 +30,13 @@ func BuildEncoder(c *Column) *ColumnEncoder {
 
 // EncodeFloat returns the code of a continuous value. The value must occur in
 // the column the encoder was built from.
+//
+// iam:noalloc
 func (e *ColumnEncoder) EncodeFloat(v float64) (int, error) {
 	i := sort.SearchFloat64s(e.vals, v)
 	//lint:ignore floateq domain membership over exactly stored values; a near-miss is out of domain by definition
 	if i >= len(e.vals) || e.vals[i] != v {
+		//lint:ignore noalloc cold out-of-domain path, never taken while the table matches the encoder
 		return 0, fmt.Errorf("dataset: value %v not in domain of column %q", v, e.Name)
 	}
 	return i, nil

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// atomicver enforces immutability of structs published through
+// sync/atomic.Pointer[T]. The whole point of the atomic-pointer pattern (the
+// server's `cur atomic.Pointer[version]`) is that readers load a pointer and
+// use the struct without synchronization — which is only sound if nobody
+// mutates the struct after it is published. The analyzer collects every type
+// T that appears as an atomic.Pointer[T] type argument anywhere in the
+// module and reports any write to a field of such a struct, wherever it
+// occurs, unless:
+//
+//   - the written value was freshly constructed in the writing function
+//     (composite literal / new) — construction before publication is the
+//     intended pattern; or
+//   - the field is annotated `iam:guardedby <mutex>` — then mutation is a
+//     declared, mutex-mediated exception and guardedby enforces the holding.
+//
+// When every unguarded write to a field happens while the same sibling
+// mutex is held, the fix is mechanical: a warn-severity companion
+// diagnostic at the field declaration carries a suggested `iam:guardedby`
+// annotation for `-fix`.
+var AnalyzerAtomicVer = &Analyzer{
+	Name:      "atomicver",
+	Doc:       "structs published via atomic.Pointer[T] are immutable after construction unless the field is `iam:guardedby` a mutex",
+	RunModule: runAtomicVer,
+}
+
+func runAtomicVer(m *ModuleFacts) []Diagnostic {
+	published := map[string]bool{}
+	guarded := map[string]string{}
+	fields := map[string]FieldFact{} // "Type.field" -> decl fact
+	for _, pf := range m.Pkgs {
+		for _, cls := range pf.Published {
+			published[cls] = true
+		}
+		for k, v := range pf.Guarded {
+			guarded[k] = v
+		}
+		for _, f := range pf.Fields {
+			fields[f.Type+"."+f.Field] = f
+		}
+	}
+	if len(published) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	type fkey struct{ typ, field string }
+	unguardedWrites := map[fkey][]WriteFact{}
+
+	var ids []string
+	for _, pf := range m.Pkgs {
+		for _, ff := range pf.Funcs {
+			ids = append(ids, ff.ID)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ff := m.Func(id)
+		for _, w := range ff.Writes {
+			if !published[w.Type] || w.Fresh {
+				continue
+			}
+			if _, ok := guarded[w.Type+"."+w.Field]; ok {
+				continue // declared exception; guardedby checks the holding
+			}
+			out = append(out, mdiag("atomicver", w.Pos,
+				"write to %s.%s after construction: %s is published via atomic.Pointer and must be immutable; build a new value instead, or declare the field `iam:guardedby <mutex>` (in %s)",
+				shortType(w.Type), w.Field, shortType(w.Type), id))
+			unguardedWrites[fkey{w.Type, w.Field}] = append(unguardedWrites[fkey{w.Type, w.Field}], w)
+		}
+	}
+
+	// Mechanical fix: when every unguarded write to a field holds the same
+	// sibling mutex, suggest annotating the field. The companion diagnostic
+	// sits at the field declaration so the fix edits the file it names.
+	keys := make([]fkey, 0, len(unguardedWrites))
+	for k := range unguardedWrites {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].typ != keys[j].typ {
+			return keys[i].typ < keys[j].typ
+		}
+		return keys[i].field < keys[j].field
+	})
+	for _, k := range keys {
+		ws := unguardedWrites[k]
+		common := commonMutex(ws)
+		if common == "" {
+			continue
+		}
+		fd, ok := fields[k.typ+"."+k.field]
+		if !ok || fd.HasComment {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Check:    "atomicver",
+			Severity: SeverityWarn,
+			File:     fd.Pos.File,
+			Line:     fd.Pos.Line,
+			Column:   fd.Pos.Col,
+			Message: "every post-construction write to " + shortType(k.typ) + "." + k.field +
+				" holds " + common + "; annotate the field `iam:guardedby " + common + "` to declare it",
+			Fix: &Fix{Start: fd.EndOffset, End: fd.EndOffset, NewText: " // iam:guardedby " + common},
+		})
+	}
+	return out
+}
+
+// commonMutex returns the sibling mutex held at every write, or "" when
+// none is common to all.
+func commonMutex(ws []WriteFact) string {
+	common := map[string]bool{}
+	for i, w := range ws {
+		if len(w.HeldSiblings) == 0 {
+			return ""
+		}
+		if i == 0 {
+			for _, m := range w.HeldSiblings {
+				common[m] = true
+			}
+			continue
+		}
+		next := map[string]bool{}
+		for _, m := range w.HeldSiblings {
+			if common[m] {
+				next[m] = true
+			}
+		}
+		common = next
+	}
+	var names []string
+	for m := range common {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return ""
+	}
+	return names[0]
+}
+
+// shortType trims the package path from a class for readable messages:
+// "iam/internal/serve.version" -> "serve.version".
+func shortType(cls string) string {
+	slash := strings.LastIndexByte(cls, '/')
+	if slash < 0 {
+		return cls
+	}
+	return cls[slash+1:]
+}

@@ -1,0 +1,103 @@
+package lint
+
+import "sort"
+
+// audit.go exports the data cmd/noalloccheck needs to cross-check the
+// noalloc analyzer's types-based heuristic against the compiler's escape
+// analysis (`go build -gcflags=-m=2`). The two views are complementary: the
+// heuristic sees allocation *forms* (make, append, closures, boxing) whether
+// or not the compiler manages to optimize them away, while escape analysis
+// sees heap allocations the heuristic cannot attribute (dynamic calls,
+// stdlib internals). The cross-check keeps them from drifting apart
+// silently: every compiler-confirmed heap allocation inside an iam:noalloc
+// function must be either reported by iamlint or suppressed in place with a
+// reasoned //lint:ignore.
+
+// NoAllocRegion is the source extent of one iam:noalloc function.
+type NoAllocRegion struct {
+	ID        string // function unit ID, e.g. "(*iam/internal/ar.Model).pickCategorical"
+	PkgPath   string // import path of the declaring package
+	File      string // path of the declaring file, as recorded by the loader
+	StartLine int    // line of the func keyword
+	EndLine   int    // line of the body's closing brace
+}
+
+// NoAllocAudit bundles a module's noalloc regions with the line sets that
+// account for a compiler escape note: in-place suppressions and the noalloc
+// findings iamlint already reports (which fail the lint gate on their own,
+// so noalloccheck need not fail twice for the same line).
+type NoAllocAudit struct {
+	Regions []NoAllocRegion
+	// Suppressed[file][line] is true when a //lint:ignore directive naming
+	// the noalloc check (or "all") covers that line.
+	Suppressed map[string]map[int]bool
+	// Findings[file][line] is true when the noalloc analyzer reports an
+	// unsuppressed diagnostic there.
+	Findings map[string]map[int]bool
+}
+
+// BuildNoAllocAudit derives the audit view from loaded packages and their
+// module fact database.
+func BuildNoAllocAudit(pkgs []*Package, m *ModuleFacts) *NoAllocAudit {
+	a := &NoAllocAudit{
+		Suppressed: map[string]map[int]bool{},
+		Findings:   map[string]map[int]bool{},
+	}
+	for _, pf := range m.Pkgs {
+		for _, ff := range pf.Funcs {
+			if !ff.NoAlloc {
+				continue
+			}
+			a.Regions = append(a.Regions, NoAllocRegion{
+				ID:        ff.ID,
+				PkgPath:   pf.PkgPath,
+				File:      ff.Pos.File,
+				StartLine: ff.Pos.Line,
+				EndLine:   ff.EndLine,
+			})
+		}
+	}
+	sort.Slice(a.Regions, func(i, j int) bool {
+		if a.Regions[i].File != a.Regions[j].File {
+			return a.Regions[i].File < a.Regions[j].File
+		}
+		return a.Regions[i].StartLine < a.Regions[j].StartLine
+	})
+	for _, p := range pkgs {
+		for k := range collectSuppressions(p).byLine {
+			if k.check != "noalloc" && k.check != "all" {
+				continue
+			}
+			mark(a.Suppressed, k.file, k.line)
+		}
+	}
+	for _, d := range RunModuleAnalyzers(pkgs, m, []*Analyzer{AnalyzerNoAlloc}) {
+		mark(a.Findings, d.File, d.Line)
+	}
+	return a
+}
+
+func mark(set map[string]map[int]bool, file string, line int) {
+	lines := set[file]
+	if lines == nil {
+		lines = map[int]bool{}
+		set[file] = lines
+	}
+	lines[line] = true
+}
+
+// RegionAt returns the noalloc region containing file:line, if any.
+func (a *NoAllocAudit) RegionAt(file string, line int) (NoAllocRegion, bool) {
+	for _, r := range a.Regions {
+		if r.File == file && line >= r.StartLine && line <= r.EndLine {
+			return r, true
+		}
+	}
+	return NoAllocRegion{}, false
+}
+
+// AccountedFor reports whether a noalloc-relevant note at file:line is
+// already handled: suppressed in place or reported by iamlint itself.
+func (a *NoAllocAudit) AccountedFor(file string, line int) bool {
+	return a.Suppressed[file][line] || a.Findings[file][line]
+}

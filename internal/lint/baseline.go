@@ -70,6 +70,17 @@ func WriteBaseline(path, modRoot string, diags []Diagnostic) error {
 // warn-severity diagnostic per stale entry. Each entry absorbs any number of
 // identical findings.
 func ApplyBaseline(modRoot string, diags []Diagnostic, entries []BaselineEntry) []Diagnostic {
+	return applyBaseline(modRoot, diags, entries, SeverityWarn)
+}
+
+// ApplyBaselineStrict is ApplyBaseline with stale entries reported at error
+// severity, so CI fails until dead baseline entries are removed (a baseline
+// is a queue, not a landfill).
+func ApplyBaselineStrict(modRoot string, diags []Diagnostic, entries []BaselineEntry) []Diagnostic {
+	return applyBaseline(modRoot, diags, entries, SeverityError)
+}
+
+func applyBaseline(modRoot string, diags []Diagnostic, entries []BaselineEntry, staleSev Severity) []Diagnostic {
 	if len(entries) == 0 {
 		return diags
 	}
@@ -97,7 +108,7 @@ func ApplyBaseline(modRoot string, diags []Diagnostic, entries []BaselineEntry) 
 		if !used[k] {
 			out = append(out, Diagnostic{
 				Check:    "baseline",
-				Severity: SeverityWarn,
+				Severity: staleSev,
 				File:     filepath.Join(modRoot, filepath.FromSlash(e.File)),
 				Line:     1,
 				Column:   1,

@@ -36,12 +36,23 @@ import (
 // diagnostics are never stored; baseline filtering happens in the CLI), so a
 // cache hit replays exactly what a cold run would produce.
 
-const cacheSchema = "iamlint-cache-v1"
+const cacheSchema = "iamlint-cache-v2"
 
-// cacheFile is the on-disk shape of the fact store.
+// cacheFile is the on-disk shape of the fact store. Besides the per-package
+// diagnostic entries (v1), v2 persists the interprocedural layer: each
+// package's fact summary (keyed independently, because facts exist for every
+// module package while diagnostics exist only for analyzed targets), plus
+// the module-analyzer diagnostics under a whole-module key so a fully-warm
+// run can replay the interprocedural findings without loading anything.
 type cacheFile struct {
 	Schema  string                `json:"schema"`
 	Entries map[string]cacheEntry `json:"entries"` // keyed by package path
+	// ModKey hashes every package key in the module; ModDiags are the
+	// module-analyzer diagnostics for the whole module (root-relative paths).
+	ModKey   string       `json:"modKey,omitempty"`
+	ModDiags []Diagnostic `json:"modDiags,omitempty"`
+	// Facts maps package path to its summarized facts under the package key.
+	Facts map[string]factsEntry `json:"facts,omitempty"`
 }
 
 // cacheEntry holds one package's key and its (unsuppressed) diagnostics with
@@ -49,6 +60,12 @@ type cacheFile struct {
 type cacheEntry struct {
 	Key   string       `json:"key"`
 	Diags []Diagnostic `json:"diags"`
+}
+
+// factsEntry is one package's persisted summary (root-relative positions).
+type factsEntry struct {
+	Key   string    `json:"key"`
+	Facts *PkgFacts `json:"facts"`
 }
 
 // DefaultCachePath is where the CLI keeps the fact store, relative to the
@@ -193,7 +210,7 @@ func pkgPathFor(modRoot, modPath, dir string) string {
 
 // loadCache reads the fact store; a missing or unreadable store is just cold.
 func loadCache(path string) *cacheFile {
-	c := &cacheFile{Schema: cacheSchema, Entries: map[string]cacheEntry{}}
+	c := &cacheFile{Schema: cacheSchema, Entries: map[string]cacheEntry{}, Facts: map[string]factsEntry{}}
 	if path == "" {
 		return c
 	}
@@ -205,7 +222,81 @@ func loadCache(path string) *cacheFile {
 	if json.Unmarshal(data, &got) != nil || got.Schema != cacheSchema || got.Entries == nil {
 		return c
 	}
+	if got.Facts == nil {
+		got.Facts = map[string]factsEntry{}
+	}
 	return &got
+}
+
+// moduleKey folds every package key into one whole-module key.
+func moduleKey(keys map[string]string) string {
+	paths := make([]string, 0, len(keys))
+	for p := range keys {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		fmt.Fprintf(h, "%s %s\n", p, keys[p])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// rebaseFacts rewrites every position's file path in a summary.
+func rebaseFacts(pf *PkgFacts, rebase func(string) string) {
+	for _, ff := range pf.Funcs {
+		ff.Pos.File = rebase(ff.Pos.File)
+		for i := range ff.Calls {
+			ff.Calls[i].Pos.File = rebase(ff.Calls[i].Pos.File)
+		}
+		for i := range ff.Acquires {
+			ff.Acquires[i].Pos.File = rebase(ff.Acquires[i].Pos.File)
+		}
+		for i := range ff.Spawns {
+			ff.Spawns[i].Pos.File = rebase(ff.Spawns[i].Pos.File)
+		}
+		for i := range ff.Writes {
+			ff.Writes[i].Pos.File = rebase(ff.Writes[i].Pos.File)
+		}
+		for i := range ff.Allocs {
+			ff.Allocs[i].Pos.File = rebase(ff.Allocs[i].Pos.File)
+		}
+	}
+	for i := range pf.Orders {
+		pf.Orders[i].Pos.File = rebase(pf.Orders[i].Pos.File)
+	}
+	for i := range pf.Fields {
+		pf.Fields[i].Pos.File = rebase(pf.Fields[i].Pos.File)
+	}
+}
+
+// relPath/absPath mirror relDiags/absDiags for single paths.
+func relPath(modRoot, file string) string {
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+func absPath(modRoot, file string) string {
+	if !filepath.IsAbs(file) {
+		return filepath.Join(modRoot, filepath.FromSlash(file))
+	}
+	return file
+}
+
+// copyFacts deep-copies a summary via its JSON form, so the cached copy can
+// be rebased without mutating the in-memory one.
+func copyFacts(pf *PkgFacts) *PkgFacts {
+	data, err := json.Marshal(pf)
+	if err != nil {
+		return pf
+	}
+	var out PkgFacts
+	if json.Unmarshal(data, &out) != nil {
+		return pf
+	}
+	return &out
 }
 
 // saveCache persists the fact store crash-safely.
@@ -271,8 +362,18 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 	stats.Packages = len(targets)
 
 	cache := loadCache(cachePath)
+	wantModule := hasModuleAnalyzers(analyzers)
+	modKey := moduleKey(keys)
 
-	// Warm path: every target package is cached under its current key.
+	targetDirs := map[string]bool{}
+	for _, m := range targets {
+		targetDirs[m.dir] = true
+	}
+	inTargets := func(d Diagnostic) bool { return targetDirs[filepath.Dir(d.File)] }
+
+	// Warm path: every target package is cached under its current key, and
+	// (when interprocedural analyzers are in play) the whole-module key hits
+	// too, so the stored module diagnostics are current.
 	var out []Diagnostic
 	allHit := true
 	for _, m := range targets {
@@ -282,10 +383,20 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 			break
 		}
 	}
+	if allHit && wantModule && cache.ModKey != modKey {
+		allHit = false
+	}
 	if allHit {
 		for _, m := range targets {
 			out = append(out, absDiags(l.ModRoot, cache.Entries[m.pkgPath].Diags)...)
 			stats.Hits++
+		}
+		if wantModule {
+			for _, d := range absDiags(l.ModRoot, cache.ModDiags) {
+				if inTargets(d) {
+					out = append(out, d)
+				}
+			}
 		}
 		stats.Warm = true
 		SortDiagnostics(out)
@@ -315,7 +426,7 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 		}
 		misses = append(misses, p)
 	}
-	fresh := RunAnalyzers(misses, analyzers)
+	fresh := runPerPackage(misses, analyzers)
 	out = append(out, fresh...)
 
 	perPkg := map[string][]Diagnostic{}
@@ -328,11 +439,59 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 			Diags: relDiags(l.ModRoot, perPkg[p.PkgPath]),
 		}
 	}
+
+	// Interprocedural pass over the whole module, reusing cached summaries
+	// for packages whose key still matches.
+	if wantModule {
+		m := buildModuleFactsCached(l.ModRoot, pkgs, cache, keys)
+		modDiags := RunModuleAnalyzers(pkgs, m, analyzers)
+		cache.ModKey = modKey
+		cache.ModDiags = relDiags(l.ModRoot, modDiags)
+		for _, d := range modDiags {
+			if inTargets(d) {
+				out = append(out, d)
+			}
+		}
+	}
+
 	if err := saveCache(cachePath, cache); err != nil {
 		return nil, stats, fmt.Errorf("lint: writing cache: %w", err)
 	}
 	SortDiagnostics(out)
 	return out, stats, nil
+}
+
+// buildModuleFactsCached assembles the module fact database, summarizing
+// only packages whose cached facts are stale and refreshing the cache's
+// fact entries in place.
+func buildModuleFactsCached(modRoot string, pkgs []*Package, cache *cacheFile, keys map[string]string) *ModuleFacts {
+	facts := make([]*PkgFacts, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	var mu sync.Mutex
+	for i, p := range pkgs {
+		if fe, ok := cache.Facts[p.PkgPath]; ok && fe.Key == keys[p.PkgPath] && fe.Facts != nil {
+			pf := copyFacts(fe.Facts)
+			rebaseFacts(pf, func(f string) string { return absPath(modRoot, f) })
+			facts[i] = pf
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pf := SummarizePackage(p)
+			facts[i] = pf
+			stored := copyFacts(pf)
+			rebaseFacts(stored, func(f string) string { return relPath(modRoot, f) })
+			mu.Lock()
+			cache.Facts[p.PkgPath] = factsEntry{Key: keys[p.PkgPath], Facts: stored}
+			mu.Unlock()
+		}(i, p)
+	}
+	wg.Wait()
+	return NewModuleFacts(facts)
 }
 
 // pkgOfDiag attributes a diagnostic to the package whose directory contains

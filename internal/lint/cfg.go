@@ -37,9 +37,9 @@ type cfg struct {
 // loopFrame tracks the jump targets of one enclosing breakable/continuable
 // construct, with its label when the construct is labeled.
 type loopFrame struct {
-	label        string
-	breakTarget  *cfgBlock
-	contTarget   *cfgBlock // nil for switch/select frames
+	label       string
+	breakTarget *cfgBlock
+	contTarget  *cfgBlock // nil for switch/select frames
 }
 
 type cfgBuilder struct {

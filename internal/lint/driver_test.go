@@ -286,9 +286,9 @@ func writeTree(t *testing.T, files map[string]string) string {
 // transitive invalidation when a dependency changes.
 func TestCacheWarmAndInvalidation(t *testing.T) {
 	root := writeTree(t, map[string]string{
-		"go.mod":   "module fake\n\ngo 1.21\n",
-		"a/a.go":   "package a\n\nfunc Eq(x, y float64) bool { return x == y }\n",
-		"b/b.go":   "package b\n\nimport \"fake/a\"\n\nfunc F(x float64) bool { return a.Eq(x, x) }\n",
+		"go.mod": "module fake\n\ngo 1.21\n",
+		"a/a.go": "package a\n\nfunc Eq(x, y float64) bool { return x == y }\n",
+		"b/b.go": "package b\n\nimport \"fake/a\"\n\nfunc F(x float64) bool { return a.Eq(x, x) }\n",
 	})
 	cachePath := filepath.Join(root, ".iamlint", "cache.json")
 	analyzers := []*Analyzer{AnalyzerFloatEq}

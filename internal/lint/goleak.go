@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// goleak requires every `go` statement to have a join point: some mechanism
+// by which the rest of the program can observe that the goroutine has
+// finished (or tell it to finish). The spawned unit's transitive signals
+// (through module-internal static calls) are matched against module-wide
+// join facts:
+//
+//	signal        joined when
+//	wg:C          some unit calls Wait() on WaitGroup class C
+//	send:C        some unit receives from channel class C (a send or close
+//	              on C is how the goroutine announces completion)
+//	recv:C        some unit closes channel class C (closing is the only
+//	              broadcast that releases a blocked receiver; a mere send
+//	              into a work queue does not join its consumer)
+//	ctx           the goroutine selects on a context's Done() channel — its
+//	              lifetime is bounded by a cancellable context
+//	param         the goroutine signals through a caller-supplied object —
+//	              ownership (and the join) lives with the caller
+//
+// A goroutine that is deliberately unjoined must say so and why:
+//
+//	// iam:detached <reason>
+//	go keepAliveLoop()
+//
+// A spawn whose callee cannot be resolved statically (a function value) is
+// skipped — the summary cannot see into it.
+var AnalyzerGoLeak = &Analyzer{
+	Name:      "goleak",
+	Doc:       "every `go` statement must reach a join point (WaitGroup.Wait, channel close/receive, ctx.Done) or carry `// iam:detached <reason>`",
+	RunModule: runGoLeak,
+}
+
+func runGoLeak(m *ModuleFacts) []Diagnostic {
+	var out []Diagnostic
+	joins := m.Joins()
+
+	var ids []string
+	for _, pf := range m.Pkgs {
+		for _, ff := range pf.Funcs {
+			ids = append(ids, ff.ID)
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ff := m.Func(id)
+		for _, s := range ff.Spawns {
+			if s.Detached {
+				if s.DetachReason == "" {
+					out = append(out, mdiag("goleak", s.Pos,
+						"iam:detached requires a reason: `// iam:detached <why this goroutine intentionally outlives its joins>`"))
+				}
+				continue
+			}
+			if len(s.Callees) == 0 {
+				continue // dynamic spawn: unresolvable
+			}
+			for _, callee := range s.Callees {
+				if m.Func(callee) == nil {
+					continue // external or unresolved unit
+				}
+				sigs := m.TransitiveSignals(callee)
+				if !joined(sigs, joins) {
+					out = append(out, mdiag("goleak", s.Pos,
+						"goroutine %s has no join point: it signals {%s} but nothing in the module waits on them; join it (WaitGroup.Wait, close/receive on its channel, ctx.Done) or annotate `// iam:detached <reason>`",
+						callee, strings.Join(sigs, ", ")))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// joined reports whether any of a goroutine's signals is matched by a
+// module-wide join point.
+func joined(sigs []string, j ModuleJoins) bool {
+	for _, s := range sigs {
+		switch {
+		case s == "ctx" || s == "param":
+			return true
+		case strings.HasPrefix(s, "wg:"):
+			if j.Waits[s[len("wg:"):]] {
+				return true
+			}
+		case strings.HasPrefix(s, "send:"):
+			if j.Recvs[s[len("send:"):]] {
+				return true
+			}
+		case strings.HasPrefix(s, "recv:"):
+			if j.Closes[s[len("recv:"):]] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -101,12 +101,16 @@ func (p *Package) Position(pos token.Pos) token.Position {
 
 // Analyzer is one pluggable invariant check. DefaultSeverity (error when
 // empty) applies to diagnostics the analyzer emits without an explicit
-// severity of their own.
+// severity of their own. Exactly one of Run and RunModule is set: Run is a
+// per-package pass; RunModule is an interprocedural pass over the
+// module-wide fact database (summary.go, module.go) and runs once per lint
+// invocation.
 type Analyzer struct {
 	Name            string
 	Doc             string
 	DefaultSeverity Severity
 	Run             func(p *Package) []Diagnostic
+	RunModule       func(m *ModuleFacts) []Diagnostic
 }
 
 // diag is a helper for analyzers to build a Diagnostic at a position.
@@ -122,7 +126,8 @@ func diag(p *Package, check string, pos token.Pos, format string, args ...any) D
 }
 
 // Analyzers returns the full shipped analyzer set in a stable order: the six
-// syntactic v1 checks followed by the five dataflow-aware v2 checks.
+// syntactic v1 checks, the five dataflow-aware v2 checks, then the four
+// interprocedural v3 checks.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNoPanic,
@@ -136,6 +141,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerShapeCheck,
 		AnalyzerFloatEq,
 		AnalyzerErrWrap,
+		AnalyzerLockOrder,
+		AnalyzerGoLeak,
+		AnalyzerAtomicVer,
+		AnalyzerNoAlloc,
 	}
 }
 
@@ -155,6 +164,9 @@ func runPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
 	sup := collectSuppressions(p)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // module analyzers run once, not per package
+		}
 		sev := a.DefaultSeverity
 		if sev == "" {
 			sev = SeverityError
@@ -178,8 +190,21 @@ func runPackage(p *Package, analyzers []*Analyzer) []Diagnostic {
 
 // RunAnalyzers applies the given analyzers to every package concurrently
 // (one worker per CPU), applies //lint:ignore suppressions, and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. Interprocedural analyzers in
+// the set run once over a fact database built from exactly these packages —
+// pass the whole module (LoadAll) for their findings to be complete.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	out := runPerPackage(pkgs, analyzers)
+	if hasModuleAnalyzers(analyzers) {
+		out = append(out, RunModuleAnalyzers(pkgs, BuildModuleFacts(pkgs), analyzers)...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// runPerPackage runs the per-package (Run) analyzers over pkgs with a CPU
+// worker pool and returns the surviving diagnostics, unsorted.
+func runPerPackage(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	perPkg := make([][]Diagnostic, len(pkgs))
 	workers := runtime.NumCPU()
 	if workers > len(pkgs) {
@@ -209,7 +234,56 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	for _, ds := range perPkg {
 		out = append(out, ds...)
 	}
-	SortDiagnostics(out)
+	return out
+}
+
+// hasModuleAnalyzers reports whether any analyzer in the set is an
+// interprocedural (RunModule) pass.
+func hasModuleAnalyzers(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RunModuleAnalyzers applies the interprocedural analyzers to the module
+// fact database. The packages are only needed for //lint:ignore suppression
+// scanning; facts may have been replayed from the cache. The result is NOT
+// sorted — callers merge it with per-package diagnostics first.
+func RunModuleAnalyzers(pkgs []*Package, m *ModuleFacts, analyzers []*Analyzer) []Diagnostic {
+	sups := make([]*suppressions, len(pkgs))
+	for i, p := range pkgs {
+		sups[i] = collectSuppressions(p)
+	}
+	covered := func(d Diagnostic) bool {
+		for _, sup := range sups {
+			if sup.covers(d) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		sev := a.DefaultSeverity
+		if sev == "" {
+			sev = SeverityError
+		}
+		for _, d := range a.RunModule(m) {
+			if d.Severity == "" {
+				d.Severity = sev
+			}
+			if covered(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
 	return out
 }
 

@@ -75,6 +75,10 @@ func TestFixtures(t *testing.T) {
 		{"shapecheck", "fixture/shapecheck"},
 		{"floateq", "fixture/floateq"},
 		{"errwrap", "fixture/internal/errwrap"},
+		{"lockorder", "fixture/lockorder"},
+		{"goleak", "fixture/goleak"},
+		{"atomicver", "fixture/atomicver"},
+		{"noalloc", "fixture/noalloc"},
 	}
 	for _, c := range cases {
 		t.Run(c.check, func(t *testing.T) {
@@ -189,8 +193,8 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
 	}
-	if len(Analyzers()) != 11 {
-		t.Fatalf("analyzer roster has %d entries, want 11", len(Analyzers()))
+	if len(Analyzers()) != 15 {
+		t.Fatalf("analyzer roster has %d entries, want 15", len(Analyzers()))
 	}
 	for _, d := range FilterSeverity(RunAnalyzers(pkgs, Analyzers()), SeverityError) {
 		t.Errorf("%s", d)

@@ -1,0 +1,68 @@
+package lint
+
+import "sort"
+
+// noalloc checks functions annotated
+//
+//	// iam:noalloc
+//	func (s *sampler) step(...) ...
+//
+// against a types-based allocation heuristic. The annotation marks
+// steady-state hot paths (the progressive sampler, training's runBatch, the
+// server's enqueue path) whose alloc-free property the benchmarks rely on;
+// the analyzer makes the property a compile-time-checked contract instead
+// of a benchmark-only observation.
+//
+// Heuristic sites (each an error inside a noalloc function): slice/map
+// composite literals, &composite literals, make/new, append (growth),
+// function literals (closure capture), go statements, non-constant string
+// concatenation, string<->[]byte conversions, map assignment, interface
+// boxing of arguments and returns, and fmt.*/errors.* formatting calls.
+// Calls into module-internal functions are checked transitively: a call to
+// a callee that may allocate (and is not itself iam:noalloc, i.e. checked
+// at its own site) is reported with a witness allocation. Dynamic calls and
+// calls into other modules are invisible to the heuristic — the CI
+// cross-check against `go build -gcflags=-m=2` (cmd/noalloccheck) catches
+// what the heuristic cannot see, so the two cannot silently drift apart.
+//
+// The heuristic intentionally over-approximates (append into pre-sized
+// scratch does not grow; the compiler may stack-allocate a non-escaping
+// closure): a deliberate, measured exception is suppressed in place with
+// //lint:ignore noalloc <reason>.
+var AnalyzerNoAlloc = &Analyzer{
+	Name:      "noalloc",
+	Doc:       "functions annotated `// iam:noalloc` must be allocation-free by the types-based heuristic, transitively through module-internal calls",
+	RunModule: runNoAlloc,
+}
+
+func runNoAlloc(m *ModuleFacts) []Diagnostic {
+	var out []Diagnostic
+	var ids []string
+	for _, pf := range m.Pkgs {
+		for _, ff := range pf.Funcs {
+			if ff.NoAlloc {
+				ids = append(ids, ff.ID)
+			}
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ff := m.Func(id)
+		for _, a := range ff.Allocs {
+			out = append(out, mdiag("noalloc", a.Pos,
+				"allocation in iam:noalloc function %s: %s", id, a.What))
+		}
+		for _, c := range ff.Calls {
+			callee := m.Func(c.Callee)
+			if callee == nil || callee.NoAlloc {
+				continue // external/dynamic, or checked at its own site
+			}
+			if w := m.AllocWitness(c.Callee); w != nil {
+				out = append(out, mdiag("noalloc", c.Pos,
+					"iam:noalloc function %s calls %s, which may allocate (witness: %s at %s:%d)",
+					id, c.Callee, w.What, w.Pos.File, w.Pos.Line))
+			}
+		}
+	}
+	return out
+}

@@ -57,10 +57,10 @@ type mlpShape struct{ in, out dimv }
 
 // shapeEnv is the per-function tracking state.
 type shapeEnv struct {
-	mats   map[types.Object]matShape
-	mlps   map[types.Object]mlpShape
-	vecs   map[types.Object]dimv // []float64 lengths
-	dims   map[types.Object][]dimv
+	mats map[types.Object]matShape
+	mlps map[types.Object]mlpShape
+	vecs map[types.Object]dimv // []float64 lengths
+	dims map[types.Object][]dimv
 }
 
 // AnalyzerShapeCheck propagates layer and matrix dimensions through

@@ -1,0 +1,763 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// summarize_unit.go walks one function (or function-literal) body and fills
+// in its FuncFacts: a CFG fixpoint first converges the set of locks held at
+// every block entry (same must-hold semantics as guardedby), then an
+// emission pass records facts with the converged held sets attached.
+
+// unitCtx carries the per-declaration context shared by the declared
+// function and every function literal inside it.
+type unitCtx struct {
+	p        *Package
+	litIDs   map[*ast.FuncLit]string
+	params   map[types.Object]bool // params/receivers of the decl and all lits
+	detached map[string]string     // "file:line" -> iam:detached reason
+}
+
+// summarizeDecl summarizes fd and each function literal it contains as
+// separate units, appending them to pf.Funcs.
+func summarizeDecl(p *Package, pf *PkgFacts, fd *ast.FuncDecl, anns map[types.Object]guardedObj, detached map[string]string) {
+	id := declUnitID(p, fd)
+	ctx := &unitCtx{p: p, litIDs: map[*ast.FuncLit]string{}, params: map[types.Object]bool{}, detached: detached}
+
+	// Flat source-order numbering of every literal in the declaration, so
+	// call/spawn edges from any unit of the decl resolve consistently.
+	n := 0
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		if fl, ok := node.(*ast.FuncLit); ok {
+			n++
+			ctx.litIDs[fl] = id + "$" + itoa(n)
+			markParams(p, ctx.params, fl.Type, nil)
+		}
+		return true
+	})
+	markParams(p, ctx.params, fd.Type, fd.Recv)
+
+	_, noalloc := hasDirective(fd.Doc, noallocDirective)
+	main := summarizeUnit(ctx, fd.Body, id, fd.Pos(), entryHeldClasses(p, anns, fd), resultsOf(p, fd))
+	main.NoAlloc = noalloc
+	pf.Funcs = append(pf.Funcs, main)
+
+	for fl, litID := range ctx.litIDs {
+		var results []types.Type
+		if sig, ok := p.Info.Types[fl].Type.(*types.Signature); ok {
+			results = sigResults(sig)
+		}
+		pf.Funcs = append(pf.Funcs, summarizeUnit(ctx, fl.Body, litID, fl.Pos(), nil, results))
+	}
+}
+
+// declUnitID is the canonical unit ID of a declared function.
+func declUnitID(p *Package, fd *ast.FuncDecl) string {
+	if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		return funcID(fn)
+	}
+	return p.PkgPath + "." + fd.Name.Name
+}
+
+// markParams records the objects bound by a function type's parameters,
+// results and receiver: values a unit does not own.
+func markParams(p *Package, set map[types.Object]bool, ft *ast.FuncType, recv *ast.FieldList) {
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+	}
+	add(ft.Params)
+	add(ft.Results)
+	add(recv)
+}
+
+// resultsOf lists a declared function's result types.
+func resultsOf(p *Package, fd *ast.FuncDecl) []types.Type {
+	fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return sigResults(fn.Type().(*types.Signature))
+}
+
+func sigResults(sig *types.Signature) []types.Type {
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+// entryHeldClasses converts guardedby's entry-held expressions ("m.mu") to
+// expr->class form for the fact walk.
+func entryHeldClasses(p *Package, anns map[types.Object]guardedObj, fd *ast.FuncDecl) map[string]string {
+	exprs := entryHeld(p, anns, fd)
+	if len(exprs) == 0 {
+		return nil
+	}
+	recvName := ""
+	recvClass := ""
+	if tn := recvTypeName(p, fd); tn != nil {
+		recvClass = classOfNamed(tn)
+		if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+			recvName = fd.Recv.List[0].Names[0].Name
+		}
+	}
+	out := map[string]string{}
+	for expr := range exprs {
+		out[expr] = entryExprClass(p, expr, recvName, recvClass)
+	}
+	return out
+}
+
+// entryExprClass resolves an iam:holds-style expression string to a class:
+// "recv.field" via the receiver type, a bare name via the package scope.
+func entryExprClass(p *Package, expr, recvName, recvClass string) string {
+	if recvName != "" && recvClass != "" {
+		if field, ok := strings.CutPrefix(expr, recvName+"."); ok && !strings.Contains(field, ".") {
+			return recvClass + "." + field
+		}
+	}
+	if !strings.Contains(expr, ".") {
+		if obj := p.Types.Scope().Lookup(expr); obj != nil {
+			return p.PkgPath + "." + expr
+		}
+	}
+	return "expr:" + expr
+}
+
+// summarizeUnit runs the two-pass fact walk over one body.
+func summarizeUnit(ctx *unitCtx, body *ast.BlockStmt, id string, pos token.Pos, entry map[string]string, results []types.Type) *FuncFacts {
+	p := ctx.p
+	ff := &FuncFacts{
+		ID:      id,
+		Pos:     posOf(p, pos),
+		EndLine: p.Position(body.End()).Line,
+	}
+	g := buildCFG(body)
+	fresh := freshLocals(p, body)
+
+	// Fixpoint: converge expr->class held maps at block entry.
+	in := make([]map[string]string, len(g.blocks))
+	in[g.entry.index] = copyClassSet(entry)
+	if in[g.entry.index] == nil {
+		in[g.entry.index] = map[string]string{}
+	}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := walkFactBlock(ctx, ff, blk, copyClassSet(in[blk.index]), fresh, results, false)
+		for _, succ := range blk.succs {
+			merged, changed := meetClassSets(in[succ.index], out)
+			if changed {
+				in[succ.index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Emission pass with converged in-states, blocks in index order so fact
+	// order is deterministic.
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue // unreachable
+		}
+		walkFactBlock(ctx, ff, blk, copyClassSet(in[blk.index]), fresh, results, true)
+	}
+
+	// The CFG decomposes `for range ch` into its sub-expressions, so channel
+	// receives via range are collected in a direct scan (held state is
+	// irrelevant for join signals).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[rs.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				ctx.recordChanSignal(ff, rs.X, "recv")
+			}
+		}
+		return true
+	})
+
+	sort.Strings(ff.Signals)
+	ff.Signals = dedupSorted(ff.Signals)
+	sort.Strings(ff.Waits)
+	ff.Waits = dedupSorted(ff.Waits)
+	sort.Strings(ff.Recvs)
+	ff.Recvs = dedupSorted(ff.Recvs)
+	sort.Strings(ff.Closes)
+	ff.Closes = dedupSorted(ff.Closes)
+	return ff
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func copyClassSet(s map[string]string) map[string]string {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]string, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// meetClassSets intersects held maps (agreeing on class) at control-flow
+// joins; nil cur means unvisited.
+func meetClassSets(cur, incoming map[string]string) (map[string]string, bool) {
+	if cur == nil {
+		return copyClassSet(incoming), true
+	}
+	merged := map[string]string{}
+	for k, v := range cur {
+		if iv, ok := incoming[k]; ok && iv == v {
+			merged[k] = v
+		}
+	}
+	return merged, len(merged) != len(cur)
+}
+
+// heldClasses returns the sorted, deduplicated class values of a held map.
+func heldClasses(held map[string]string) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(held))
+	for _, c := range held {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return dedupSorted(out)
+}
+
+// walkFactBlock walks one block's nodes in order. Lock effects always apply;
+// facts are appended only when emit is set. Returns the out-state.
+func walkFactBlock(ctx *unitCtx, ff *FuncFacts, blk *cfgBlock, held map[string]string, fresh map[types.Object]bool, results []types.Type, emit bool) map[string]string {
+	if held == nil {
+		held = map[string]string{}
+	}
+	p := ctx.p
+	for _, node := range blk.nodes {
+		_, isDefer := node.(*ast.DeferStmt)
+		_, isGo := node.(*ast.GoStmt)
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncLit:
+				if emit {
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "function literal (closure)", Pos: posOf(p, v.Pos())})
+				}
+				return false // separate unit
+			case *ast.GoStmt:
+				if emit {
+					ctx.emitSpawn(ff, v)
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "go statement (new goroutine)", Pos: posOf(p, v.Pos())})
+				}
+				// The spawned call itself runs on another goroutine: record
+				// its lit edge via emitSpawn, not as a CallFact, and apply no
+				// lock effects. Its arguments are still evaluated here.
+				for _, arg := range v.Call.Args {
+					ast.Inspect(arg, func(an ast.Node) bool {
+						return ctx.visitExpr(ff, an, held, fresh, results, emit, isDefer)
+					})
+				}
+				return false
+			case *ast.SendStmt:
+				if emit {
+					ctx.recordChanSignal(ff, v.Chan, "send")
+				}
+				return true
+			default:
+				return ctx.visitExpr(ff, n, held, fresh, results, emit, isDefer || isGo)
+			}
+		})
+	}
+	return held
+}
+
+// visitExpr handles one non-structural node during the walk. Returns whether
+// to descend into children.
+func (ctx *unitCtx) visitExpr(ff *FuncFacts, n ast.Node, held map[string]string, fresh map[types.Object]bool, results []types.Type, emit, isDefer bool) bool {
+	p := ctx.p
+	switch v := n.(type) {
+	case *ast.FuncLit:
+		if emit {
+			ff.Allocs = append(ff.Allocs, AllocFact{What: "function literal (closure)", Pos: posOf(p, v.Pos())})
+		}
+		return false
+	case *ast.CallExpr:
+		ctx.visitCall(ff, v, held, results, emit, isDefer)
+		return true
+	case *ast.UnaryExpr:
+		switch v.Op {
+		case token.ARROW:
+			if emit {
+				if isCtxDone(p, v.X) {
+					ff.Signals = append(ff.Signals, "ctx")
+				} else {
+					ctx.recordChanSignal(ff, v.X, "recv")
+				}
+			}
+		case token.AND:
+			if _, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok && emit {
+				ff.Allocs = append(ff.Allocs, AllocFact{What: "&composite literal", Pos: posOf(p, v.Pos())})
+			}
+		}
+		return true
+	case *ast.CompositeLit:
+		if emit {
+			switch p.Info.Types[v].Type.Underlying().(type) {
+			case *types.Slice:
+				ff.Allocs = append(ff.Allocs, AllocFact{What: "slice literal", Pos: posOf(p, v.Pos())})
+			case *types.Map:
+				ff.Allocs = append(ff.Allocs, AllocFact{What: "map literal", Pos: posOf(p, v.Pos())})
+			}
+		}
+		return true
+	case *ast.BinaryExpr:
+		if emit && v.Op == token.ADD {
+			if tv, ok := p.Info.Types[v]; ok && tv.Value == nil && isStringType(tv.Type) {
+				ff.Allocs = append(ff.Allocs, AllocFact{What: "string concatenation", Pos: posOf(p, v.Pos())})
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		if emit {
+			ctx.recordWrites(ff, v.Lhs, held, fresh)
+			for _, lhs := range v.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := p.Info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							ff.Allocs = append(ff.Allocs, AllocFact{What: "map assignment", Pos: posOf(p, lhs.Pos())})
+						}
+					}
+				}
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		if emit {
+			ctx.recordWrites(ff, []ast.Expr{v.X}, held, fresh)
+		}
+		return true
+	case *ast.ReturnStmt:
+		if emit && len(results) == len(v.Results) {
+			for i, e := range v.Results {
+				if boxesInterface(p, results[i], e) {
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "interface boxing (return)", Pos: posOf(p, e.Pos())})
+				}
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// visitCall classifies one call expression: lock effects, wait-group and
+// channel signals, static call edges, and allocation heuristics.
+func (ctx *unitCtx) visitCall(ff *FuncFacts, call *ast.CallExpr, held map[string]string, results []types.Type, emit, isDefer bool) {
+	p := ctx.p
+
+	// Type conversions: only string<->[]byte/[]rune allocate.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if emit && len(call.Args) == 1 && isStringByteConversion(p, tv.Type, call.Args[0]) {
+			ff.Allocs = append(ff.Allocs, AllocFact{What: "string conversion", Pos: posOf(p, call.Pos())})
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			if emit {
+				switch b.Name() {
+				case "make":
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "make", Pos: posOf(p, call.Pos())})
+				case "new":
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "new", Pos: posOf(p, call.Pos())})
+				case "append":
+					ff.Allocs = append(ff.Allocs, AllocFact{What: "append (possible growth)", Pos: posOf(p, call.Pos())})
+				case "close":
+					if len(call.Args) == 1 {
+						ctx.recordChanSignal(ff, call.Args[0], "close")
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Direct call of a function literal (IIFE, deferred closure): a call
+	// edge to the literal's unit.
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if emit {
+			if litID, ok := ctx.litIDs[fl]; ok {
+				ff.Calls = append(ff.Calls, CallFact{Callee: litID, Pos: posOf(p, call.Pos()), Held: heldClasses(held)})
+			}
+		}
+		return
+	}
+
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if isSel {
+		// Mutex lock effects.
+		if tv, ok := p.Info.Types[sel.X]; ok && isMutexType(tv.Type) {
+			expr := types.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				if emit {
+					var same []string
+					for hx, hc := range held {
+						if hc == classOf(ctx, sel.X) && hx == expr {
+							same = append(same, hx)
+						}
+					}
+					sort.Strings(same)
+					ff.Acquires = append(ff.Acquires, AcquireFact{
+						Class:    classOf(ctx, sel.X),
+						Expr:     expr,
+						RLock:    sel.Sel.Name == "RLock",
+						Pos:      posOf(p, call.Pos()),
+						Held:     heldClasses(held),
+						HeldSame: same,
+					})
+				}
+				if !isDefer {
+					held[expr] = classOf(ctx, sel.X)
+				}
+				return
+			case "Unlock", "RUnlock":
+				if !isDefer {
+					delete(held, expr)
+				}
+				return
+			}
+		}
+		// WaitGroup signals.
+		if tv, ok := p.Info.Types[sel.X]; ok && isWaitGroupType(tv.Type) {
+			if emit {
+				cls := classOf(ctx, sel.X)
+				switch sel.Sel.Name {
+				case "Done":
+					if cls == "param" {
+						ff.Signals = append(ff.Signals, "param")
+					} else {
+						ff.Signals = append(ff.Signals, "wg:"+cls)
+					}
+				case "Wait":
+					if cls != "param" {
+						ff.Waits = append(ff.Waits, cls)
+					}
+				}
+			}
+			// fall through: Done/Wait are also static calls, but edges to
+			// stdlib are dropped below anyway.
+		}
+	}
+
+	// Static callee resolution.
+	var fn *types.Func
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = p.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = p.Info.Uses[f.Sel].(*types.Func)
+	}
+	if fn != nil && emit {
+		ff.Calls = append(ff.Calls, CallFact{Callee: funcID(fn), Pos: posOf(p, call.Pos()), Held: heldClasses(held)})
+		// fmt/errors formatting allocates.
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "fmt" || pkg.Path() == "errors") {
+			switch fn.Name() {
+			case "Is", "As", "Unwrap":
+			default:
+				ff.Allocs = append(ff.Allocs, AllocFact{What: pkg.Path() + "." + fn.Name(), Pos: posOf(p, call.Pos())})
+			}
+		}
+		// Interface boxing of arguments.
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			recordArgBoxing(ctx, ff, call, sig)
+		}
+	}
+}
+
+// recordArgBoxing flags arguments whose concrete, non-pointer-shaped values
+// are passed into interface-typed parameters.
+func recordArgBoxing(ctx *unitCtx, ff *FuncFacts, call *ast.CallExpr, sig *types.Signature) {
+	p := ctx.p
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if s, ok := sig.Params().At(np - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxesInterface(p, pt, arg) {
+			ff.Allocs = append(ff.Allocs, AllocFact{What: "interface boxing (argument)", Pos: posOf(p, arg.Pos())})
+		}
+	}
+}
+
+// boxesInterface reports whether assigning e to an interface-typed slot may
+// heap-allocate: the value is concrete and not pointer-shaped.
+func boxesInterface(p *Package, target types.Type, e ast.Expr) bool {
+	if !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	// Constants (untyped literals, named consts) box into read-only static
+	// data — the compiler never heap-allocates them.
+	if tv.Value != nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+// emitSpawn records one `go` statement.
+func (ctx *unitCtx) emitSpawn(ff *FuncFacts, g *ast.GoStmt) {
+	p := ctx.p
+	sf := SpawnFact{Pos: posOf(p, g.Pos())}
+	switch f := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if litID, ok := ctx.litIDs[f]; ok {
+			sf.Callees = append(sf.Callees, litID)
+		}
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[f].(*types.Func); ok {
+			sf.Callees = append(sf.Callees, funcID(fn))
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[f.Sel].(*types.Func); ok {
+			sf.Callees = append(sf.Callees, funcID(fn))
+		}
+	}
+	ps := p.Position(g.Pos())
+	for _, line := range []int{ps.Line, ps.Line - 1} {
+		if reason, ok := ctx.detached[keyLine(ps.Filename, line)]; ok {
+			sf.Detached = true
+			sf.DetachReason = reason
+			break
+		}
+	}
+	ff.Spawns = append(ff.Spawns, sf)
+}
+
+// recordChanSignal records a channel operation as signal and join-side fact.
+func (ctx *unitCtx) recordChanSignal(ff *FuncFacts, ch ast.Expr, op string) {
+	cls := classOf(ctx, ch)
+	if cls == "param" {
+		ff.Signals = append(ff.Signals, "param")
+		return
+	}
+	switch op {
+	case "send":
+		ff.Signals = append(ff.Signals, "send:"+cls)
+	case "recv":
+		ff.Signals = append(ff.Signals, "recv:"+cls)
+		ff.Recvs = append(ff.Recvs, cls)
+	case "close":
+		ff.Signals = append(ff.Signals, "send:"+cls)
+		ff.Closes = append(ff.Closes, cls)
+	}
+}
+
+// recordWrites records struct-field writes among the given LHS expressions.
+func (ctx *unitCtx) recordWrites(ff *FuncFacts, lhs []ast.Expr, held map[string]string, fresh map[types.Object]bool) {
+	p := ctx.p
+	for _, e := range lhs {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		s, ok := p.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			continue
+		}
+		recv := s.Recv()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			continue
+		}
+		cls := classOfNamed(named.Obj())
+		isFresh := false
+		if root := rootIdent(sel.X); root != nil {
+			if obj := p.Info.Uses[root]; obj != nil && fresh[obj] {
+				isFresh = true
+			}
+		}
+		var sibs []string
+		for _, hc := range heldClasses(held) {
+			if m, ok := strings.CutPrefix(hc, cls+"."); ok && !strings.Contains(m, ".") {
+				sibs = append(sibs, m)
+			}
+		}
+		ff.Writes = append(ff.Writes, WriteFact{
+			Type:         cls,
+			Field:        sel.Sel.Name,
+			Pos:          posOf(p, sel.Sel.Pos()),
+			Fresh:        isFresh,
+			HeldSiblings: sibs,
+		})
+	}
+}
+
+// classOf canonicalizes the expression naming a lock/channel/wait-group.
+func classOf(ctx *unitCtx, e ast.Expr) string {
+	p := ctx.p
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[v]
+		if obj == nil {
+			obj = p.Info.Defs[v]
+		}
+		return classOfObj(ctx, obj, v.Name)
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[v]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			if ptr, isPtr := recv.(*types.Pointer); isPtr {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return classOfNamed(named.Obj()) + "." + v.Sel.Name
+			}
+		}
+		if obj := p.Info.Uses[v.Sel]; obj != nil {
+			return classOfObj(ctx, obj, v.Sel.Name)
+		}
+	case *ast.StarExpr:
+		return classOf(ctx, v.X)
+	case *ast.IndexExpr:
+		return classOf(ctx, v.X)
+	}
+	return "expr:" + types.ExprString(e)
+}
+
+// classOfObj canonicalizes a resolved object: parameters are caller-owned,
+// package-level variables get "pkg.name", locals a decl-position class that
+// is stable across the units capturing them.
+func classOfObj(ctx *unitCtx, obj types.Object, name string) string {
+	p := ctx.p
+	if obj == nil {
+		return "expr:" + name
+	}
+	if _, ok := obj.(*types.Var); ok {
+		if ctx.params[obj] {
+			return "param"
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		ps := p.Position(obj.Pos())
+		return "local " + obj.Name() + "@" + filepath.Base(ps.Filename) + ":" + itoa(ps.Line)
+	}
+	return "expr:" + name
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup or a pointer to one.
+func isWaitGroupType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isCtxDone reports whether e is a call of context.Context's Done method.
+func isCtxDone(p *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringByteConversion reports whether converting arg to target crosses
+// the string/[]byte/[]rune boundary (an allocating copy).
+func isStringByteConversion(p *Package, target types.Type, arg ast.Expr) bool {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant-folded
+	}
+	toStr := isStringType(target)
+	fromStr := isStringType(tv.Type)
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+	}
+	return (toStr && isByteish(tv.Type)) || (fromStr && isByteish(target))
+}

@@ -1,0 +1,416 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// summary.go extracts the per-package fact summaries that power the v3
+// interprocedural analyzers (lockorder, goleak, atomicver, noalloc). Each
+// function — and each function literal, as a separate unit — is reduced to a
+// JSON-serializable FuncFacts record: the static calls it makes (with the
+// lock set held at each call site), the locks it acquires (with the set held
+// at acquisition), the goroutines it spawns, the struct-field writes it
+// performs, the allocation sites a types-based heuristic can see, and the
+// join signals it emits (WaitGroup.Done, channel send/close/receive,
+// ctx.Done selects).
+//
+// Summaries deliberately contain no token.Pos or types.Object values:
+// positions are (file, line, col) triples and every object reference is
+// canonicalized to a string class, so a summary round-trips through the
+// fact cache (cache.go) and a warm run can feed the module-level pass
+// without re-parsing the package that produced it.
+//
+// Class canonicalization:
+//
+//	struct field      "pkg/path.Type.field"
+//	package-level var "pkg/path.var"
+//	local variable    "local name in <unit-id>"
+//	parameter         "param" (ownership lies with the caller)
+//
+// Function unit IDs are "pkg/path.Func" for functions,
+// "(*pkg/path.Type).Method" for methods and "<parent-id>$<n>" for the n-th
+// function literal inside a parent unit (source order).
+
+const (
+	noallocDirective   = "iam:noalloc"
+	detachedDirective  = "iam:detached"
+	lockorderDirective = "iam:lockorder"
+)
+
+// Pos is a cache-stable source position.
+type Pos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func posOf(p *Package, pos token.Pos) Pos {
+	ps := p.Position(pos)
+	return Pos{File: ps.Filename, Line: ps.Line, Col: ps.Column}
+}
+
+// CallFact is one statically resolved call site.
+type CallFact struct {
+	Callee string   `json:"callee"`
+	Pos    Pos      `json:"pos"`
+	Held   []string `json:"held,omitempty"` // lock classes held at the call
+}
+
+// AcquireFact is one mutex acquisition.
+type AcquireFact struct {
+	Class string   `json:"class"`
+	Expr  string   `json:"expr"` // source text of the mutex expression
+	RLock bool     `json:"rlock,omitempty"`
+	Pos   Pos      `json:"pos"`
+	Held  []string `json:"held,omitempty"` // classes already held
+	// HeldSame lists the expression texts of already-held locks of the same
+	// class: an identical text is a guaranteed self-deadlock.
+	HeldSame []string `json:"heldSame,omitempty"`
+}
+
+// SpawnFact is one `go` statement.
+type SpawnFact struct {
+	Pos Pos `json:"pos"`
+	// Callees names the spawned unit: the function literal's unit ID or the
+	// statically resolved callee. Empty when the call is dynamic.
+	Callees      []string `json:"callees,omitempty"`
+	Detached     bool     `json:"detached,omitempty"`
+	DetachReason string   `json:"detachReason,omitempty"`
+}
+
+// WriteFact is one struct-field write (assignment or ++/--).
+type WriteFact struct {
+	Type  string `json:"type"` // owning struct class "pkg.T"
+	Field string `json:"field"`
+	Pos   Pos    `json:"pos"`
+	Fresh bool   `json:"fresh,omitempty"` // base constructed in this function
+	// HeldSiblings lists mutex fields of Type whose class was held at the
+	// write — evidence for a mechanical iam:guardedby annotation fix.
+	HeldSiblings []string `json:"heldSiblings,omitempty"`
+}
+
+// AllocFact is one heuristic allocation site.
+type AllocFact struct {
+	What string `json:"what"`
+	Pos  Pos    `json:"pos"`
+}
+
+// FuncFacts is the summary of one function or function-literal unit.
+type FuncFacts struct {
+	ID      string `json:"id"`
+	Pos     Pos    `json:"pos"`
+	EndLine int    `json:"endLine"`
+	NoAlloc bool   `json:"noalloc,omitempty"`
+
+	Calls    []CallFact    `json:"calls,omitempty"`
+	Acquires []AcquireFact `json:"acquires,omitempty"`
+	Spawns   []SpawnFact   `json:"spawns,omitempty"`
+	Writes   []WriteFact   `json:"writes,omitempty"`
+	Allocs   []AllocFact   `json:"allocs,omitempty"`
+
+	// Signals are the join signals this body emits when run as a goroutine:
+	// "wg:C" (WaitGroup C Done), "send:C" (send/close on channel C),
+	// "recv:C" (receive on channel C), "ctx" (selects on a Done channel),
+	// "param" (signals through a caller-owned parameter).
+	Signals []string `json:"signals,omitempty"`
+	// Join-side facts, unioned module-wide by goleak: WaitGroup classes
+	// Wait()ed on, channel classes received from, channel classes closed.
+	Waits  []string `json:"waits,omitempty"`
+	Recvs  []string `json:"recvs,omitempty"`
+	Closes []string `json:"closes,omitempty"`
+}
+
+// OrderFact is one `iam:lockorder A > B` declaration: A may be held while
+// acquiring B, never the reverse.
+type OrderFact struct {
+	Before string `json:"before"`
+	After  string `json:"after"`
+	Pos    Pos    `json:"pos"`
+}
+
+// FieldFact describes one field of an atomic.Pointer-published struct that
+// is declared in the same package, carrying what a mechanical annotation fix
+// needs.
+type FieldFact struct {
+	Type      string `json:"type"`
+	Field     string `json:"field"`
+	Pos       Pos    `json:"pos"`
+	EndOffset int    `json:"endOffset"` // byte offset just after the field type
+	// HasComment blocks the fix: appending to an existing trailing comment
+	// is not mechanically safe.
+	HasComment bool     `json:"hasComment,omitempty"`
+	Mutexes    []string `json:"mutexes,omitempty"` // sibling mutex field names
+}
+
+// PkgFacts is one package's full summary.
+type PkgFacts struct {
+	PkgPath string       `json:"pkgPath"`
+	Funcs   []*FuncFacts `json:"funcs,omitempty"`
+	Orders  []OrderFact  `json:"orders,omitempty"`
+	// Published lists struct classes stored in an atomic.Pointer[T] field or
+	// variable of this package.
+	Published []string `json:"published,omitempty"`
+	// Guarded maps field classes to their guarding mutex class, taken from
+	// the same field annotations the guardedby analyzer enforces.
+	Guarded map[string]string `json:"guarded,omitempty"`
+	Fields  []FieldFact       `json:"fields,omitempty"`
+}
+
+// classOfNamed is the canonical class of a named type.
+func classOfNamed(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// funcID canonicalizes a function object to its unit ID.
+func funcID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		prefix := ""
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+			prefix = "*"
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return "(" + prefix + classOfNamed(named.Obj()) + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// hasDirective reports whether a comment group carries the bare directive,
+// and returns the remainder of its line.
+func hasDirective(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+		text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+		if text == directive {
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, directive+" "); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// SummarizePackage reduces one loaded package to its fact summary.
+func SummarizePackage(p *Package) *PkgFacts {
+	pf := &PkgFacts{PkgPath: p.PkgPath, Guarded: map[string]string{}}
+	anns, _ := collectGuarded(p) // annotation-shape diags belong to guardedby
+	for obj, g := range anns {
+		if g.owner != nil {
+			owner := classOfNamed(g.owner)
+			pf.Guarded[owner+"."+obj.Name()] = owner + "." + g.mutex
+		} else {
+			pf.Guarded[p.PkgPath+"."+obj.Name()] = p.PkgPath + "." + g.mutex
+		}
+	}
+	collectPublished(p, pf)
+	collectLockOrders(p, pf)
+	detached := detachedComments(p)
+
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			summarizeDecl(p, pf, fd, anns, detached)
+		}
+	}
+	sort.Slice(pf.Funcs, func(i, j int) bool { return pf.Funcs[i].ID < pf.Funcs[j].ID })
+	return pf
+}
+
+// detachedComments maps "file:line" to the reason text of iam:detached
+// directives; an annotated line with an empty reason maps to "".
+func detachedComments(p *Package) map[string]string {
+	out := map[string]string{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				rest, ok := strings.CutPrefix(text, detachedDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				ps := p.Position(c.Pos())
+				out[keyLine(ps.Filename, ps.Line)] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return out
+}
+
+func keyLine(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// collectLockOrders gathers iam:lockorder declarations from every comment in
+// the package. The operands resolve within the declaring package:
+// "Type.field" names a mutex field, a bare name a package-level mutex.
+func collectLockOrders(p *Package, pf *PkgFacts) {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				rest, ok := strings.CutPrefix(text, lockorderDirective+" ")
+				if !ok {
+					continue
+				}
+				parts := strings.Split(rest, ">")
+				if len(parts) != 2 {
+					continue
+				}
+				before := strings.TrimSpace(parts[0])
+				for _, after := range strings.Split(parts[1], "/") {
+					after = strings.TrimSpace(after)
+					if before == "" || after == "" {
+						continue
+					}
+					pf.Orders = append(pf.Orders, OrderFact{
+						Before: p.PkgPath + "." + before,
+						After:  p.PkgPath + "." + after,
+						Pos:    posOf(p, c.Pos()),
+					})
+				}
+			}
+		}
+	}
+}
+
+// collectPublished finds atomic.Pointer[T] fields and variables and records
+// T as a published class; for published structs declared in this same
+// package it also records per-field annotation-fix metadata.
+func collectPublished(p *Package, pf *PkgFacts) {
+	published := map[string]bool{}
+	record := func(t types.Type) {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+			return
+		}
+		args := named.TypeArgs()
+		if args == nil || args.Len() != 1 {
+			return
+		}
+		arg := args.At(0)
+		if ptr, isPtr := arg.(*types.Pointer); isPtr {
+			arg = ptr.Elem()
+		}
+		argNamed, ok := arg.(*types.Named)
+		if !ok {
+			return
+		}
+		if _, isStruct := argNamed.Underlying().(*types.Struct); !isStruct {
+			return
+		}
+		published[classOfNamed(argNamed.Obj())] = true
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.Field:
+				if tv, ok := p.Info.Types[v.Type]; ok {
+					record(tv.Type)
+				}
+			case *ast.ValueSpec:
+				if v.Type != nil {
+					if tv, ok := p.Info.Types[v.Type]; ok {
+						record(tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for cls := range published {
+		pf.Published = append(pf.Published, cls)
+	}
+	sort.Strings(pf.Published)
+
+	// Field metadata for same-package published structs.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				cls := p.PkgPath + "." + ts.Name.Name
+				if !published[cls] {
+					continue
+				}
+				var mutexes []string
+				for _, field := range st.Fields.List {
+					if tv, ok := p.Info.Types[field.Type]; ok && isMutexType(tv.Type) {
+						for _, name := range field.Names {
+							mutexes = append(mutexes, name.Name)
+						}
+					}
+				}
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						pf.Fields = append(pf.Fields, FieldFact{
+							Type:       cls,
+							Field:      name.Name,
+							Pos:        posOf(p, field.Pos()),
+							EndOffset:  p.Position(field.Type.End()).Offset,
+							HasComment: field.Comment != nil,
+							Mutexes:    mutexes,
+						})
+					}
+				}
+			}
+		}
+	}
+}

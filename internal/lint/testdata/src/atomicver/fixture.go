@@ -1,0 +1,56 @@
+// Package atomicver is a fixture for the atomicver analyzer.
+package atomicver
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Config is published through an atomic.Pointer below, so it must be
+// immutable after construction except for explicitly guarded fields.
+type Config struct {
+	limit int
+	mu    sync.Mutex
+	hits  int // iam:guardedby mu
+	note  string
+}
+
+// Holder publishes *Config.
+type Holder struct {
+	cur atomic.Pointer[Config]
+}
+
+func Publish(h *Holder) {
+	c := &Config{limit: 10}
+	c.limit = 20 // fresh: still constructing, not yet published
+	h.cur.Store(c)
+}
+
+func Mutate(h *Holder) {
+	c := h.cur.Load()
+	c.limit = 7 // want "must be immutable"
+}
+
+func MutateGuarded(h *Holder) {
+	c := h.cur.Load()
+	c.mu.Lock()
+	c.hits++ // declared exception: iam:guardedby mu
+	c.mu.Unlock()
+}
+
+// bump is the interprocedural case: the write site never mentions the
+// atomic pointer — publication is a module-wide property of Config.
+func bump(c *Config) {
+	c.limit++ // want "must be immutable"
+}
+
+func SetNote(h *Holder) {
+	c := h.cur.Load()
+	c.note = "tweaked" // want "must be immutable"
+}
+
+func Suppressed(h *Holder) {
+	c := h.cur.Load()
+	//lint:ignore atomicver fixture demonstrates suppression
+	c.limit = 9
+}

@@ -1,0 +1,92 @@
+// Package goleak is a fixture for the goleak analyzer.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func leakyWorker() {}
+
+func LeakPlain() {
+	go leakyWorker() // want "no join point"
+}
+
+func JoinedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func JoinedBySend() {
+	done := make(chan bool)
+	go func() {
+		done <- true
+	}()
+	<-done
+}
+
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Worker's spawn is joined interprocedurally: work calls finish, which
+// closes done; Join receives from it.
+type Worker struct {
+	done chan struct{}
+}
+
+func (w *Worker) work()   { w.finish() }
+func (w *Worker) finish() { close(w.done) }
+
+func (w *Worker) Start() {
+	go w.work()
+}
+
+func (w *Worker) Join() {
+	<-w.done
+}
+
+// Orphan's spawn is unjoined interprocedurally: run reaches a send through
+// emit, but nothing in the module ever receives from ch.
+type Orphan struct {
+	ch chan int
+}
+
+func (o *Orphan) run()  { o.emit() }
+func (o *Orphan) emit() { o.ch <- 1 }
+
+func StartOrphan(o *Orphan) {
+	go o.run() // want "no join point"
+}
+
+// RangeConsumer is joined by the close: the goroutine ranges over jobs and
+// the spawner closes the channel.
+func RangeConsumer() {
+	jobs := make(chan int)
+	go func() {
+		for range jobs {
+		}
+	}()
+	close(jobs)
+}
+
+func Detached() {
+	// iam:detached fixture keep-alive runs for the process lifetime
+	go leakyWorker()
+}
+
+func DetachedNoReason() {
+	// iam:detached
+	go leakyWorker() // want "requires a reason"
+}
+
+func Suppressed() {
+	//lint:ignore goleak fixture demonstrates suppression
+	go leakyWorker()
+}

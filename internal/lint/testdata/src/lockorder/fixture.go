@@ -1,0 +1,84 @@
+// Package lockorder is a fixture for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+// iam:lockorder outer > inner
+
+var (
+	outer sync.Mutex
+	inner sync.Mutex
+)
+
+// Pair carries three mutexes whose acquisition orders conflict across the
+// functions below.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+}
+
+func AB(p *Pair) {
+	p.a.Lock()
+	p.b.Lock() // want "lock order cycle"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func BA(p *Pair) {
+	p.b.Lock()
+	p.a.Lock() // want "lock order cycle"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// lockC is the interprocedural hop: Interproc holds a and calls it, so the
+// summary-applied edge is a -> c even though Interproc never names c.
+func lockC(p *Pair) {
+	p.c.Lock()
+	p.c.Unlock()
+}
+
+func Interproc(p *Pair) {
+	p.a.Lock()
+	lockC(p) // want "lock order cycle"
+	p.a.Unlock()
+}
+
+func CA(p *Pair) {
+	p.c.Lock()
+	p.a.Lock() // want "lock order cycle"
+	p.a.Unlock()
+	p.c.Unlock()
+}
+
+// ViolatesDecl acquires against the declared `outer > inner` hierarchy
+// without (yet) closing an observed cycle.
+func ViolatesDecl() {
+	inner.Lock()
+	outer.Lock() // want "violating declared order"
+	outer.Unlock()
+	inner.Unlock()
+}
+
+func DeclOrderOK() {
+	outer.Lock()
+	inner.Lock()
+	inner.Unlock()
+	outer.Unlock()
+}
+
+func SelfDeadlock(p *Pair) {
+	p.c.Lock()
+	p.c.Lock() // want "self-deadlock"
+	p.c.Unlock()
+	p.c.Unlock()
+}
+
+func SuppressedSelf(p *Pair) {
+	p.b.Lock()
+	//lint:ignore lockorder fixture demonstrates suppressing a deliberate re-lock
+	p.b.Lock()
+	p.b.Unlock()
+	p.b.Unlock()
+}

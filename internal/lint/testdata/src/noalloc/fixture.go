@@ -1,0 +1,50 @@
+// Package noalloc is a fixture for the noalloc analyzer.
+package noalloc
+
+// Hot is the clean case: arithmetic over a caller-provided slice.
+//
+// iam:noalloc
+func Hot(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}
+
+// iam:noalloc
+func BadLit(n int) []int {
+	return make([]int, n) // want "allocation in iam:noalloc function"
+}
+
+// iam:noalloc
+func BadAppend(xs []int, v int) []int {
+	return append(xs, v) // want "allocation in iam:noalloc function"
+}
+
+// helper allocates but carries no directive of its own.
+func helper(n int) []byte {
+	return make([]byte, n)
+}
+
+// BadInterproc never allocates directly; the finding comes from helper's
+// summary applied at the call site.
+//
+// iam:noalloc
+func BadInterproc(n int) []byte {
+	return helper(n) // want "may allocate"
+}
+
+// iam:noalloc
+func Suppressed(xs []int, v int) []int {
+	//lint:ignore noalloc capacity is pre-sized by the caller
+	return append(xs, v)
+}
+
+// CallsTrusted calls another iam:noalloc function; the callee's directive is
+// trusted, so no transitive finding fires.
+//
+// iam:noalloc
+func CallsTrusted(xs []float64) float64 {
+	return Hot(xs)
+}

@@ -87,6 +87,8 @@ func newMaskedLinear(in, out int, mask *vecmath.Matrix, rng *rand.Rand) *maskedL
 }
 
 // forward computes y = x·Wᵀ + b for batch x (B×in), y (B×out).
+//
+// iam:noalloc
 func (l *maskedLinear) forward(y, x *vecmath.Matrix) {
 	vecmath.MatMulABT(y, x, l.w)
 	for r := 0; r < y.Rows; r++ {
@@ -101,6 +103,8 @@ func (l *maskedLinear) forward(y, x *vecmath.Matrix) {
 // dx may be nil when the input gradient is not needed. gtmp is caller-owned
 // out×in scratch for the unmasked weight gradient (reused across calls so the
 // hot loop stays allocation-free).
+//
+// iam:noalloc
 func (l *maskedLinear) backward(dx, dy, x *vecmath.Matrix, g *layerGrads, gtmp *vecmath.Matrix) {
 	// dW += dyᵀ·x, masked.
 	vecmath.MatMulATB(gtmp, dy, x)
@@ -390,10 +394,12 @@ func (n *ResMADE) NewSession(maxBatch int) *Session {
 // Forward runs the network on a batch of encoded rows. Each code may be the
 // column's MaskToken to signal a wildcard input. Logits become available via
 // Logits().
+//
+// iam:noalloc
 func (s *Session) Forward(rows [][]int) {
 	n := s.net
 	if len(rows) > s.maxBatch {
-		//lint:ignore nopanic per-batch hot path; an oversized batch is a programmer error and an error return would poison every sampling inner loop
+		//lint:ignore nopanic,noalloc per-batch cold path; an oversized batch is a programmer error and an error return would poison every sampling inner loop
 		panic(fmt.Sprintf("nn: batch %d exceeds session max %d", len(rows), s.maxBatch))
 	}
 	s.B = len(rows)
@@ -409,7 +415,7 @@ func (s *Session) Forward(rows [][]int) {
 		dst := x0.Row(r)
 		for c, code := range row {
 			if code < 0 || code > n.Cards[c] {
-				//lint:ignore nopanic per-row hot path; out-of-domain codes mean a corrupted encoder, not a recoverable input
+				//lint:ignore nopanic,noalloc per-row cold path; out-of-domain codes mean a corrupted encoder, not a recoverable input
 				panic(fmt.Sprintf("nn: column %d code %d out of [0,%d]", c, code, n.Cards[c]))
 			}
 			copy(dst[n.embedOff[c]:n.embedOff[c]+n.EmbedDims[c]], n.embeds[c].Row(code))
@@ -478,14 +484,22 @@ func (s *Session) ensureGrads() *Grads {
 func (s *Session) Grads() *Grads { return s.ensureGrads() }
 
 // ZeroGrad clears this session's accumulated gradients.
-func (s *Session) ZeroGrad() { s.ensureGrads().Zero() }
+//
+// iam:noalloc
+func (s *Session) ZeroGrad() {
+	//lint:ignore noalloc lazy first-use construction; steady state reuses the session accumulator
+	s.ensureGrads().Zero()
+}
 
 // Backward accumulates parameter gradients for the current batch into the
 // session's own Grads, given dL/dlogits (B×outDim). Call Session.ZeroGrad
 // before and net.AdamStep(lr, scale, sess.Grads()) after — or merge several
 // sessions' accumulators with ReduceGrads first for data-parallel training.
+//
+// iam:noalloc
 func (s *Session) Backward(dLogits *vecmath.Matrix) {
 	n := s.net
+	//lint:ignore noalloc lazy first-use construction; steady state reuses the session accumulator
 	g := s.ensureGrads()
 	b := s.B
 	last := len(n.layers)

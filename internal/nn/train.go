@@ -77,10 +77,13 @@ func epochRNG(seed int64, epoch int) *rand.Rand {
 // CrossEntropyGrad computes the summed negative log-likelihood of targets
 // under the session's current logits and fills dLogits with the gradient
 // (softmax − onehot) for every row and column. dLogits must be B×outDim.
+//
+// iam:noalloc
 func (s *Session) CrossEntropyGrad(targets [][]int, dLogits *vecmath.Matrix) float64 {
 	n := s.net
 	var nll float64
 	if s.probs == nil {
+		//lint:ignore noalloc lazy first-use construction; steady state reuses the session softmax buffer
 		s.probs = make([]float64, maxCard(n.Cards))
 	}
 	probs := s.probs

@@ -185,3 +185,72 @@ func TestHTTPOverloadSetsRetryAfter(t *testing.T) {
 	}
 	mustClose(t, s)
 }
+
+// TestHTTPOverloadRetryAfterMatchesStats pins the consistency contract
+// between the two faces of admission control: at the instant a probe gets a
+// 429, the /stats snapshot must agree — queue at capacity, the rejection
+// counted — and the Retry-After header must render exactly the configured
+// backoff hint. A 429 whose stats still claim a free queue (or vice versa)
+// would send clients into exactly the retry storm the hint exists to damp.
+func TestHTTPOverloadRetryAfterMatchesStats(t *testing.T) {
+	_, tbl := testModel(t)
+	s, err := NewInjected(Config{
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+		QueueDepth:  1,
+		MaxInFlight: 1,
+		RetryAfter:  3 * time.Second,
+	}, tbl, &faultinject.SlowEstimator{Delay: 700 * time.Millisecond, Value: 0.5},
+		&faultinject.ConstEstimator{Value: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := s.Handler()
+
+	// Saturate exactly as TestHTTPOverloadSetsRetryAfter does: one request
+	// holds the dispatcher for 700ms, one waits on the in-flight slot, one
+	// fills the queue; the probe lands while all three are stuck.
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		go func() {
+			r := httptest.NewRequest("POST", "/estimate", strings.NewReader(`{"query": "latitude <= 40"}`))
+			handler.ServeHTTP(httptest.NewRecorder(), r)
+			done <- struct{}{}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	r := httptest.NewRequest("POST", "/estimate", strings.NewReader(`{"query": "latitude <= 40"}`))
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, r)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("probe against a saturated server got %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want %q (the configured 3s hint)", ra, "3")
+	}
+
+	// The rejecting 429 and the stats snapshot must describe the same world:
+	// the queue the request could not enter is full, and the rejection was
+	// counted. The slow dispatch still has ~600ms to run, so the snapshot
+	// deterministically observes the saturated state.
+	statsRec := httptest.NewRecorder()
+	handler.ServeHTTP(statsRec, httptest.NewRequest("GET", "/stats", nil))
+	var st Stats
+	if err := json.Unmarshal(statsRec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats not valid JSON: %v\n%s", err, statsRec.Body.Bytes())
+	}
+	if st.QueueLen != st.QueueCap {
+		t.Fatalf("429 issued but stats report queue %d/%d — admission and stats disagree", st.QueueLen, st.QueueCap)
+	}
+	if st.QueueCap != 1 {
+		t.Fatalf("queue_cap = %d, want the configured 1", st.QueueCap)
+	}
+	if st.Rejected == 0 {
+		t.Fatal("429 issued but stats count zero rejections")
+	}
+
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	mustClose(t, s)
+}

@@ -161,7 +161,13 @@ type Server struct {
 	cfg   Config
 	table *dataset.Table
 
-	cur    atomic.Pointer[version]
+	cur atomic.Pointer[version]
+
+	// swapMu serializes version installs (swap, rollback, train bookkeeping).
+	// It is the top of serve's lock order: code holding closeMu or latMu must
+	// never wait on it.
+	//
+	// iam:lockorder Server.swapMu > Server.closeMu/Server.latMu
 	swapMu sync.Mutex
 	prev   *version // iam:guardedby swapMu — rollback target; nil once used or superseded
 	nextID int      // iam:guardedby swapMu
@@ -244,15 +250,26 @@ func (s *Server) Estimate(ctx context.Context, q *query.Query) (Result, error) {
 		}
 	}
 	r := &request{ctx: ctx, q: q, done: make(chan Result, 1)}
+	if err := s.enqueue(r); err != nil {
+		return Result{}, err
+	}
+	res := <-r.done
+	s.reqWG.Done()
+	return res, res.Err
+}
 
-	// The closing check, the WaitGroup Add and the enqueue share one read
-	// lock so Close's closing-flip (write lock) strictly orders every Add
-	// before its reqWG.Wait — no Add-after-Wait race, and no request slips
-	// into the queue after the batcher starts its final drain.
+// enqueue is the admission hot path: the closing check, the WaitGroup Add
+// and the queue send share one read lock so Close's closing-flip (write
+// lock) strictly orders every Add before its reqWG.Wait — no Add-after-Wait
+// race, and no request slips into the queue after the batcher starts its
+// final drain. On success the caller owns one reqWG count.
+//
+// iam:noalloc
+func (s *Server) enqueue(r *request) error {
 	s.closeMu.RLock()
 	if s.closing {
 		s.closeMu.RUnlock()
-		return Result{}, ErrClosed
+		return ErrClosed
 	}
 	s.reqWG.Add(1)
 	select {
@@ -262,12 +279,10 @@ func (s *Server) Estimate(ctx context.Context, q *query.Query) (Result, error) {
 		s.reqWG.Done()
 		s.closeMu.RUnlock()
 		s.rejected.Add(1)
-		return Result{}, ErrOverloaded
+		return ErrOverloaded
 	}
 	s.accepted.Add(1)
-	res := <-r.done
-	s.reqWG.Done()
-	return res, res.Err
+	return nil
 }
 
 // RetryAfter is the configured backoff hint for ErrOverloaded rejections.

@@ -419,3 +419,65 @@ func TestServerBackgroundTrainingSwaps(t *testing.T) {
 		t.Fatalf("post-retrain answer (%+v, %v), want version 5", res, err)
 	}
 }
+
+// TestDeadlineExpiresWhileQueuedStillAnswered pins the admission edge the
+// deadline machinery must not drop: a request admitted into the queue whose
+// deadline expires before its batch ever reaches the dispatcher. The
+// per-request watchdogs only guard requests inside a running batch, so the
+// expired request is answered on the next dispatch's arrival sweep — late,
+// but from the cheap tier, never an error and never a hang.
+func TestDeadlineExpiresWhileQueuedStillAnswered(t *testing.T) {
+	_, tbl := testModel(t)
+	slow := &faultinject.SlowEstimator{Delay: 400 * time.Millisecond, Value: 0.5}
+	s, err := NewInjected(Config{
+		MaxBatch:    1,
+		BatchWindow: time.Millisecond,
+		QueueDepth:  4,
+		MaxInFlight: 1,
+	}, tbl, slow, &faultinject.ConstEstimator{Value: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+	q := testutil.Workload(t, tbl, query.GenConfig{NumQueries: 1, Seed: 93}).Queries[0]
+
+	// Occupy the single dispatcher slot for 400ms.
+	blockerDone := make(chan error, 1)
+	go func() {
+		_, err := s.Estimate(context.Background(), q)
+		blockerDone <- err
+	}()
+	// Wait until the blocker is actually dispatched (queue drained), then
+	// enqueue the victim with a deadline far shorter than the 400ms block.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Batches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker batch never dispatched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := s.Estimate(ctx, q)
+	if err != nil {
+		t.Fatalf("queued request whose deadline expired got error %v, want a fallback answer", err)
+	}
+	if res.Source != SourceDeadline {
+		t.Fatalf("source = %q, want %q (deadline expired before the batch ran)", res.Source, SourceDeadline)
+	}
+	if res.Selectivity < 0 || res.Selectivity > 1 {
+		t.Fatalf("fallback selectivity %v out of range", res.Selectivity)
+	}
+	// The answer could only arrive after the blocker freed the dispatcher —
+	// i.e. the deadline genuinely expired while the victim was queued.
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Fatalf("victim answered after %v — it never actually waited behind the blocker", waited)
+	}
+	if err := <-blockerDone; err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	if st := s.Stats(); st.DeadlineFallbacks == 0 {
+		t.Fatal("stats count zero deadline fallbacks")
+	}
+}

@@ -21,16 +21,19 @@ const kBlock = 256
 const jBlockABT = 64
 
 // MatMul computes dst = a·b. dst must be a.Rows×b.Cols and distinct from a, b.
+//
+// iam:noalloc
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("vecmath: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+		//lint:ignore noalloc cold shape-violation panic, never taken on the hot path
+		panic(fmt.Sprintf("vecmath: matmul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
 	nw, chunk, sem := parPlan(a.Rows, a.Cols*dst.Cols)
 	if nw <= 1 {
 		matMulBlock(dst, a, b, 0, a.Rows)
 		return
 	}
+	//lint:ignore noalloc parallel-path closure, amortized over targetChunkFlops of work per helper
 	fanOut(a.Rows, chunk, sem, func(lo, hi int) { matMulBlock(dst, a, b, lo, hi) })
 }
 
@@ -72,6 +75,8 @@ func matMulBlock(dst, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulATB computes dst = aᵀ·b, where a is n×r and b is n×c; dst is r×c.
+//
+// iam:noalloc
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("vecmath: matmulATB shape mismatch")
@@ -81,6 +86,7 @@ func MatMulATB(dst, a, b *Matrix) {
 		matMulATBBlock(dst, a, b, 0, dst.Rows)
 		return
 	}
+	//lint:ignore noalloc parallel-path closure, amortized over targetChunkFlops of work per helper
 	fanOut(dst.Rows, chunk, sem, func(lo, hi int) { matMulATBBlock(dst, a, b, lo, hi) })
 }
 
@@ -119,6 +125,8 @@ func matMulATBBlock(dst, a, b *Matrix, lo, hi int) {
 // MatMulABT computes dst = a·bᵀ, where a is n×c and b is m×c; dst is n×m.
 // The inner dot product is unrolled four-wide with two output columns per
 // pass — this is the hottest kernel of the neural-network engine.
+//
+// iam:noalloc
 func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("vecmath: matmulABT shape mismatch")
@@ -128,6 +136,7 @@ func MatMulABT(dst, a, b *Matrix) {
 		matMulABTBlock(dst, a, b, 0, a.Rows)
 		return
 	}
+	//lint:ignore noalloc parallel-path closure, amortized over targetChunkFlops of work per helper
 	fanOut(a.Rows, chunk, sem, func(lo, hi int) { matMulABTBlock(dst, a, b, lo, hi) })
 }
 

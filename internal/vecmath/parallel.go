@@ -98,6 +98,8 @@ func parPlan(n, rowWork int) (nw, chunk int, sem chan struct{}) {
 // layer's parameters per task), results are bit-identical for every
 // Parallelism setting. With a budget of 1 the loop runs inline without
 // forming a single closure, keeping serial callers allocation-free.
+//
+// iam:noalloc
 func Do(n int, task func(i int)) {
 	parMu.Lock()
 	maxW := parMax
@@ -109,11 +111,13 @@ func Do(n int, task func(i int)) {
 		}
 		return
 	}
+	//lint:ignore noalloc wg is moved to the heap by the helper captures, but only the parallel path reaches this decl; the serial steady state returned above
 	var wg sync.WaitGroup
 	for i := 0; i < n-1; i++ {
 		select {
 		case sem <- struct{}{}:
 			wg.Add(1)
+			//lint:ignore noalloc parallel-path spawn, only reached when the worker budget exceeds 1; the serial steady state runs the inline loop above
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()

@@ -30,6 +30,24 @@ func TestDoRunsEveryTaskOnce(t *testing.T) {
 	}
 }
 
+// TestDoSerialDispatchNoAlloc pins the iam:noalloc contract on Do's
+// steady-state dispatch: with a worker budget of 1 the inline loop must not
+// heap-allocate — no WaitGroup, no closure, nothing. The task closure is
+// formed once outside the measured region, the way callers hold theirs
+// across batches.
+func TestDoSerialDispatchNoAlloc(t *testing.T) {
+	prev := Parallelism(1)
+	defer Parallelism(prev)
+	var sink int64
+	task := func(i int) { sink += int64(i) }
+	if n := testing.AllocsPerRun(20, func() { Do(64, task) }); n > 0 {
+		t.Fatalf("serial Do(64) allocates %v per dispatch, want 0", n)
+	}
+	if sink == 0 {
+		t.Fatal("tasks did not run")
+	}
+}
+
 // TestDoDisjointTasksBitIdentical: tasks that each own a disjoint slice
 // region must produce bit-identical results for every budget, since Do never
 // splits a task's own (serial) accumulation.

@@ -65,8 +65,11 @@ func View(m *Matrix, rows int) *Matrix {
 // large operations to worker goroutines, which makes their operands escape —
 // so a fresh header per call would heap-allocate even on the serial path.
 // Long-lived callers (nn.Session) allocate headers once and re-aim them here.
+//
+// iam:noalloc
 func ViewInto(dst, src *Matrix, rows int) *Matrix {
 	if rows < 0 || rows > src.Rows {
+		//lint:ignore noalloc cold shape-violation panic, never taken on the hot path
 		panic(fmt.Sprintf("vecmath: view of %d rows from a %dx%d matrix", rows, src.Rows, src.Cols))
 	}
 	dst.Rows, dst.Cols, dst.Data = rows, src.Cols, src.Data[:rows*src.Cols]
