@@ -11,7 +11,7 @@ BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMat
 TRAIN_BENCH_PATTERN = ^BenchmarkTrainJoint$$
 SERVE_BENCH_PATTERN = ^BenchmarkServeLatency$$
 
-.PHONY: build test test-short lint lint-warn lint-fix lint-json lint-graph noalloc-check vet bench-json clean
+.PHONY: build test test-short lint lint-warn lint-fix lint-json lint-det lint-graph noalloc-check vet bench-json clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ lint-fix:
 # lint-json emits machine-readable diagnostics (used by CI artifacts).
 lint-json:
 	$(GO) run ./cmd/iamlint -json -severity=warn ./...
+
+# lint-det runs just the two taint analyzers (detflow + numflow) for a fast
+# determinism/numeric-safety sweep with witness call paths. -checks bypasses
+# the fact cache, so this always re-walks the graph.
+lint-det:
+	$(GO) run ./cmd/iamlint -checks=detflow,numflow ./...
 
 # lint-graph dumps the module's static call graph and lock-order graph as
 # DOT, for eyeballing what the interprocedural analyzers reason over.

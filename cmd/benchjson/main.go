@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -44,6 +45,14 @@ type benchFile struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	CPU    string `json:"cpu,omitempty"`
+	// GitSHA is the commit the benchmarked tree was at (HEAD when benchjson
+	// ran). Omitted when the working directory is not a git checkout, so the
+	// tool still works on exported trees.
+	GitSHA string `json:"git_sha,omitempty"`
+	// NumCPU is the host's logical CPU count — the denominator behind every
+	// workers=max entry, without which the scaling ratios of two trajectory
+	// files cannot be compared.
+	NumCPU int `json:"num_cpu"`
 	// EstimateBatchSpeedup is ns/op(workers=1) divided by ns/op(workers=max)
 	// for BenchmarkEstimateBatch — the serving worker-scaling headline.
 	// Omitted when either entry is missing from the run.
@@ -71,7 +80,13 @@ func main() {
 }
 
 func run(r io.Reader, out string) error {
-	bf := benchFile{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	bf := benchFile{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		GitSHA: gitSHA(),
+		NumCPU: runtime.NumCPU(),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	pkg := ""
@@ -165,6 +180,16 @@ func parseBenchLine(line string) (*benchResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// gitSHA returns the checkout's HEAD commit, or "" when git is unavailable
+// or the working directory is not a repository.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // serveMetric lifts one quantile column out of BenchmarkServeLatency's

@@ -182,6 +182,8 @@ func maxCard(cards []int) int {
 // Estimate runs unbiased progressive sampling for a single query whose
 // per-column constraints are cons (nil = unqueried, wildcard-skipped). sess
 // must accommodate numSamples rows.
+//
+// iam:deterministic
 func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rng *rand.Rand) (float64, error) {
 	res, err := m.EstimateBatch(sess, [][]Constraint{cons}, numSamples, rng)
 	if err != nil {
@@ -196,6 +198,8 @@ func (m *Model) Estimate(sess *nn.Session, cons []Constraint, numSamples int, rn
 // len(consList)·numSamples rows. All queries draw from the one shared rng in
 // a fixed order; EstimateBatchScratch is the reusable-buffer variant with
 // per-query streams.
+//
+// iam:deterministic
 func (m *Model) EstimateBatch(sess *nn.Session, consList [][]Constraint, numSamples int, rng *rand.Rand) ([]float64, error) {
 	nq := len(consList)
 	if err := m.checkArity(consList); err != nil {
@@ -230,6 +234,9 @@ func (m *Model) checkArity(consList [][]Constraint) error {
 // reseeded to seeds[i], so its estimate is a pure function of (model, query,
 // seed) — independent of batch composition, worker count, or execution order.
 // The returned slice aliases sc and is valid until the next call on sc.
+//
+// iam:deterministic
+// iam:numsafe
 func (m *Model) EstimateBatchScratch(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int, seeds []int64) ([]float64, error) {
 	if len(seeds) != len(consList) {
 		return nil, fmt.Errorf("ar: %d seeds for %d queries", len(seeds), len(consList))
@@ -248,6 +255,7 @@ func (m *Model) EstimateBatchScratch(sess *nn.Session, sc *EstimateScratch, cons
 // It performs no heap allocation beyond what Constraint implementations
 // allocate (the built-in ones allocate nothing).
 //
+// iam:numsafe
 // iam:noalloc
 func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples int) []float64 {
 	nCols := len(m.Cards)

@@ -421,6 +421,8 @@ func (m *Model) rawCode(ci, ri int) (int, error) {
 // epochRNG derives the deterministic RNG of one joint-training epoch from
 // (seed, epoch) alone, so a run resumed from an epoch checkpoint replays
 // exactly the shuffles and wildcard masks of an uninterrupted run.
+//
+// iam:detsource explicitly seeded source; the stream is a pure function of (seed, epoch)
 func epochRNG(seed int64, epoch int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
 }
@@ -603,6 +605,8 @@ func (m *Model) Estimate(q *query.Query) (float64, error) {
 // shards the queries across min(cfg.Workers, pending) goroutines. Query i
 // draws from its own stream derived from (cfg.Seed, i), which makes the
 // returned estimates bit-identical under every Workers setting.
+//
+// iam:deterministic
 func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 	return m.EstimateBatchSeeded(qs, nil)
 }
@@ -614,6 +618,8 @@ func (m *Model) EstimateBatch(qs []*query.Query) ([]float64, error) {
 // batcher coalesces queries into batches of shifting composition — it passes
 // seeds derived from the query content, so an estimate never depends on
 // which other queries happened to share the batch.
+//
+// iam:deterministic
 func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float64, error) {
 	if qseeds != nil && len(qseeds) != len(qs) {
 		return nil, fmt.Errorf("core: %d seeds for %d queries", len(qseeds), len(qs))
@@ -688,16 +694,7 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
-			w := m.getWorker((hi - lo) * m.cfg.NumSamples)
-			defer m.putWorker(w)
-			ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending[lo:hi], m.cfg.NumSamples, seeds[lo:hi])
-			if err != nil {
-				errs[wi] = err
-				return
-			}
-			for j, v := range ests {
-				out[slots[lo+j]] = v
-			}
+			m.estimateShard(wi, lo, hi, pending, seeds, slots, out, errs)
 		}(wi, lo, hi)
 	}
 	wg.Wait()
@@ -707,6 +704,24 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 		}
 	}
 	return out, nil
+}
+
+// estimateShard is the goroutine body of the batched-estimate fan-out:
+// worker wi estimates pending[lo:hi] on a pooled session and scatters the
+// results into its disjoint out slots.
+//
+// iam:detsource each query draws only from its seeds[i]-derived stream and shards write disjoint out/errs slots, so results are independent of worker count and scheduling
+func (m *Model) estimateShard(wi, lo, hi int, pending [][]ar.Constraint, seeds []int64, slots []int, out []float64, errs []error) {
+	w := m.getWorker((hi - lo) * m.cfg.NumSamples)
+	defer m.putWorker(w)
+	ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending[lo:hi], m.cfg.NumSamples, seeds[lo:hi])
+	if err != nil {
+		errs[wi] = err
+		return
+	}
+	for j, v := range ests {
+		out[slots[lo+j]] = v
+	}
 }
 
 // buildConstraints performs the query construction q → q′ of §5.1 and

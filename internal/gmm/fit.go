@@ -143,9 +143,14 @@ func FitEM(values []float64, k, iters int, rng *rand.Rand) (*Model, float64, err
 // collapses (empty-cluster degeneracy on pathological data such as constant
 // or two-point columns) is re-seeded at a random data point with a generic
 // width instead of being left with a vanishing weight and stale variance.
+//
+// iam:numsafe
 func emRefine(m *Model, values []float64, iters int, alpha0 float64, rng *rand.Rand) *Model {
 	n := len(values)
 	k := m.K()
+	if n == 0 || k == 0 {
+		return m // nothing to refine, and every per-count ratio below would divide by zero
+	}
 	resp := make([]float64, k)
 	spread := dataSpread(values)
 	floor := spread * sigmaFloorFrac
@@ -195,7 +200,11 @@ func emRefine(m *Model, values []float64, iters int, alpha0 float64, rng *rand.R
 			}
 			m.Weights[j] = w
 			if wSum[j] > 1e-12 {
-				s := math.Sqrt(varSum[j] / wSum[j])
+				v := varSum[j] / wSum[j]
+				if v < 0 {
+					v = 0 // varSum is a sum of r·d² ≥ 0 terms; pin for the analyzer and for rounding
+				}
+				s := math.Sqrt(v)
 				if s < floor {
 					s = floor
 				}
@@ -342,7 +351,12 @@ func (t *SGDTrainer) SetLR(lr float64) { t.lr = lr }
 
 // Step performs one Adam update on a mini-batch and returns the batch mean
 // NLL *before* the update. The wrapped Model is kept in sync.
+//
+// iam:numsafe
 func (t *SGDTrainer) Step(batch []float64) float64 {
+	if len(batch) == 0 {
+		return 0 // an empty batch has no gradient, and 1/len would blow up below
+	}
 	k := t.Model.K()
 	gW, gMu, gSig := t.gW, t.gMu, t.gSig
 	for j := 0; j < k; j++ {
@@ -354,10 +368,17 @@ func (t *SGDTrainer) Step(batch []float64) float64 {
 		lse := vecmath.LogSumExp(t.resp)
 		nll -= lse
 		for j := 0; j < k; j++ {
-			r := math.Exp(t.resp[j] - lse) // responsibility
+			lresp := t.resp[j] - lse
+			if lresp > 0 {
+				lresp = 0 // log-responsibility ≤ 0 by construction of lse
+			}
+			r := math.Exp(lresp) // responsibility
 			// ∂NLL/∂logit_j = φ_j − r_j  (softmax + mixture likelihood)
 			gW[j] += t.Model.Weights[j] - r
 			sig := t.Model.Sigmas[j]
+			if sig <= 0 {
+				continue // sync floors σ above zero; a dead component gets no gradient
+			}
 			d := (x - t.Model.Means[j]) / sig
 			// ∂NLL/∂μ_j = −r_j (x−μ)/σ²
 			gMu[j] -= r * d / sig
@@ -379,11 +400,14 @@ func (t *SGDTrainer) Step(batch []float64) float64 {
 }
 
 // sync re-derives the constrained parameters from the free ones.
+//
+// iam:numsafe
 func (t *SGDTrainer) sync() {
 	vecmath.Softmax(t.Model.Weights, t.logits)
 	for j := range t.logSig {
+		//lint:ignore numflow logσ is a free parameter; overflow surfaces as +Inf σ and is caught by the divergence watchdog
 		s := math.Exp(t.logSig[j])
-		if s < t.floor {
+		if s < t.floor && t.floor > 0 {
 			s = t.floor
 			t.logSig[j] = math.Log(s)
 		}
@@ -392,14 +416,23 @@ func (t *SGDTrainer) sync() {
 }
 
 // adam applies one Adam update to params given gradient g and state m, v.
+//
+// iam:numsafe
 func adam(params, g, m, v []float64, lr float64, step int) {
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 	bc1 := 1 - math.Pow(beta1, float64(step))
 	bc2 := 1 - math.Pow(beta2, float64(step))
+	if bc1 <= 0 || bc2 <= 0 {
+		return // step ≥ 1 keeps both corrections ≥ 1−β > 0; a zero step would divide by zero
+	}
 	for i := range params {
 		m[i] = beta1*m[i] + (1-beta1)*g[i]
 		v[i] = beta2*v[i] + (1-beta2)*g[i]*g[i]
-		params[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+		vv := v[i] / bc2
+		if vv < 0 {
+			vv = 0 // v is an EWMA of g² ≥ 0 terms; pin for the analyzer and for rounding
+		}
+		params[i] -= lr * (m[i] / bc1) / (math.Sqrt(vv) + eps)
 	}
 }
 

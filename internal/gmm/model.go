@@ -66,6 +66,8 @@ func (m *Model) LogLikelihood(x float64) float64 {
 }
 
 // logJoint fills out[k] = log(φ_k) + log N(x | μ_k, σ_k).
+//
+// iam:numsafe
 func (m *Model) logJoint(x float64, out []float64) {
 	for k := range out {
 		w := m.Weights[k]
@@ -73,6 +75,7 @@ func (m *Model) logJoint(x float64, out []float64) {
 			out[k] = math.Inf(-1)
 			continue
 		}
+		//lint:ignore numflow Validate and the SGD trainer's variance floor keep every σ strictly positive
 		out[k] = math.Log(w) + vecmath.NormalLogPDF(x, m.Means[k], m.Sigmas[k])
 	}
 }
@@ -83,7 +86,11 @@ func (m *Model) Responsibilities(x float64, out []float64) {
 	m.logJoint(x, out)
 	lse := vecmath.LogSumExp(out)
 	for k := range out {
-		out[k] = math.Exp(out[k] - lse)
+		d := out[k] - lse
+		if d > 0 {
+			d = 0 // log-responsibility ≤ 0 by construction of lse
+		}
+		out[k] = math.Exp(d)
 	}
 }
 
@@ -114,6 +121,8 @@ func (m *Model) AssignAll(values []float64) []int {
 
 // NLL returns the mean negative log-likelihood of values under the model
 // (Eq. 4 of the paper).
+//
+// iam:numsafe
 func (m *Model) NLL(values []float64) float64 {
 	if len(values) == 0 {
 		return 0

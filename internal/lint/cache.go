@@ -36,7 +36,9 @@ import (
 // diagnostics are never stored; baseline filtering happens in the CLI), so a
 // cache hit replays exactly what a cold run would produce.
 
-const cacheSchema = "iamlint-cache-v2"
+// v3: FuncFacts gained taint fields (Nondets, NumSinks, CallFact.Args,
+// contract flags), and the module key gained the contract-directive digest.
+const cacheSchema = "iamlint-cache-v3"
 
 // cacheFile is the on-disk shape of the fact store. Besides the per-package
 // diagnostic entries (v1), v2 persists the interprocedural layer: each
@@ -83,12 +85,13 @@ type CacheStats struct {
 
 // pkgMeta is the per-directory metadata gathered without type-checking.
 type pkgMeta struct {
-	dir     string
-	pkgPath string
-	files   []string // sorted file names
-	hashes  []string // sha256 per file, same order
-	imports []string // module-internal imports
-	err     error
+	dir        string
+	pkgPath    string
+	files      []string // sorted file names
+	hashes     []string // sha256 per file, same order
+	imports    []string // module-internal imports
+	directives []string // iam: contract-directive lines ("file: text")
+	err        error
 }
 
 // computeKeys hashes every package directory of the module in parallel and
@@ -177,6 +180,7 @@ func hashDir(modRoot, modPath, dir string) *pkgMeta {
 		sum := sha256.Sum256(src)
 		m.files = append(m.files, name)
 		m.hashes = append(m.hashes, hex.EncodeToString(sum[:]))
+		m.directives = append(m.directives, directiveLines(name, src)...)
 		f, err := parser.ParseFile(fset, full, src, parser.ImportsOnly)
 		if err != nil {
 			m.err = err
@@ -228,8 +232,13 @@ func loadCache(path string) *cacheFile {
 	return &got
 }
 
-// moduleKey folds every package key into one whole-module key.
-func moduleKey(keys map[string]string) string {
+// moduleKey folds every package key plus the module-wide contract-directive
+// digest into one whole-module key. The explicit digest matters because
+// module-analyzer diagnostics replayed for package A depend on contract
+// annotations (iam:lockorder, iam:deterministic, iam:numsafe, ...) declared
+// in package B's sources even when A does not import B — the package-key DAG
+// alone does not express that edge.
+func moduleKey(keys map[string]string, contractDigest string) string {
 	paths := make([]string, 0, len(keys))
 	for p := range keys {
 		paths = append(paths, p)
@@ -238,6 +247,42 @@ func moduleKey(keys map[string]string) string {
 	h := sha256.New()
 	for _, p := range paths {
 		fmt.Fprintf(h, "%s %s\n", p, keys[p])
+	}
+	fmt.Fprintf(h, "contracts %s\n", contractDigest)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// directiveLines extracts the iam: contract-directive comment lines of one
+// source file, in a parse-free scan the warm path can afford.
+func directiveLines(name string, src []byte) []string {
+	var out []string
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		i := strings.Index(trimmed, "//")
+		if i < 0 {
+			continue
+		}
+		comment := strings.TrimSpace(trimmed[i+2:])
+		if strings.HasPrefix(comment, "iam:") {
+			out = append(out, name+": "+comment)
+		}
+	}
+	return out
+}
+
+// contractDigest hashes the sorted set of every contract-directive line in
+// the module, qualified by package path.
+func contractDigest(metas map[string]*pkgMeta) string {
+	var lines []string
+	for path, m := range metas {
+		for _, d := range m.directives {
+			lines = append(lines, path+"/"+d)
+		}
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		fmt.Fprintln(h, l)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -260,6 +305,12 @@ func rebaseFacts(pf *PkgFacts, rebase func(string) string) {
 		}
 		for i := range ff.Allocs {
 			ff.Allocs[i].Pos.File = rebase(ff.Allocs[i].Pos.File)
+		}
+		for i := range ff.Nondets {
+			ff.Nondets[i].Pos.File = rebase(ff.Nondets[i].Pos.File)
+		}
+		for i := range ff.NumSinks {
+			ff.NumSinks[i].Pos.File = rebase(ff.NumSinks[i].Pos.File)
 		}
 	}
 	for i := range pf.Orders {
@@ -363,7 +414,7 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 
 	cache := loadCache(cachePath)
 	wantModule := hasModuleAnalyzers(analyzers)
-	modKey := moduleKey(keys)
+	modKey := moduleKey(keys, contractDigest(metas))
 
 	targetDirs := map[string]bool{}
 	for _, m := range targets {
@@ -466,9 +517,9 @@ func RunCached(dir string, patterns []string, analyzers []*Analyzer, cachePath s
 // fact entries in place.
 func buildModuleFactsCached(modRoot string, pkgs []*Package, cache *cacheFile, keys map[string]string) *ModuleFacts {
 	facts := make([]*PkgFacts, len(pkgs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	var mu sync.Mutex
+	// Resolve every cache hit before spawning any summarizer: the workers
+	// write cache.Facts, so reading it concurrently from this loop would race.
+	var misses []int
 	for i, p := range pkgs {
 		if fe, ok := cache.Facts[p.PkgPath]; ok && fe.Key == keys[p.PkgPath] && fe.Facts != nil {
 			pf := copyFacts(fe.Facts)
@@ -476,6 +527,12 @@ func buildModuleFactsCached(modRoot string, pkgs []*Package, cache *cacheFile, k
 			facts[i] = pf
 			continue
 		}
+		misses = append(misses, i)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	var mu sync.Mutex
+	for _, i := range misses {
 		wg.Add(1)
 		go func(i int, p *Package) {
 			defer wg.Done()
@@ -488,7 +545,7 @@ func buildModuleFactsCached(modRoot string, pkgs []*Package, cache *cacheFile, k
 			mu.Lock()
 			cache.Facts[p.PkgPath] = factsEntry{Key: keys[p.PkgPath], Facts: stored}
 			mu.Unlock()
-		}(i, p)
+		}(i, pkgs[i])
 	}
 	wg.Wait()
 	return NewModuleFacts(facts)

@@ -1,0 +1,172 @@
+package lint
+
+import "strings"
+
+// detflow.go: interprocedural determinism-contract analyzer. A function
+// annotated `// iam:deterministic` promises its observable results depend
+// only on its inputs — no path from it (through module-internal static
+// calls) may reach a nondeterminism source:
+//
+//	time        wall-clock reads (time.Now/Since/Until)
+//	globalrand  unseeded global RNG draws (math/rand, math/rand/v2)
+//	maprange    order-sensitive map iteration (beyond the intraprocedural
+//	            maprange check: any order-sensitive body, not just float
+//	            accumulation)
+//	select      multi-way selects (ready-order races)
+//	ptrid       pointer identity escaping into values (%p, uintptr(unsafe.Pointer))
+//	fpreduce    order-dependent float accumulation into shared state by a
+//	            spawned goroutine (worker-count-dependent reduction order; a
+//	            strict-order reduce like nn.ReduceGrads is clean)
+//
+// unless the path passes through a declared sanitizer: a function annotated
+// `// iam:detsource <reason>` (e.g. a splitmix64 seed derivation whose output
+// is deterministic in its inputs, or a strict-order reduction). Diagnostics
+// carry the witness call path: `A → B → C: time.Now at c.go:12`.
+var AnalyzerDetFlow = &Analyzer{
+	Name:      "detflow",
+	Doc:       "iam:deterministic functions must not reach nondeterminism sources (witness call paths; sanitize with iam:detsource <reason>)",
+	RunModule: runDetFlow,
+}
+
+// ndWitness is one reachable nondeterminism source with its call chain.
+type ndWitness struct {
+	chain []string // unit IDs from the queried unit to the one holding the fact
+	fact  *NondetFact
+}
+
+type detKey struct {
+	id      string
+	spawned bool
+}
+
+type detWalker struct {
+	m    *ModuleFacts
+	memo map[detKey]*ndWitness
+}
+
+// relevant: fpreduce facts matter only in spawned execution, where worker
+// scheduling determines accumulation order.
+func detRelevant(kind string, spawned bool) bool {
+	return kind != "fpreduce" || spawned
+}
+
+// witness returns the first nondeterminism source reachable from id (in
+// source-fact order), or nil. DetSource units sanitize: the walk does not
+// enter them. Spawn edges switch the walk into spawned mode.
+func (w *detWalker) witness(id string, spawned bool) *ndWitness {
+	return w.walk(id, spawned, map[detKey]bool{})
+}
+
+func (w *detWalker) walk(id string, spawned bool, seen map[detKey]bool) *ndWitness {
+	k := detKey{id, spawned}
+	if wit, ok := w.memo[k]; ok {
+		return wit
+	}
+	if seen[k] {
+		return nil
+	}
+	seen[k] = true
+	ff := w.m.Func(id)
+	if ff == nil {
+		return nil
+	}
+	for i := range ff.Nondets {
+		if detRelevant(ff.Nondets[i].Kind, spawned) {
+			wit := &ndWitness{chain: []string{id}, fact: &ff.Nondets[i]}
+			w.memo[k] = wit
+			return wit
+		}
+	}
+	for _, c := range ff.Calls {
+		callee := w.m.Func(c.Callee)
+		if callee == nil || callee.DetSource {
+			continue
+		}
+		if sub := w.walk(c.Callee, spawned, seen); sub != nil {
+			wit := &ndWitness{chain: append([]string{id}, sub.chain...), fact: sub.fact}
+			w.memo[k] = wit
+			return wit
+		}
+	}
+	for _, s := range ff.Spawns {
+		for _, callee := range s.Callees {
+			cf := w.m.Func(callee)
+			if cf == nil || cf.DetSource {
+				continue
+			}
+			if sub := w.walk(callee, true, seen); sub != nil {
+				wit := &ndWitness{chain: append([]string{id}, sub.chain...), fact: sub.fact}
+				w.memo[k] = wit
+				return wit
+			}
+		}
+	}
+	w.memo[k] = nil
+	return nil
+}
+
+func runDetFlow(m *ModuleFacts) []Diagnostic {
+	var out []Diagnostic
+	w := &detWalker{m: m, memo: map[detKey]*ndWitness{}}
+	for _, pf := range m.Pkgs {
+		for _, ff := range pf.Funcs {
+			if ff.DetSource && ff.DetReason == "" {
+				out = append(out, mdiag("detflow", ff.Pos,
+					"iam:detsource on %s must state a reason (what makes its output deterministic)", ff.ID))
+			}
+			if !ff.Deterministic || ff.DetSource {
+				continue
+			}
+			// Direct sources: report at the source position.
+			for i := range ff.Nondets {
+				nd := &ff.Nondets[i]
+				if !detRelevant(nd.Kind, false) {
+					continue
+				}
+				out = append(out, mdiag("detflow", nd.Pos,
+					"nondeterminism in iam:deterministic function %s: %s [%s]", ff.ID, nd.Detail, nd.Kind))
+			}
+			// Reached sources: one witness path per outgoing edge.
+			for _, c := range ff.Calls {
+				callee := m.Func(c.Callee)
+				if callee == nil || callee.DetSource {
+					continue
+				}
+				if wit := w.witness(c.Callee, false); wit != nil {
+					out = append(out, mdiag("detflow", c.Pos,
+						"iam:deterministic function %s reaches nondeterminism [%s]: %s: %s at %s:%d",
+						ff.ID, wit.fact.Kind, witnessChain(ff.ID, wit.chain), wit.fact.Detail,
+						witnessFile(wit.fact.Pos), wit.fact.Pos.Line))
+				}
+			}
+			for _, s := range ff.Spawns {
+				for _, callee := range s.Callees {
+					cf := m.Func(callee)
+					if cf == nil || cf.DetSource {
+						continue
+					}
+					if wit := w.witness(callee, true); wit != nil {
+						out = append(out, mdiag("detflow", s.Pos,
+							"iam:deterministic function %s spawns goroutine reaching nondeterminism [%s]: %s: %s at %s:%d",
+							ff.ID, wit.fact.Kind, witnessChain(ff.ID, wit.chain), wit.fact.Detail,
+							witnessFile(wit.fact.Pos), wit.fact.Pos.Line))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// witnessChain renders "root → A → B".
+func witnessChain(root string, chain []string) string {
+	return root + " → " + strings.Join(chain, " → ")
+}
+
+// witnessFile shortens a witness position's file to its base name.
+func witnessFile(p Pos) string {
+	if i := strings.LastIndexByte(p.File, '/'); i >= 0 {
+		return p.File[i+1:]
+	}
+	return p.File
+}

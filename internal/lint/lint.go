@@ -16,7 +16,11 @@
 // aware: guardedby walks a per-function control-flow graph (cfg.go) tracking
 // which mutexes are definitely held, seedflow traces RNG seed expressions to
 // their origins, and shapecheck constant-propagates matrix and layer
-// dimensions through constructor chains.
+// dimensions through constructor chains. The v3 analyzers (lockorder, goleak,
+// atomicver, noalloc) are interprocedural, running over a module-wide fact
+// database of per-function summaries; the v4 analyzers (detflow, numflow)
+// extend those summaries with taint facts to enforce the iam:deterministic
+// and iam:numsafe contracts with witness call paths.
 //
 // Diagnostics carry a severity (error or warn), may carry a mechanically
 // safe suggested fix (applied by `iamlint -fix`), can be accepted into a
@@ -126,8 +130,8 @@ func diag(p *Package, check string, pos token.Pos, format string, args ...any) D
 }
 
 // Analyzers returns the full shipped analyzer set in a stable order: the six
-// syntactic v1 checks, the five dataflow-aware v2 checks, then the four
-// interprocedural v3 checks.
+// syntactic v1 checks, the five dataflow-aware v2 checks, the four
+// interprocedural v3 checks, then the two v4 taint-flow contract checks.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerNoPanic,
@@ -145,6 +149,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerGoLeak,
 		AnalyzerAtomicVer,
 		AnalyzerNoAlloc,
+		AnalyzerDetFlow,
+		AnalyzerNumFlow,
 	}
 }
 

@@ -79,6 +79,8 @@ func TestFixtures(t *testing.T) {
 		{"goleak", "fixture/goleak"},
 		{"atomicver", "fixture/atomicver"},
 		{"noalloc", "fixture/noalloc"},
+		{"detflow", "fixture/detflow"},
+		{"numflow", "fixture/numflow"},
 	}
 	for _, c := range cases {
 		t.Run(c.check, func(t *testing.T) {
@@ -193,8 +195,8 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loaded only %d packages; module discovery is broken", len(pkgs))
 	}
-	if len(Analyzers()) != 15 {
-		t.Fatalf("analyzer roster has %d entries, want 15", len(Analyzers()))
+	if len(Analyzers()) != 17 {
+		t.Fatalf("analyzer roster has %d entries, want 17", len(Analyzers()))
 	}
 	for _, d := range FilterSeverity(RunAnalyzers(pkgs, Analyzers()), SeverityError) {
 		t.Errorf("%s", d)

@@ -45,6 +45,10 @@ func summarizeDecl(p *Package, pf *PkgFacts, fd *ast.FuncDecl, anns map[types.Ob
 	_, noalloc := hasDirective(fd.Doc, noallocDirective)
 	main := summarizeUnit(ctx, fd.Body, id, fd.Pos(), entryHeldClasses(p, anns, fd), resultsOf(p, fd))
 	main.NoAlloc = noalloc
+	_, main.Deterministic = hasDirective(fd.Doc, deterministicDirective)
+	main.DetReason, main.DetSource = hasDirective(fd.Doc, detsourceDirective)
+	_, main.NumSafe = hasDirective(fd.Doc, numsafeDirective)
+	taintUnit(ctx, main, fd.Body, fd.Type)
 	pf.Funcs = append(pf.Funcs, main)
 
 	for fl, litID := range ctx.litIDs {
@@ -52,7 +56,9 @@ func summarizeDecl(p *Package, pf *PkgFacts, fd *ast.FuncDecl, anns map[types.Ob
 		if sig, ok := p.Info.Types[fl].Type.(*types.Signature); ok {
 			results = sigResults(sig)
 		}
-		pf.Funcs = append(pf.Funcs, summarizeUnit(ctx, fl.Body, litID, fl.Pos(), nil, results))
+		lu := summarizeUnit(ctx, fl.Body, litID, fl.Pos(), nil, results)
+		taintUnit(ctx, lu, fl.Body, fl.Type)
+		pf.Funcs = append(pf.Funcs, lu)
 	}
 }
 

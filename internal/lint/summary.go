@@ -36,9 +36,12 @@ import (
 // function literal inside a parent unit (source order).
 
 const (
-	noallocDirective   = "iam:noalloc"
-	detachedDirective  = "iam:detached"
-	lockorderDirective = "iam:lockorder"
+	noallocDirective       = "iam:noalloc"
+	detachedDirective      = "iam:detached"
+	lockorderDirective     = "iam:lockorder"
+	deterministicDirective = "iam:deterministic"
+	detsourceDirective     = "iam:detsource"
+	numsafeDirective       = "iam:numsafe"
 )
 
 // Pos is a cache-stable source position.
@@ -58,6 +61,50 @@ type CallFact struct {
 	Callee string   `json:"callee"`
 	Pos    Pos      `json:"pos"`
 	Held   []string `json:"held,omitempty"` // lock classes held at the call
+	// Args records the numeric-guard state of float-typed arguments at this
+	// call site, for numflow's interprocedural must-positive propagation.
+	Args []CallArg `json:"args,omitempty"`
+}
+
+// CallArg is the numeric-flow view of one float-typed call argument.
+type CallArg struct {
+	// Index is the argument's position, which is also the callee's value
+	// parameter index (variadic tails are not recorded).
+	Index int `json:"index"`
+	// Param is the index of the *caller's* parameter the argument forwards
+	// unchanged, or -1 when the argument is any other expression.
+	Param int `json:"param"`
+	// State is the guardState bit set the caller's must-analysis proved for
+	// the argument at the call site (see taint.go).
+	State int    `json:"state,omitempty"`
+	Expr  string `json:"expr,omitempty"`
+}
+
+// NondetFact is one nondeterminism source observed in a unit body: a
+// wall-clock read, a global/unseeded RNG draw, an order-sensitive map
+// iteration, a multi-way select, pointer-identity formatting, or (kind
+// "fpreduce", significant only in spawned units) an order-dependent
+// floating-point accumulation into state shared with other goroutines.
+type NondetFact struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+	Pos    Pos    `json:"pos"`
+}
+
+// NumSink is one numeric-safety sink (math.Log/Exp/Sqrt operand, float
+// divisor) that the intraprocedural must-analysis could NOT prove guarded.
+// Guarded sinks are never recorded.
+type NumSink struct {
+	Op      string `json:"op"`      // "math.Log", "math.Sqrt", "math.Exp", "division"
+	Operand string `json:"operand"` // source text of the unguarded operand
+	// Param is the enclosing unit's value-parameter index the operand
+	// resolves to, or -1. Param sinks are not local findings: they become
+	// must-positive obligations checked at call sites.
+	Param int `json:"param"`
+	// Callee, when set, names the unit whose return value feeds the operand;
+	// the sink is discharged if that unit's summary says ReturnsValidated.
+	Callee string `json:"callee,omitempty"`
+	Pos    Pos    `json:"pos"`
 }
 
 // AcquireFact is one mutex acquisition.
@@ -106,11 +153,28 @@ type FuncFacts struct {
 	EndLine int    `json:"endLine"`
 	NoAlloc bool   `json:"noalloc,omitempty"`
 
+	// Deterministic marks an iam:deterministic contract root: no path from
+	// this unit may reach a nondeterminism source except through a declared
+	// iam:detsource sanitizer.
+	Deterministic bool `json:"deterministic,omitempty"`
+	// DetSource marks an iam:detsource sanitizer (with its mandatory reason):
+	// detflow's taint walk stops here.
+	DetSource bool   `json:"detSource,omitempty"`
+	DetReason string `json:"detReason,omitempty"`
+	// NumSafe marks an iam:numsafe contract root for numflow.
+	NumSafe bool `json:"numSafe,omitempty"`
+	// ReturnsValidated: every return path provably yields a positive value
+	// (positive constant, clamp above a positive constant, guarded variable),
+	// so callers may treat the result as validated.
+	ReturnsValidated bool `json:"returnsValidated,omitempty"`
+
 	Calls    []CallFact    `json:"calls,omitempty"`
 	Acquires []AcquireFact `json:"acquires,omitempty"`
 	Spawns   []SpawnFact   `json:"spawns,omitempty"`
 	Writes   []WriteFact   `json:"writes,omitempty"`
 	Allocs   []AllocFact   `json:"allocs,omitempty"`
+	Nondets  []NondetFact  `json:"nondets,omitempty"`
+	NumSinks []NumSink     `json:"numSinks,omitempty"`
 
 	// Signals are the join signals this body emits when run as a goroutine:
 	// "wg:C" (WaitGroup C Done), "send:C" (send/close on channel C),

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTaintDiagsCached checks that detflow and numflow findings — whose
+// evidence lives in FuncFacts taint fields (Nondets, NumSinks, CallFact.Args)
+// — replay byte-identically from the fact cache on a warm run.
+func TestTaintDiagsCached(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module taintmod\n\ngo 1.21\n",
+		"h/h.go": `package h
+
+import (
+	"math"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func LogTerm(p float64) float64 {
+	return math.Log(p)
+}
+`,
+		"m/m.go": `package m
+
+import "taintmod/h"
+
+// iam:deterministic
+func Run(ps []float64) float64 {
+	_ = h.Stamp()
+	return Sum(ps)
+}
+
+// iam:numsafe
+func Sum(ps []float64) float64 {
+	var s float64
+	for _, p := range ps {
+		s += h.LogTerm(p)
+	}
+	return s
+}
+`,
+	})
+	cachePath := filepath.Join(root, ".iamlint", "cache.json")
+	analyzers := []*Analyzer{AnalyzerDetFlow, AnalyzerNumFlow}
+
+	diags, stats, err := RunCached(root, []string{"./..."}, analyzers, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm {
+		t.Error("first run reported warm")
+	}
+	var det, num int
+	for _, d := range diags {
+		switch d.Check {
+		case "detflow":
+			det++
+			if !strings.Contains(d.Message, "taintmod/m.Run → taintmod/h.Stamp: time.Now") {
+				t.Errorf("detflow witness path missing: %s", d)
+			}
+		case "numflow":
+			num++
+			if !strings.Contains(d.Message, "passes unguarded argument") {
+				t.Errorf("numflow obligation message missing: %s", d)
+			}
+		}
+	}
+	if det != 1 || num != 1 {
+		t.Fatalf("cold run: detflow=%d numflow=%d, want 1 each:\n%s", det, num, format(diags))
+	}
+
+	diags2, stats2, err := RunCached(root, []string{"./..."}, analyzers, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.Warm {
+		t.Errorf("second run not warm: %+v", stats2)
+	}
+	if format(diags2) != format(diags) {
+		t.Errorf("warm diags = %s, want %s", format(diags2), format(diags))
+	}
+}
+
+// TestContractAnnotationInvalidatesCache is the satellite regression test for
+// the module-key bug: a module verdict depends on contract annotations
+// declared in other packages' sources, so an edit that changes ONLY an
+// annotation comment (no code, no types) must still invalidate the cached
+// module diagnostics. The key folds in a digest of all iam: directive lines.
+func TestContractAnnotationInvalidatesCache(t *testing.T) {
+	helperWithSanitizer := `package h
+
+import "time"
+
+// iam:detsource coarse epoch bucket, quantized to a release constant
+func Epoch() int64 {
+	return time.Now().UnixNano()
+}
+`
+	root := writeTree(t, map[string]string{
+		"go.mod": "module annmod\n\ngo 1.21\n",
+		"h/h.go": helperWithSanitizer,
+		"m/m.go": `package m
+
+import "annmod/h"
+
+// iam:deterministic
+func Run() int64 {
+	return h.Epoch()
+}
+`,
+	})
+	cachePath := filepath.Join(root, ".iamlint", "cache.json")
+	analyzers := []*Analyzer{AnalyzerDetFlow}
+
+	diags, stats, err := RunCached(root, []string{"./..."}, analyzers, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm {
+		t.Error("first run reported warm")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("sanitized cold run diagnostics = %s", format(diags))
+	}
+
+	// Remove only the iam:detsource comment line. The code is untouched; the
+	// module verdict must flip from clean to one detflow finding.
+	stripped := strings.Replace(helperWithSanitizer,
+		"// iam:detsource coarse epoch bucket, quantized to a release constant\n", "", 1)
+	if stripped == helperWithSanitizer {
+		t.Fatal("annotation line not found in fixture source")
+	}
+	if err := os.WriteFile(filepath.Join(root, "h", "h.go"), []byte(stripped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags2, stats2, err := RunCached(root, []string{"./..."}, analyzers, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Warm {
+		t.Error("run after annotation edit reported warm")
+	}
+	if len(diags2) != 1 || !strings.Contains(diags2[0].Message, "reaches nondeterminism [time]") {
+		t.Fatalf("diagnostics after removing sanitizer = %s", format(diags2))
+	}
+
+	// And the digest must also catch the reverse: restoring the annotation
+	// (an edit whose only delta is a comment) flips the verdict back.
+	if err := os.WriteFile(filepath.Join(root, "h", "h.go"), []byte(helperWithSanitizer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags3, stats3, err := RunCached(root, []string{"./..."}, analyzers, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Warm {
+		t.Error("run after restoring annotation reported warm")
+	}
+	if len(diags3) != 0 {
+		t.Fatalf("diagnostics after restoring sanitizer = %s", format(diags3))
+	}
+}

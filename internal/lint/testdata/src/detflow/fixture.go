@@ -1,0 +1,149 @@
+// Package detflow is a fixture for the detflow analyzer.
+package detflow
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DirectClock reads the wall clock inside a determinism contract.
+//
+// iam:deterministic
+func DirectClock(xs []float64) float64 {
+	t0 := time.Now() // want "nondeterminism in iam:deterministic function"
+	_ = t0
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// DirectRand draws from the global RNG.
+//
+// iam:deterministic
+func DirectRand() float64 {
+	return rand.Float64() // want "global RNG"
+}
+
+// SelectRace has a ready-order race between two channels.
+//
+// iam:deterministic
+func SelectRace(a, b chan int) int {
+	select { // want "ready-order race"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// MapOrder appends in map-iteration order: order-sensitive.
+//
+// iam:deterministic
+func MapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "order-sensitive iteration over map"
+		out = append(out, k)
+	}
+	return out
+}
+
+// DrainDelete only deletes keyed entries and drains into a key-indexed set:
+// order-insensitive, no finding (the maprange exemption).
+//
+// iam:deterministic
+func DrainDelete(m map[string]int, seen map[string]bool) {
+	for k := range m {
+		seen[k] = true
+		delete(m, k)
+	}
+}
+
+// PtrID formats a pointer identity into a value.
+//
+// iam:deterministic
+func PtrID(v *int) string {
+	return fmt.Sprintf("%p", v) // want "pointer identity"
+}
+
+// seedBase derives a per-row seed: nondeterministic-looking inputs, but its
+// output is a pure function of them.
+//
+// iam:detsource splitmix64 over the row index is a pure function of its input
+func seedBase(row uint64) uint64 {
+	z := row + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// clock is an unannotated helper that reads the wall clock.
+func clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// helperClock adds one more hop for the witness path.
+func helperClock() int64 {
+	return clock()
+}
+
+// Interproc reaches time.Now through two unannotated hops; the diagnostic
+// renders the witness call path at the call site.
+//
+// iam:deterministic
+func Interproc(xs []float64) float64 {
+	_ = helperClock() // want "reaches nondeterminism .time.: fixture/detflow.Interproc → fixture/detflow.helperClock → fixture/detflow.clock: time.Now at fixture.go"
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Sanitized calls the declared sanitizer: the walk stops there, no finding.
+//
+// iam:deterministic
+func Sanitized(rows []uint64) uint64 {
+	var acc uint64
+	for _, r := range rows {
+		acc ^= seedBase(r)
+	}
+	return acc
+}
+
+// badSource is a sanitizer without a reason: itself a finding.
+//
+// iam:detsource
+func badSource() uint64 { // want "must state a reason"
+	return 42
+}
+
+// SpawnReduce spawns a goroutine accumulating floats into shared state: the
+// reduction order then depends on scheduling. The same accumulation inline
+// (below) is program-order deterministic and carries no finding.
+//
+// iam:deterministic
+func SpawnReduce(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func(lo, hi int) { // want "spawns goroutine reaching nondeterminism .fpreduce."
+		for _, x := range xs[lo:hi] {
+			total += x
+		}
+		done <- struct{}{}
+	}(0, len(xs)/2)
+	for _, x := range xs[len(xs)/2:] {
+		total += x
+	}
+	<-done
+	return total
+}
+
+// Suppressed documents an accepted wall-clock read.
+//
+// iam:deterministic
+func Suppressed() int64 {
+	//lint:ignore detflow timing telemetry only, never feeds results
+	return time.Now().UnixNano()
+}

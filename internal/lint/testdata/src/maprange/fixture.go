@@ -53,3 +53,23 @@ func GoodLocalTemp(m map[string]float64) int {
 	}
 	return count
 }
+
+// GoodDeleteOnly locks the order-insensitivity exemption: a loop that only
+// deletes keyed entries needs no suppression — neither here nor (for
+// iam:deterministic callers) under detflow's interprocedural maprange check.
+func GoodDeleteOnly(m map[string]float64, stale func(string) bool) {
+	for k := range m {
+		if stale(k) {
+			delete(m, k)
+		}
+	}
+}
+
+// GoodDrainToSet drains the keys into a key-indexed set and clears the map:
+// one write per distinct key, order-insensitive.
+func GoodDrainToSet(m map[string]int, seen map[string]bool) {
+	for k := range m {
+		seen[k] = true
+		delete(m, k)
+	}
+}

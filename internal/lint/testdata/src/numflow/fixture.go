@@ -1,0 +1,150 @@
+// Package numflow is a fixture for the numflow analyzer.
+package numflow
+
+import "math"
+
+// LogUnguarded: nothing proves w positive.
+//
+// iam:numsafe
+func LogUnguarded(ws []float64) float64 {
+	var s float64
+	for _, w := range ws {
+		s += math.Log(w) // want "unguarded math.Log operand"
+	}
+	return s
+}
+
+// LogGuarded: the continue guard dominates the sink on every path.
+//
+// iam:numsafe
+func LogGuarded(ws []float64) float64 {
+	var s float64
+	for _, w := range ws {
+		if w <= 0 {
+			continue
+		}
+		s += math.Log(w)
+	}
+	return s
+}
+
+// BranchGuarded: the -Inf idiom from the GMM log-space kernels.
+//
+// iam:numsafe
+func BranchGuarded(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(w)
+}
+
+// ClampGuarded: the variance-floor clamp idiom.
+//
+// iam:numsafe
+func ClampGuarded(sig float64) float64 {
+	sig = math.Max(sig, 1e-9)
+	return math.Sqrt(sig)
+}
+
+// MeanUnguarded divides by a possibly-zero length.
+//
+// iam:numsafe
+func MeanUnguarded(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)) // want "unguarded division operand"
+}
+
+// MeanGuarded: the early-return empty check discharges the divisor.
+//
+// iam:numsafe
+func MeanGuarded(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// entropyTerm's parameter flows into math.Log unguarded: not a local finding,
+// but a must-positive obligation on every caller.
+func entropyTerm(p float64) float64 {
+	return -p * math.Log(p)
+}
+
+// InterprocBad forwards an unproven value into entropyTerm's obligation.
+//
+// iam:numsafe
+func InterprocBad(ps []float64) float64 {
+	var h float64
+	for _, p := range ps {
+		h += entropyTerm(p) // want "passes unguarded argument .p. to fixture/numflow.entropyTerm"
+	}
+	return h
+}
+
+// InterprocGood guards before forwarding: the call-site argument state
+// satisfies the callee's obligation.
+//
+// iam:numsafe
+func InterprocGood(ps []float64) float64 {
+	var h float64
+	for _, p := range ps {
+		if p <= 0 {
+			continue
+		}
+		h += entropyTerm(p)
+	}
+	return h
+}
+
+// riskyNorm is unannotated and has an internal unguarded sink.
+func riskyNorm(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return math.Log(s) // empty xs -> Log(0)
+}
+
+// WitnessBad reaches riskyNorm's sink through the call graph; the diagnostic
+// renders the witness path.
+//
+// iam:numsafe
+func WitnessBad(xs []float64) float64 {
+	return riskyNorm(xs) // want "reaches unguarded math.Log: fixture/numflow.WitnessBad → fixture/numflow.riskyNorm: math.Log operand .s. at fixture.go"
+}
+
+// floorWeight returns a provably positive value on every path, so its
+// summary carries returns-validated.
+func floorWeight(w float64) float64 {
+	if w < 1e-12 {
+		return 1e-12
+	}
+	return w
+}
+
+// ValidatedFlow: the sink is fed by floorWeight's return value and is
+// discharged by its returns-validated summary.
+//
+// iam:numsafe
+func ValidatedFlow(ws []float64) float64 {
+	var s float64
+	for _, w := range ws {
+		s += math.Log(floorWeight(w))
+	}
+	return s
+}
+
+// Suppressed documents an accepted unguarded sink.
+//
+// iam:numsafe
+func Suppressed(w float64) float64 {
+	//lint:ignore numflow caller contract guarantees w is a probability > 0
+	return math.Log(w)
+}

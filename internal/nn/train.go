@@ -70,6 +70,8 @@ func (c *TrainConfig) fillDefaults() {
 // stream by (seed, epoch) — instead of threading one RNG across epochs —
 // makes checkpoint resumption exact: epoch k's shuffle and wildcard masks
 // are identical whether or not the process restarted before it.
+//
+// iam:detsource explicitly seeded source; the stream is a pure function of (seed, epoch)
 func epochRNG(seed int64, epoch int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(epoch)))
 }
@@ -78,6 +80,7 @@ func epochRNG(seed int64, epoch int) *rand.Rand {
 // under the session's current logits and fills dLogits with the gradient
 // (softmax − onehot) for every row and column. dLogits must be B×outDim.
 //
+// iam:numsafe
 // iam:noalloc
 func (s *Session) CrossEntropyGrad(targets [][]int, dLogits *vecmath.Matrix) float64 {
 	n := s.net
@@ -107,6 +110,8 @@ func (s *Session) CrossEntropyGrad(targets [][]int, dLogits *vecmath.Matrix) flo
 // NLL returns the mean negative log-likelihood (nats per tuple) of rows,
 // evaluated with unmasked inputs. sess must accommodate len ≤ its max batch;
 // rows are processed in chunks.
+//
+// iam:numsafe
 func (n *ResMADE) NLL(sess *Session, rows [][]int) float64 {
 	if len(rows) == 0 {
 		return 0
@@ -172,6 +177,8 @@ func maxCard(cards []int) int {
 // optimizer state back to the last good epoch, halves the learning rate and
 // retries, up to MaxRetries times across the run. Cancelling cfg.Ctx stops
 // training between batches.
+//
+// iam:deterministic
 func (n *ResMADE) Fit(data [][]int, cfg TrainConfig) ([]float64, error) {
 	cfg.fillDefaults()
 	sess := n.NewSession(cfg.BatchSize)

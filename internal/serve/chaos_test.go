@@ -245,3 +245,110 @@ func cloneModel(t *testing.T, m *core.Model, tbl *dataset.Table) *core.Model {
 	}
 	return clone
 }
+
+// TestSwapDuringShed lands a hot model swap while shed mode is active and
+// checks two invariants the chaos storm cannot isolate:
+//
+//  1. shed hysteresis survives the swap — the latency EWMA and shed flag are
+//     server state, not version state, so a swap must neither reset shed mode
+//     nor let a burst of unshed batches through a freshly installed version;
+//  2. no answer mixes model versions — every result's (Version, Source) pair
+//     maps to exactly one injected estimator constant, so the selectivity
+//     proves which version and tier actually answered.
+//
+// Each version's tiers carry distinct constants, making any cross-version
+// blend (old primary with new fallback, or vice versa) detectable.
+func TestSwapDuringShed(t *testing.T) {
+	defer faultinject.Reset()
+	_, tbl := testModel(t)
+	w := testutil.Workload(t, tbl, query.GenConfig{NumQueries: 8, Seed: 103})
+
+	const (
+		v1Primary, v1Cheap = 0.25, 0.2
+		v2Primary, v2Cheap = 0.75, 0.6
+		modelDelay         = 25 * time.Millisecond
+	)
+	s, err := NewInjected(Config{
+		MaxBatch:        4,
+		BatchWindow:     time.Millisecond,
+		QueueDepth:      32,
+		MaxInFlight:     1,
+		TierTimeout:     2 * time.Second,
+		DefaultDeadline: 5 * time.Second,
+		ShedLatency:     10 * time.Millisecond, // < modelDelay: the first model batch trips shed
+	}, tbl,
+		&faultinject.SlowEstimator{Label: "v1-slow", Delay: modelDelay, Value: v1Primary},
+		&faultinject.ConstEstimator{Label: "v1-cheap", Value: v1Cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustClose(t, s)
+
+	ask := func(i int) Result {
+		t.Helper()
+		res, err := s.Estimate(context.Background(), w.Queries[i%len(w.Queries)])
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		return res
+	}
+
+	// Drive the server into shed mode: the first model-path batch takes
+	// modelDelay > ShedLatency, so the EWMA trips after one observation.
+	// Requests are sequential, so no batch is in flight at swap time.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; !s.Stats().ShedMode; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered shed mode")
+		}
+		ask(i)
+	}
+
+	// Hot swap while shed is active.
+	v2, err := s.SwapInjected(
+		&faultinject.SlowEstimator{Label: "v2-slow", Delay: modelDelay, Value: v2Primary},
+		&faultinject.ConstEstimator{Label: "v2-cheap", Value: v2Cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Stats().ShedMode {
+		t.Fatal("shed mode did not survive the swap: hysteresis state was reset")
+	}
+
+	// Every post-swap answer must come from version 2, and its selectivity
+	// must be exactly the constant of the tier its Source names — the probe
+	// batches (every shedProbeEvery-th) exercise the new primary, everything
+	// else the new cheap tier. Probe latency keeps the EWMA above the exit
+	// threshold, so shed stays on throughout.
+	shedAnswers, probeAnswers := 0, 0
+	for i := 0; i < 4*shedProbeEvery; i++ {
+		res := ask(i)
+		if res.Version != v2 {
+			t.Fatalf("post-swap answer from version %d, want %d (result %+v)", res.Version, v2, res)
+		}
+		var want float64
+		switch res.Source {
+		case SourceBatch:
+			probeAnswers++
+			want = v2Primary
+		case SourceShed:
+			shedAnswers++
+			want = v2Cheap
+		default:
+			t.Fatalf("unexpected source %q (result %+v)", res.Source, res)
+		}
+		if res.Selectivity != want {
+			t.Fatalf("source %q version %d answered %v, want exactly %v — tiers of different versions mixed",
+				res.Source, res.Version, res.Selectivity, want)
+		}
+	}
+	if shedAnswers == 0 {
+		t.Fatal("no shed-sourced answers after swap: shed mode was not actually active")
+	}
+	if probeAnswers == 0 {
+		t.Fatal("no probe batches reached the new model: shed mode cannot recover")
+	}
+	if !s.Stats().ShedMode {
+		t.Fatal("shed mode dropped while probe latency stayed above the exit threshold")
+	}
+}

@@ -178,9 +178,16 @@ func Softmax(out, logits []float64) {
 	m := Max(logits)
 	var z float64
 	for i, v := range logits {
-		e := math.Exp(v - m)
+		d := v - m
+		if d > 0 {
+			d = 0 // v ≤ max(logits) by construction; pin the exponent range anyway
+		}
+		e := math.Exp(d)
 		out[i] = e
 		z += e
+	}
+	if z <= 0 {
+		return // unreachable for finite logits: the max element contributes exp(0) = 1
 	}
 	inv := 1 / z
 	for i := range out {
@@ -196,7 +203,14 @@ func LogSumExp(x []float64) float64 {
 	}
 	var s float64
 	for _, v := range x {
-		s += math.Exp(v - m)
+		d := v - m
+		if d > 0 {
+			d = 0 // v ≤ max(x) by construction; pin the exponent range anyway
+		}
+		s += math.Exp(d)
+	}
+	if s <= 0 {
+		return math.Inf(-1) // unreachable: the max element contributes exp(0) = 1
 	}
 	return m + math.Log(s)
 }
@@ -204,6 +218,9 @@ func LogSumExp(x []float64) float64 {
 // Normalize scales x in place so it sums to 1. If the sum is not positive it
 // sets the uniform distribution instead and returns false.
 func Normalize(x []float64) bool {
+	if len(x) == 0 {
+		return false
+	}
 	s := Sum(x)
 	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 		u := 1 / float64(len(x))
