@@ -55,12 +55,17 @@ type benchFile struct {
 	NumCPU int `json:"num_cpu"`
 	// EstimateBatchSpeedup is ns/op(workers=1) divided by ns/op(workers=max)
 	// for BenchmarkEstimateBatch — the serving worker-scaling headline.
-	// Omitted when either entry is missing from the run.
-	EstimateBatchSpeedup float64 `json:"estimate_batch_speedup,omitempty"`
+	// Omitted when either entry is missing from the run; explicitly null
+	// (with Note set) on a single-CPU host, where workers=max degenerates to
+	// one worker and the ratio would read as a spurious ~3% regression
+	// instead of what it is: unmeasurable.
+	EstimateBatchSpeedup json.RawMessage `json:"estimate_batch_speedup,omitempty"`
 	// TrainJointSpeedup is the same ratio for BenchmarkTrainJoint — the
-	// data-parallel training headline. Omitted when the run has no training
-	// benchmark entries.
-	TrainJointSpeedup float64 `json:"train_joint_speedup,omitempty"`
+	// data-parallel training headline. Same null-on-single-CPU convention.
+	TrainJointSpeedup json.RawMessage `json:"train_joint_speedup,omitempty"`
+	// Note flags measurement caveats, currently only "procs=1" (the host
+	// cannot measure worker scaling).
+	Note string `json:"note,omitempty"`
 	// ServeLatencyP50Us/P95/P99 are the end-to-end request latency quantiles
 	// (µs) reported by BenchmarkServeLatency — the serving-layer headline.
 	// Omitted when the run has no serving benchmark entries.
@@ -115,8 +120,14 @@ func run(r io.Reader, out string) error {
 	if len(bf.Results) == 0 {
 		return fmt.Errorf("no benchmark result lines on stdin (did `go test -bench` fail?)")
 	}
-	bf.EstimateBatchSpeedup = speedup(bf.Results, "BenchmarkEstimateBatch")
-	bf.TrainJointSpeedup = speedup(bf.Results, "BenchmarkTrainJoint")
+	ebs := speedup(bf.Results, "BenchmarkEstimateBatch")
+	tjs := speedup(bf.Results, "BenchmarkTrainJoint")
+	single := bf.NumCPU == 1
+	bf.EstimateBatchSpeedup = speedupJSON(ebs, single)
+	bf.TrainJointSpeedup = speedupJSON(tjs, single)
+	if single && (ebs > 0 || tjs > 0) {
+		bf.Note = "procs=1"
+	}
 	bf.ServeLatencyP50Us = serveMetric(bf.Results, "p50-us")
 	bf.ServeLatencyP95Us = serveMetric(bf.Results, "p95-us")
 	bf.ServeLatencyP99Us = serveMetric(bf.Results, "p99-us")
@@ -132,10 +143,39 @@ func run(r io.Reader, out string) error {
 	}); err != nil {
 		return fmt.Errorf("writing %s: %w", out, err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %.2fx, TrainJoint speedup %.2fx, serve p50/p95/p99 %.0f/%.0f/%.0f µs)\n",
-		len(bf.Results), out, bf.EstimateBatchSpeedup, bf.TrainJointSpeedup,
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s (EstimateBatch speedup %s, TrainJoint speedup %s, serve p50/p95/p99 %.0f/%.0f/%.0f µs)\n",
+		len(bf.Results), out, speedupLabel(ebs, single), speedupLabel(tjs, single),
 		bf.ServeLatencyP50Us, bf.ServeLatencyP95Us, bf.ServeLatencyP99Us)
 	return nil
+}
+
+// speedupJSON renders a worker-scaling ratio for the trajectory file: the
+// number itself on a multi-CPU host, nothing when the run lacked both
+// sub-entries, and an explicit null on a single-CPU host — where the ratio
+// measures scheduler overhead, not scaling.
+func speedupJSON(ratio float64, single bool) json.RawMessage {
+	if ratio <= 0 {
+		return nil
+	}
+	if single {
+		return json.RawMessage("null")
+	}
+	data, err := json.Marshal(ratio)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// speedupLabel is the stderr-summary form of the same convention.
+func speedupLabel(ratio float64, single bool) string {
+	if ratio <= 0 {
+		return "n/a"
+	}
+	if single {
+		return "null (procs=1)"
+	}
+	return fmt.Sprintf("%.2fx", ratio)
 }
 
 // parseBenchLine decodes one result line, e.g.

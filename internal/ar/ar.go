@@ -249,11 +249,27 @@ func (m *Model) EstimateBatchScratch(sess *nn.Session, sc *EstimateScratch, cons
 	return m.estimateBatchInto(sess, sc, consList, numSamples), nil
 }
 
+// packedSampling routes the sampling core through the packed forwards
+// (nn.ForwardSampling over per-prefix SamplingPlans). Package-level so the
+// property tests can pin the dense fallback; production never flips it.
+var packedSampling = true
+
+// maxPackedCols bounds the packed path to what a [4]uint64 prefix signature
+// can address; wider schemas fall back to the dense sampler.
+const maxPackedCols = 256
+
 // estimateBatchInto is the progressive-sampling core shared by EstimateBatch
 // and EstimateBatchScratch. sc must already be sized by ensure and have
 // sc.rngs populated; consList must already be arity-checked (checkArity).
 // It performs no heap allocation beyond what Constraint implementations
-// allocate (the built-in ones allocate nothing).
+// allocate (the built-in ones allocate nothing) and the amortized packed-plan
+// builds (once per new query prefix per parameter generation).
+//
+// Per column the work goes to the packed sampler — one restricted forward
+// per group of queries sharing a constrained-prefix signature — or to the
+// dense fallback for schemas too wide for a signature. Each query's draws
+// happen in the same (column, sample) order with its own rng stream either
+// way, so estimates stay pure functions of (model, query, seed).
 //
 // iam:numsafe
 // iam:noalloc
@@ -272,69 +288,25 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 		probs[i] = 1
 	}
 
+	packed := packedSampling && nCols <= maxPackedCols
+	if packed {
+		for qi := range sc.sigs[:nq] {
+			sc.sigs[qi] = [4]uint64{}
+		}
+	}
+
 	for c := 0; c < nCols; c++ {
-		// Sub-batch: only the sample rows of queries that constrain this
-		// column need a network forward (wildcard-skipping, §5.3), and of
-		// those only the live rows — a sample whose path probability has
-		// collapsed to zero contributes nothing downstream, so forwarding
-		// it would be pure waste. subPos records each live row's position
-		// in the compacted sub-batch.
-		subRows := sc.subRows[:0]
-		subQs := sc.subQs[:0]
-		for qi, cons := range consList {
-			if cons[c] == nil {
-				continue
+		if packed {
+			m.sampleColumnPacked(sess, sc, consList, numSamples, c)
+			// The prefix signature of column c+1 gains every query's bit for
+			// c — constrained columns are live once sampled, dead or not.
+			for qi, cons := range consList {
+				if cons[c] != nil {
+					sc.sigs[qi][c>>6] |= 1 << uint(c&63)
+				}
 			}
-			//lint:ignore noalloc sc.subQs is pre-sized to nq by ensure; append reuses retained capacity
-			subQs = append(subQs, qi)
-			for s := 0; s < numSamples; s++ {
-				ri := qi*numSamples + s
-				if probs[ri] == 0 {
-					sc.subPos[ri] = -1
-					continue
-				}
-				sc.subPos[ri] = len(subRows)
-				//lint:ignore noalloc sc.subRows is pre-sized to nq·numSamples by ensure; append reuses retained capacity
-				subRows = append(subRows, rows[ri])
-			}
-		}
-		sc.subRows, sc.subQs = subRows, subQs // retain any growth
-		if len(subRows) == 0 {
-			continue
-		}
-		sess.Forward(subRows)
-		card := m.Cards[c]
-		for _, qi := range subQs {
-			con := consList[qi][c]
-			rng := sc.rngs[qi]
-			for s := 0; s < numSamples; s++ {
-				ri := qi*numSamples + s
-				if probs[ri] == 0 {
-					continue
-				}
-				d := sc.dist[:card]
-				sess.Dist(sc.subPos[ri], c, d)
-				wv := sc.w[:card]
-				con.Fill(rows[ri], wv)
-				// Fold the admission weights in and build the prefix sums
-				// in one pass; the running total accumulates in exactly the
-				// order the pre-fusion code used, so masses are bit-equal.
-				cdf := sc.cdf[:card]
-				var mass float64
-				for k := 0; k < card; k++ {
-					d[k] *= wv[k]
-					mass += d[k]
-					cdf[k] = mass
-				}
-				probs[ri] *= mass
-				if mass <= 0 || probs[ri] == 0 {
-					probs[ri] = 0
-					rows[ri][c] = 0 // keep the input valid for later forwards
-					continue
-				}
-				// Sample the next coordinate ∝ corrected conditional.
-				rows[ri][c] = pickCategorical(d, cdf, rng.Float64()*mass)
-			}
+		} else {
+			m.sampleColumnDense(sess, sc, consList, numSamples, c)
 		}
 	}
 
@@ -347,6 +319,163 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
 	}
 	return out
+}
+
+// sampleColumnDense advances column c for every query constraining it with
+// one dense forward over the stacked live sample rows (wildcard-skipping,
+// §5.3, with dead-sample compaction). This is the pre-packing sampler, kept
+// as the fallback for schemas wider than maxPackedCols.
+//
+// iam:numsafe
+// iam:noalloc
+func (m *Model) sampleColumnDense(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples, c int) {
+	probs := sc.probs
+	rows := sc.rows
+	// Sub-batch: only the sample rows of queries that constrain this
+	// column need a network forward, and of those only the live rows — a
+	// sample whose path probability has collapsed to zero contributes
+	// nothing downstream, so forwarding it would be pure waste. subPos
+	// records each live row's position in the compacted sub-batch.
+	subRows := sc.subRows[:0]
+	subQs := sc.subQs[:0]
+	for qi, cons := range consList {
+		if cons[c] == nil {
+			continue
+		}
+		//lint:ignore noalloc sc.subQs is pre-sized to nq by ensure; append reuses retained capacity
+		subQs = append(subQs, qi)
+		for s := 0; s < numSamples; s++ {
+			ri := qi*numSamples + s
+			if probs[ri] == 0 {
+				sc.subPos[ri] = -1
+				continue
+			}
+			sc.subPos[ri] = len(subRows)
+			//lint:ignore noalloc sc.subRows is pre-sized to nq·numSamples by ensure; append reuses retained capacity
+			subRows = append(subRows, rows[ri])
+		}
+	}
+	sc.subRows, sc.subQs = subRows, subQs // retain any growth
+	if len(subRows) == 0 {
+		return
+	}
+	sess.Forward(subRows)
+	for _, qi := range subQs {
+		m.sampleQueryColumn(sess, sc, consList[qi][c], qi, c, numSamples)
+	}
+}
+
+// sampleColumnPacked advances column c in groups of queries sharing a
+// constrained-prefix signature (the columns already sampled live). Each
+// group gets one packed restricted forward over its compacted sample rows;
+// a group whose prefix is empty degenerates to a single broadcast row —
+// every sample feeds identical MASK inputs, so one forwarded row answers
+// for all of them (this collapses the first constrained column of every
+// query to one row of FLOPs). Forwards are row-pure and each query keeps
+// its own rng stream, so grouping never perturbs any query's draws.
+//
+// iam:numsafe
+// iam:noalloc
+func (m *Model) sampleColumnPacked(sess *nn.Session, sc *EstimateScratch, consList [][]Constraint, numSamples, c int) {
+	probs := sc.probs
+	rows := sc.rows
+	subQs := sc.subQs[:0]
+	for qi, cons := range consList {
+		sc.claimed[qi] = false
+		if cons[c] != nil {
+			//lint:ignore noalloc sc.subQs is pre-sized to nq by ensure; append reuses retained capacity
+			subQs = append(subQs, qi)
+		}
+	}
+	sc.subQs = subQs
+	for gi, qi0 := range subQs {
+		if sc.claimed[qi0] {
+			continue
+		}
+		sig := sc.sigs[qi0]
+		plan := sc.planFor(m.Net, sig, len(m.Cards))
+		broadcast := plan.PackedDim() == 0
+		subRows := sc.subRows[:0]
+		groupQs := sc.groupQs[:0]
+		for _, qi := range subQs[gi:] {
+			if sc.claimed[qi] || sc.sigs[qi] != sig {
+				continue
+			}
+			sc.claimed[qi] = true
+			//lint:ignore noalloc sc.groupQs is pre-sized to nq by ensure; append reuses retained capacity
+			groupQs = append(groupQs, qi)
+			for s := 0; s < numSamples; s++ {
+				ri := qi*numSamples + s
+				if probs[ri] == 0 {
+					sc.subPos[ri] = -1
+					continue
+				}
+				if broadcast {
+					// All live inputs are MASK constants: row 0 stands in
+					// for every sample of the group.
+					sc.subPos[ri] = 0
+					if len(subRows) == 0 {
+						//lint:ignore noalloc sc.subRows is pre-sized by ensure; append reuses retained capacity
+						subRows = append(subRows, rows[ri])
+					}
+					continue
+				}
+				sc.subPos[ri] = len(subRows)
+				//lint:ignore noalloc sc.subRows is pre-sized to nq·numSamples by ensure; append reuses retained capacity
+				subRows = append(subRows, rows[ri])
+			}
+		}
+		sc.subRows, sc.groupQs = subRows, groupQs // retain any growth
+		if len(subRows) == 0 {
+			continue
+		}
+		sess.ForwardSampling(subRows, plan, c)
+		for _, qi := range groupQs {
+			m.sampleQueryColumn(sess, sc, consList[qi][c], qi, c, numSamples)
+		}
+	}
+}
+
+// sampleQueryColumn runs one query's per-sample draw loop for column c
+// against the logits of the last forward (dense or packed — sc.subPos maps
+// each live sample to its forwarded row either way).
+//
+// iam:numsafe
+// iam:noalloc
+func (m *Model) sampleQueryColumn(sess *nn.Session, sc *EstimateScratch, con Constraint, qi, c, numSamples int) {
+	card := m.Cards[c]
+	probs := sc.probs
+	rows := sc.rows
+	rng := sc.rngs[qi]
+	for s := 0; s < numSamples; s++ {
+		ri := qi*numSamples + s
+		if probs[ri] == 0 {
+			continue
+		}
+		d := sc.dist[:card]
+		//lint:ignore noalloc Dist's column-mismatch panic is a cold fmt.Sprintf; its steady path is alloc-free
+		sess.Dist(sc.subPos[ri], c, d)
+		wv := sc.w[:card]
+		con.Fill(rows[ri], wv)
+		// Fold the admission weights in and build the prefix sums
+		// in one pass; the running total accumulates in exactly the
+		// order the pre-fusion code used, so masses are bit-equal.
+		cdf := sc.cdf[:card]
+		var mass float64
+		for k := 0; k < card; k++ {
+			d[k] *= wv[k]
+			mass += d[k]
+			cdf[k] = mass
+		}
+		probs[ri] *= mass
+		if mass <= 0 || probs[ri] == 0 {
+			probs[ri] = 0
+			rows[ri][c] = 0 // keep the input valid for later forwards
+			continue
+		}
+		// Sample the next coordinate ∝ corrected conditional.
+		rows[ri][c] = pickCategorical(d, cdf, rng.Float64()*mass)
+	}
 }
 
 // bsearchMinCard is the domain size above which the categorical draw switches

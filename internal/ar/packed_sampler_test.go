@@ -1,0 +1,94 @@
+package ar
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPackedGroupingSharesForwards pins the packed sampler's forward
+// accounting: columns with an empty constrained prefix broadcast one row for
+// the whole batch, and queries sharing a prefix signature share one forward
+// per column.
+func TestPackedGroupingSharesForwards(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	ns := 16
+	consList := [][]Constraint{
+		{RangeConstraint{0, 2}, nil, RangeConstraint{0, 3}},
+		{RangeConstraint{1, 3}, nil, RangeConstraint{1, 4}},
+		{nil, RangeConstraint{0, 2}, RangeConstraint{0, 4}},
+	}
+	sess := m.Net.NewSession(3 * ns)
+	sc := NewEstimateScratch()
+	before := sess.ForwardedRows()
+	if _, err := m.EstimateBatchScratch(sess, sc, consList, ns, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := sess.ForwardedRows() - before
+	// Column 0: queries 0,1 share the empty prefix — one broadcast row.
+	// Column 1: query 2's prefix is still empty (it skipped column 0) — one
+	// broadcast row. Column 2: queries 0,1 share prefix {0} (2·ns rows in
+	// one forward), query 2 has prefix {1} (ns rows in another).
+	want := 1 + 1 + 2*ns + ns
+	if got != want {
+		t.Fatalf("forwarded %d rows, want %d (prefix groups must share forwards)", got, want)
+	}
+}
+
+// TestPackedPlanCacheReusedAcrossCalls: repeating a workload on the same
+// scratch must not rebuild plans — the cache keys on (net, generation,
+// prefix signature), all unchanged between calls.
+func TestPackedPlanCacheReusedAcrossCalls(t *testing.T) {
+	m := freshModel(t, []int{4, 4, 5})
+	consList := [][]Constraint{
+		{RangeConstraint{0, 2}, nil, RangeConstraint{0, 3}},
+	}
+	sess := m.Net.NewSession(8)
+	sc := NewEstimateScratch()
+	seeds := []int64{11}
+	if _, err := m.EstimateBatchScratch(sess, sc, consList, 8, seeds); err != nil {
+		t.Fatal(err)
+	}
+	nPlans := len(sc.plans)
+	if nPlans == 0 {
+		t.Fatal("packed sampler built no plans")
+	}
+	p0 := sc.plans[[4]uint64{}]
+	if _, err := m.EstimateBatchScratch(sess, sc, consList, 8, seeds); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.plans) != nPlans {
+		t.Fatalf("plan count changed across identical calls: %d -> %d", nPlans, len(sc.plans))
+	}
+	if sc.plans[[4]uint64{}] != p0 {
+		t.Fatal("plan for the empty prefix was rebuilt despite unchanged parameters")
+	}
+}
+
+// TestPackedMatchesDenseFallbackEstimates: the packed and dense samplers
+// draw through different logit reduction orders, so estimates are not
+// bit-equal — but on a trained model both are Monte Carlo estimates of the
+// same distribution and must agree closely at a healthy sample count.
+func TestPackedMatchesDenseFallbackEstimates(t *testing.T) {
+	m, _ := trainedModel(t)
+	cons := [][]Constraint{{RangeConstraint{0, 2}, nil, RangeConstraint{1, 3}}}
+	sess := m.Net.NewSession(2048)
+	sc := NewEstimateScratch()
+	seeds := []int64{77}
+
+	packedEst, err := m.EstimateBatchScratch(sess, sc, cons, 2048, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := packedEst[0]
+
+	defer func(prev bool) { packedSampling = prev }(packedSampling)
+	packedSampling = false
+	denseEst, err := m.EstimateBatchScratch(sess, sc, cons, 2048, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := denseEst[0]
+	if math.Abs(p-d) > 0.05*math.Max(p, d)+1e-3 {
+		t.Fatalf("packed estimate %v and dense estimate %v disagree beyond Monte Carlo noise", p, d)
+	}
+}

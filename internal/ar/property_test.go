@@ -64,8 +64,12 @@ func TestMonotoneUnderRangeWidening(t *testing.T) {
 }
 
 // TestRecordConsistentWithEstimate: EstimateBatchRecord's Est agrees with
-// EstimateBatch for the same seed.
+// EstimateBatch for the same seed. The record path (training-only) stays on
+// the dense forward, so the comparison pins the dense sampler — the packed
+// path's own equivalences live in packed_sampler_test.go.
 func TestRecordConsistentWithEstimate(t *testing.T) {
+	defer func(prev bool) { packedSampling = prev }(packedSampling)
+	packedSampling = false
 	m, _ := trainedModel(t)
 	cons := [][]Constraint{{RangeConstraint{0, 2}, nil, RangeConstraint{1, 3}}}
 	sess := m.Net.NewSession(512)

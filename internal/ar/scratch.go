@@ -1,6 +1,10 @@
 package ar
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"iam/internal/nn"
+)
 
 // EstimateScratch owns every buffer one progressive-sampling run needs, so a
 // long-lived caller (one estimate worker) can run EstimateBatchScratch with
@@ -20,6 +24,20 @@ type EstimateScratch struct {
 	out     []float64    // per-query estimates returned to the caller
 	rngs    []*rand.Rand // per-query sampling stream used by the core loop
 	owned   []*rand.Rand // reusable rand.Rand objects behind the seeded path
+
+	// Packed-sampler state: per-query constrained-prefix signatures, the
+	// per-column group-claim flags, the member list of the current group,
+	// and the plan cache. Plans key on the signature alone and invalidate
+	// wholesale when the network or its parameter generation changes — the
+	// cache survives across calls, so a worker reuses a handful of plans
+	// for its whole workload.
+	sigs    [][4]uint64
+	claimed []bool
+	groupQs []int
+	live    []bool // plan-building scratch, len nCols
+	planNet *nn.ResMADE
+	planGen int64
+	plans   map[[4]uint64]*nn.SamplingPlan
 }
 
 // NewEstimateScratch returns an empty scratch; buffers are sized lazily by
@@ -74,6 +92,51 @@ func (sc *EstimateScratch) ensure(nq, numSamples, nCols, maxCard int) {
 		sc.rngs = make([]*rand.Rand, nq)
 	}
 	sc.rngs = sc.rngs[:nq]
+	if cap(sc.sigs) < nq {
+		sc.sigs = make([][4]uint64, nq)
+	}
+	sc.sigs = sc.sigs[:nq]
+	if cap(sc.claimed) < nq {
+		sc.claimed = make([]bool, nq)
+	}
+	sc.claimed = sc.claimed[:nq]
+	if cap(sc.groupQs) < nq {
+		sc.groupQs = make([]int, 0, nq)
+	}
+	sc.groupQs = sc.groupQs[:0]
+	if cap(sc.live) < nCols {
+		sc.live = make([]bool, nCols)
+	}
+	sc.live = sc.live[:nCols]
+}
+
+// planFor returns the cached SamplingPlan for one constrained-prefix
+// signature, building and caching it on first sight. The cache is emptied
+// whenever the network or its parameter generation differs from the last
+// call — a hot-swapped or retrained model can never serve stale panels.
+//
+// iam:noalloc
+func (sc *EstimateScratch) planFor(net *nn.ResMADE, sig [4]uint64, nCols int) *nn.SamplingPlan {
+	if sc.planNet != net || sc.planGen != net.ParamGen() {
+		sc.planNet, sc.planGen = net, net.ParamGen()
+		if sc.plans == nil {
+			//lint:ignore noalloc one-time cache construction; steady state hits the map lookup below
+			sc.plans = make(map[[4]uint64]*nn.SamplingPlan)
+		} else {
+			clear(sc.plans)
+		}
+	}
+	if p, ok := sc.plans[sig]; ok {
+		return p
+	}
+	for c := 0; c < nCols; c++ {
+		sc.live[c] = sig[c>>6]&(1<<uint(c&63)) != 0
+	}
+	//lint:ignore noalloc amortized cold path: one plan build per new query prefix per parameter generation
+	p := net.NewSamplingPlan(sc.live[:nCols])
+	//lint:ignore noalloc amortized cold path: map insert once per new query prefix per parameter generation
+	sc.plans[sig] = p
+	return p
 }
 
 // seed aims the per-query RNG table at owned generators reseeded from seeds.

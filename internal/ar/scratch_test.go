@@ -35,10 +35,13 @@ func TestDeadSamplesNotForwarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := sess.ForwardedRows() - before
-	// Column 0 forwards both queries' samples (2·ns). The dead query's
-	// samples all collapse there, so columns 1 and 2 forward only the live
-	// query's ns rows each: 2·ns + ns + ns.
-	want := 4 * ns
+	// Column 0 has an empty constrained prefix, so the packed sampler
+	// broadcasts: one forwarded row answers for both queries' 2·ns samples.
+	// The dead query's samples all collapse there, so columns 1 and 2
+	// forward only the live query's ns rows each: 1 + ns + ns. The property
+	// under test — dead samples never re-forwarded — shows up as the
+	// missing dead-query rows at columns 1 and 2.
+	want := 1 + 2*ns
 	if got != want {
 		t.Fatalf("forwarded %d rows, want %d (dead samples must be skipped)", got, want)
 	}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"iam/internal/ar"
+)
+
+// Cross-query step fusion. When Config.StepFusion is on, concurrent
+// EstimateBatchSeeded calls coalesce their sampled queries into one shared
+// progressive-sampling run: the first submitter becomes the generation
+// leader, drains the queue, concatenates every waiter's constraint rows and
+// seeds, runs them as a single batch, and scatters the results back. The
+// packed sampler then groups the union of all in-flight queries by
+// constrained-prefix signature, so queries from different callers that share
+// a wildcard pattern share one forward per sampling step — the fused batch
+// amortises network evaluations across requests, not just within one.
+//
+// Fusion never changes answers. Every query draws from its own
+// content-derived seed stream, the samplers' matmuls are row-pure (each
+// output row is a function of its input row alone), and draws happen in a
+// fixed (column, sample) order per query — so an estimate is a pure function
+// of (model, query, seed) under any batch composition, fused or not. The
+// determinism tests pin this bitwise.
+
+// fuseJob is one caller's pending workload parked on the fusion queue. The
+// leader fills ests (and err) and closes done; the submitter owns the cons
+// and seeds backing until done is closed, so arenas behind them must not be
+// recycled earlier.
+type fuseJob struct {
+	cons  [][]ar.Constraint
+	seeds []int64
+	ests  []float64 // len == len(cons), written by the leader
+	err   error
+	done  chan struct{}
+}
+
+// estimateFused submits pending queries to the fusion queue and blocks until
+// a generation leader has estimated them. The caller holds m.mu.RLock; the
+// leader keeps holding it (read side, shared) for the whole run, and takes
+// fuseMu only for queue handoffs — never while sampling — so fusion adds no
+// lock-hold time to the model's write path.
+func (m *Model) estimateFused(pending [][]ar.Constraint, seeds []int64) ([]float64, error) {
+	job := &fuseJob{
+		cons:  pending,
+		seeds: seeds,
+		ests:  make([]float64, len(pending)),
+		done:  make(chan struct{}),
+	}
+	m.fuseMu.Lock()
+	m.fuseJobs = append(m.fuseJobs, job)
+	if m.fuseLeader {
+		// A leader is draining; it will pick this job up in its next
+		// generation (the drain loop re-checks the queue before retiring).
+		m.fuseMu.Unlock()
+		<-job.done
+		return job.ests, job.err
+	}
+	m.fuseLeader = true
+	for len(m.fuseJobs) > 0 {
+		jobs := m.fuseJobs
+		m.fuseJobs = nil
+		m.fuseMu.Unlock()
+		m.runFusedGeneration(jobs)
+		m.fuseMu.Lock()
+	}
+	m.fuseLeader = false
+	m.fuseMu.Unlock()
+	// The leader's own job was part of a generation it ran, so done is
+	// already closed; this read never blocks.
+	<-job.done
+	return job.ests, job.err
+}
+
+// runFusedGeneration estimates one drained generation of jobs as a single
+// concatenated batch and distributes the results. If the run panics, every
+// waiter is released with an error before the panic propagates — followers
+// must never deadlock on a dead leader.
+func (m *Model) runFusedGeneration(jobs []*fuseJob) {
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		err := fmt.Errorf("core: fused estimate generation failed")
+		for _, j := range jobs {
+			j.err = err
+			close(j.done)
+		}
+	}()
+
+	total := 0
+	for _, j := range jobs {
+		total += len(j.cons)
+	}
+	cons := make([][]ar.Constraint, 0, total)
+	seeds := make([]int64, 0, total)
+	for _, j := range jobs {
+		cons = append(cons, j.cons...)
+		seeds = append(seeds, j.seeds...)
+	}
+	ests := make([]float64, total)
+	err := m.runPending(cons, seeds, nil, ests)
+
+	off := 0
+	for _, j := range jobs {
+		copy(j.ests, ests[off:off+len(j.cons)])
+		j.err = err
+		off += len(j.cons)
+	}
+	completed = true
+	for _, j := range jobs {
+		close(j.done)
+	}
+}
+
+// SetStepFusion toggles cross-query step fusion on a trained model. The
+// serving layer calls this when activating a model version; flipping it
+// never changes any estimate, only whether concurrent callers share forward
+// passes.
+func (m *Model) SetStepFusion(on bool) {
+	m.mu.Lock()
+	m.cfg.StepFusion = on
+	m.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"iam/internal/query"
+	"iam/internal/testutil"
+	"iam/internal/vecmath"
+)
+
+// TestStepFusionMatchesUnfused pins the fusion contract bitwise: flipping
+// StepFusion never changes an estimate. A single caller under fusion becomes
+// its own generation leader, so this exercises the whole submit/drain/
+// scatter machinery on the same workload as the unfused path.
+func TestStepFusionMatchesUnfused(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MassCacheSize = 64
+	m, _ := trainTWI(t, cfg)
+	w := testutil.Workload(t, m.table, query.GenConfig{NumQueries: 12, Seed: 41})
+	seeds := make([]int64, len(w.Queries))
+	for i, q := range w.Queries {
+		seeds[i] = m.QuerySeed(q)
+	}
+
+	unfused, err := m.EstimateBatchSeeded(w.Queries, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetStepFusion(true)
+	fused, err := m.EstimateBatchSeeded(w.Queries, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range unfused {
+		if math.Float64bits(unfused[i]) != math.Float64bits(fused[i]) {
+			t.Fatalf("query %d: fused %v != unfused %v — fusion must be invisible", i, fused[i], unfused[i])
+		}
+	}
+}
+
+// TestStepFusionConcurrentDeterminism hammers the leader/follower protocol:
+// many goroutines submit overlapping slices of one workload concurrently, so
+// generations coalesce queries from different callers in scheduling-
+// dependent combinations — yet every answer must equal the solo unfused
+// baseline bit for bit, on every goroutine, in every round.
+func TestStepFusionConcurrentDeterminism(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MassCacheSize = 64
+	m, _ := trainTWI(t, cfg)
+	w := testutil.Workload(t, m.table, query.GenConfig{NumQueries: 16, Seed: 42})
+	seeds := make([]int64, len(w.Queries))
+	baseline := make([]float64, len(w.Queries))
+	for i, q := range w.Queries {
+		seeds[i] = m.QuerySeed(q)
+		solo, err := m.EstimateBatchSeeded([]*query.Query{q}, seeds[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = solo[0]
+	}
+
+	m.SetStepFusion(true)
+	const rounds = 4
+	const callers = 6
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		errCh := make(chan error, callers)
+		for g := 0; g < callers; g++ {
+			// Each caller takes a distinct rotating slice so generations
+			// mix different query subsets every round.
+			lo := (g * 3) % len(w.Queries)
+			hi := lo + 5
+			if hi > len(w.Queries) {
+				hi = len(w.Queries)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				got, err := m.EstimateBatchSeeded(w.Queries[lo:hi], seeds[lo:hi])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j, v := range got {
+					if math.Float64bits(v) != math.Float64bits(baseline[lo+j]) {
+						errCh <- errMismatch{qi: lo + j, got: v, want: baseline[lo+j]}
+						return
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errMismatch struct {
+	qi        int
+	got, want float64
+}
+
+func (e errMismatch) Error() string {
+	return "fused concurrent estimate diverged from solo baseline"
+}
+
+// TestEstimateBatchAllocBudget is the CI-gated allocation budget for the
+// serving hot path: after warm-up (pooled worker, pooled constraint arenas,
+// warm mass cache), one EstimateBatch over the benchmark workload must stay
+// within a small fixed number of heap allocations — the returned estimate
+// slice plus change — instead of the ~175/op the boxing-per-constraint path
+// used to cost.
+func TestEstimateBatchAllocBudget(t *testing.T) {
+	prev := vecmath.Parallelism(1)
+	defer vecmath.Parallelism(prev)
+
+	cfg := fastCfg()
+	cfg.MassCacheSize = 256
+	cfg.Workers = 1
+	m, _ := trainTWI(t, cfg)
+	w := testutil.Workload(t, m.table, query.GenConfig{NumQueries: 32, Seed: 43})
+
+	if _, err := m.EstimateBatch(w.Queries); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(10, func() {
+		if _, err := m.EstimateBatch(w.Queries); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 32
+	if n > budget {
+		t.Fatalf("steady-state EstimateBatch allocates %v per op, budget %d", n, budget)
+	}
+}

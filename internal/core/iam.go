@@ -93,6 +93,15 @@ type Config struct {
 	// Monte-Carlo/CDF mass computation entirely. 0 (the default) disables
 	// caching.
 	MassCacheSize int
+	// StepFusion coalesces concurrent EstimateBatch calls into shared
+	// progressive-sampling runs: a generation leader concatenates every
+	// in-flight caller's queries and runs them as one batch, so queries
+	// from different requests that share a wildcard pattern share one
+	// network forward per sampling step. Fusion never changes answers —
+	// every query draws from its own seed-derived stream and the sampler
+	// is row-pure, so estimates stay bit-identical to unfused runs. Off by
+	// default; the serving layer switches it on via SetStepFusion.
+	StepFusion bool
 	// TrainWorkers caps how many goroutines one joint-training mini-batch
 	// fans its shards across (each shard runs forward/backward on its own
 	// pooled session and gradient buffer; see train.go). 0 or 1 (the
@@ -254,10 +263,22 @@ type Model struct {
 	massDirty bool        // iam:guardedby mu
 
 	// poolMu guards the pool of reusable estimate workers (session + scratch
-	// pairs). Workers are checked out by concurrent EstimateBatch shards and
-	// returned when the shard completes; see getWorker/putWorker.
-	poolMu  sync.Mutex
-	workers []*estWorker // iam:guardedby poolMu
+	// pairs) and the pool of constraint-building scratches. Workers are
+	// checked out by concurrent EstimateBatch shards and returned when the
+	// shard completes; see getWorker/putWorker.
+	poolMu   sync.Mutex
+	workers  []*estWorker    // iam:guardedby poolMu
+	bscratch []*batchScratch // iam:guardedby poolMu
+
+	// fuseMu guards the step-fusion queue. The fusion leader holds the
+	// model's read lock for the whole fused run and takes fuseMu only for
+	// queue handoffs, never while sampling, so a writer waiting on mu is
+	// never blocked behind fuseMu.
+	//
+	// iam:lockorder Model.mu > Model.fuseMu
+	fuseMu     sync.Mutex
+	fuseJobs   []*fuseJob // iam:guardedby fuseMu
+	fuseLeader bool       // iam:guardedby fuseMu
 
 	// cacheMu guards the LRU cache of per-interval GMM range-mass vectors
 	// (§5.2 bias-correction weights), keyed by column and query interval.
@@ -638,12 +659,13 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 	defer m.mu.RUnlock()
 
 	out := make([]float64, len(qs))
-	pending := make([][]ar.Constraint, 0, len(qs))
-	seeds := make([]int64, 0, len(qs))
-	slots := make([]int, 0, len(qs))
+	nCols := len(m.arm.Cards)
+	bs := m.getBatchScratch()
+	defer m.putBatchScratch(bs)
+	bs.prep(len(qs), nCols)
 	for i, q := range qs {
-		cons, err := m.buildConstraints(q)
-		if err != nil {
+		cons := bs.consRow(i, nCols)
+		if err := m.buildConstraintsInto(q, bs, cons); err != nil {
 			return nil, err
 		}
 		if m.cfg.ExhaustiveLimit > 0 {
@@ -652,31 +674,60 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 				continue
 			}
 		}
-		pending = append(pending, cons)
+		bs.pending = append(bs.pending, cons)
 		if qseeds != nil {
-			seeds = append(seeds, qseeds[i])
+			bs.seeds = append(bs.seeds, qseeds[i])
 		} else {
-			seeds = append(seeds, querySeed(m.cfg.Seed, i))
+			bs.seeds = append(bs.seeds, querySeed(m.cfg.Seed, i))
 		}
-		slots = append(slots, i)
+		bs.slots = append(bs.slots, i)
 	}
-	if len(pending) == 0 {
+	if len(bs.pending) == 0 {
 		return out, nil
 	}
 
-	nw := m.estimateWorkerCount(len(pending))
-	if nw <= 1 {
-		w := m.getWorker(len(pending) * m.cfg.NumSamples)
-		ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending, m.cfg.NumSamples, seeds)
+	if m.cfg.StepFusion {
+		// The fusion leader reads bs.pending until every job in the
+		// generation completes; the deferred putBatchScratch runs only
+		// after estimateFused returns, which is after our job's done
+		// channel closed — the arenas cannot be recycled under the leader.
+		ests, err := m.estimateFused(bs.pending, bs.seeds)
 		if err != nil {
-			m.putWorker(w)
 			return nil, err
 		}
 		for j, v := range ests {
-			out[slots[j]] = v
+			out[bs.slots[j]] = v
 		}
-		m.putWorker(w)
 		return out, nil
+	}
+
+	if err := m.runPending(bs.pending, bs.seeds, bs.slots, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runPending estimates the sampled queries and scatters results into out:
+// query j lands in out[slots[j]] (slots == nil means out[j]). Single-worker
+// calls run inline on one pooled worker; otherwise the queries shard across
+// min(cfg.Workers, len(pending)) goroutines.
+func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int, out []float64) error {
+	nw := m.estimateWorkerCount(len(pending))
+	if nw <= 1 {
+		w := m.getWorker(len(pending) * m.cfg.NumSamples)
+		defer m.putWorker(w)
+		ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending, m.cfg.NumSamples, seeds)
+		if err != nil {
+			return err
+		}
+		for j, v := range ests {
+			if slots != nil {
+				out[slots[j]] = v
+			} else {
+				out[j] = v
+			}
+		}
+		return nil
 	}
 
 	chunk := (len(pending) + nw - 1) / nw
@@ -700,10 +751,10 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // estimateShard is the goroutine body of the batched-estimate fan-out:
@@ -720,98 +771,23 @@ func (m *Model) estimateShard(wi, lo, hi int, pending [][]ar.Constraint, seeds [
 		return
 	}
 	for j, v := range ests {
-		out[slots[lo+j]] = v
+		if slots != nil {
+			out[slots[lo+j]] = v
+		} else {
+			out[lo+j] = v
+		}
 	}
 }
 
 // buildConstraints performs the query construction q → q′ of §5.1 and
-// attaches the bias-correction weights of §5.2.
+// attaches the bias-correction weights of §5.2. Convenience wrapper for the
+// one-off callers (aggregates); the batched estimate path builds into pooled
+// arenas via buildConstraintsInto instead.
 func (m *Model) buildConstraints(q *query.Query) ([]ar.Constraint, error) {
-	if q.Table != m.table {
-		return nil, fmt.Errorf("core: query targets table %q, model trained on %q", q.Table.Name, m.table.Name)
-	}
 	cons := make([]ar.Constraint, len(m.arm.Cards))
-	for ci, r := range q.Ranges {
-		if r == nil {
-			continue // unqueried → wildcard skip
-		}
-		info := &m.cols[ci]
-		if r.Lo > r.Hi {
-			cons[info.arFirst] = ar.EmptyConstraint{}
-			continue
-		}
-		switch info.kind {
-		case kindGMM:
-			// Effective closed interval: open endpoints nudge inward so
-			// the empirical mode honours </> semantics exactly.
-			lo, hi := r.Lo, r.Hi
-			if !r.LoInc {
-				lo = math.Nextafter(lo, math.Inf(1))
-			}
-			if !r.HiInc {
-				hi = math.Nextafter(hi, math.Inf(-1))
-			}
-			k := info.gm.K()
-			if m.cfg.Uncorrected {
-				wts := make([]float64, k)
-				for j := range wts {
-					wts[j] = 1
-				}
-				cons[info.arFirst] = ar.WeightConstraint{W: wts}
-				continue
-			}
-			if wts, ok := m.massCacheGet(ci, r); ok {
-				cons[info.arFirst] = ar.WeightConstraint{W: wts}
-				continue
-			}
-			wts := make([]float64, k)
-			switch m.cfg.MassMode {
-			case MassMonteCarlo:
-				info.sampler.Mass(lo, hi, wts)
-			case MassExact:
-				info.gm.RangeMassExact(lo, hi, wts)
-			case MassEmpirical:
-				info.empirical.Mass(lo, hi, wts)
-			}
-			m.massCachePut(ci, r, wts)
-			cons[info.arFirst] = ar.WeightConstraint{W: wts}
-		case kindReduced:
-			lo, hi := r.Lo, r.Hi
-			if !r.LoInc {
-				lo = math.Nextafter(lo, math.Inf(1))
-			}
-			if !r.HiInc {
-				hi = math.Nextafter(hi, math.Inf(-1))
-			}
-			wts := make([]float64, info.reducer.K())
-			if m.cfg.Uncorrected {
-				for j := range wts {
-					wts[j] = 1
-				}
-			} else {
-				info.reducer.RangeMass(lo, hi, wts)
-			}
-			cons[info.arFirst] = ar.WeightConstraint{W: wts}
-		case kindPassthrough, kindFactored:
-			loCode, hiCode, ok, err := m.codeRange(ci, r)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				cons[info.arFirst] = ar.EmptyConstraint{}
-				continue
-			}
-			if info.kind == kindPassthrough {
-				cons[info.arFirst] = ar.RangeConstraint{Lo: loCode, Hi: hiCode}
-			} else {
-				for p := 0; p < info.arCount; p++ {
-					cons[info.arFirst+p] = ar.FactoredConstraint{
-						Spec: info.factor, Part: p, FirstCol: info.arFirst,
-						Lo: loCode, Hi: hiCode,
-					}
-				}
-			}
-		}
+	var bs batchScratch
+	if err := m.buildConstraintsInto(q, &bs, cons); err != nil {
+		return nil, err
 	}
 	return cons, nil
 }

@@ -170,6 +170,12 @@ type ResMADE struct {
 	layers     []*maskedLinear
 	outLayer   *maskedLinear
 	step       int
+	// gen counts parameter generations: every mutation of the weights
+	// (optimizer step, state restore, bias edit) bumps it, so cached
+	// SamplingPlans can detect staleness without comparing tensors. Plans
+	// additionally key on the network pointer — two networks both at
+	// generation k are unrelated.
+	gen int64
 
 	// Pre-bound AdamStep task plus its per-step operands. A fresh func
 	// literal per step would escape into vecmath.Do's goroutines and cost an
@@ -299,6 +305,7 @@ func (n *ResMADE) SetOutputBias(col int, bias []float64) error {
 		return fmt.Errorf("nn: SetOutputBias column %d expects %d values, got %d", col, hi-lo, len(bias))
 	}
 	copy(n.outLayer.b[lo:hi], bias)
+	n.gen++
 	return nil
 }
 
@@ -349,6 +356,14 @@ type Session struct {
 	preV, dpreV []vecmath.Matrix
 	logitsV     vecmath.Matrix
 
+	// Packed-forward headers (ForwardSampling): xpV aims at x[0]'s backing
+	// with the plan's packed stride, logitsPV at logits' backing with the
+	// sampling column's cardinality as stride, outWV at the out-layer weight
+	// rows of that column. samplingCol is the column the last forward served
+	// (−1 after a dense Forward), which is what Dist dispatches on.
+	xpV, logitsPV, outWV vecmath.Matrix
+	samplingCol          int
+
 	rows [][]int // codes of the current forward batch (for embedding grads)
 	buf  [][]int // owned storage for rows
 
@@ -365,7 +380,7 @@ type Session struct {
 
 // NewSession allocates buffers for batches up to maxBatch rows.
 func (n *ResMADE) NewSession(maxBatch int) *Session {
-	s := &Session{net: n, maxBatch: maxBatch}
+	s := &Session{net: n, maxBatch: maxBatch, samplingCol: -1}
 	dims := []int{n.inDim}
 	for _, l := range n.layers {
 		dims = append(dims, l.out)
@@ -404,6 +419,7 @@ func (s *Session) Forward(rows [][]int) {
 	}
 	s.B = len(rows)
 	s.forwardedRows += len(rows)
+	s.samplingCol = -1
 	// Keep our own copy of the codes for the embedding backward pass.
 	for i, r := range rows {
 		copy(s.buf[i], r)
@@ -550,6 +566,7 @@ func (s *Session) Backward(dLogits *vecmath.Matrix) {
 // step, never concurrently.
 func (n *ResMADE) AdamStep(lr, scale float64, g *Grads) {
 	n.step++
+	n.gen++
 	if n.adamTask == nil {
 		n.adamTask = n.adamTensor
 	}

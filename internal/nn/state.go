@@ -87,5 +87,6 @@ func (n *ResMADE) RestoreState(st *TrainState) error {
 		copy(l.vb, st.BV[i])
 	}
 	n.step = st.Step
+	n.gen++
 	return nil
 }

@@ -60,8 +60,13 @@ func (s *seededModel) EstimateBatch(qs []*query.Query) ([]float64, error) {
 	return s.m.EstimateBatchSeeded(qs, seeds)
 }
 
-// newVersion builds the standard production cascade pair around m.
-func newVersion(id int, t *dataset.Table, m *core.Model, seed int64, timeout time.Duration) (*version, error) {
+// newVersion builds the standard production cascade pair around m and
+// applies the server's step-fusion setting to it. Fusion lives in the model,
+// not the version: two versions wrap two distinct model instances with
+// independent fusion queues, and dispatch loads one version per batch — so a
+// fused generation can only ever combine queries aimed at the same model.
+func newVersion(id int, t *dataset.Table, m *core.Model, seed int64, timeout time.Duration, stepFusion bool) (*version, error) {
+	m.SetStepFusion(stepFusion)
 	samp, err := sampling.New(t, fallbackSampleSize, seed+5)
 	if err != nil {
 		return nil, fmt.Errorf("serve: version %d sampling tier: %w", id, err)

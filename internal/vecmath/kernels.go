@@ -142,8 +142,12 @@ func MatMulABT(dst, a, b *Matrix) {
 
 // matMulABTBlock computes rows [lo, hi) of dst = a·bᵀ. b is consumed in
 // panels of jBlockABT rows that stay cache-resident while the a rows of the
-// block stream past; within a panel two b rows are dotted per pass so each
-// load of an a element feeds two accumulator chains.
+// block stream past. The register tile is 2 a-rows × 2 b-rows × 4 lanes
+// (sixteen accumulators): each pass over the reduction produces four output
+// elements, so every load of an a or b element feeds two chains. Each
+// individual output element still accumulates through the exact four-lane
+// chain of the untiled kernel — the tile widens reuse, never reassociates —
+// so the naive-reference bit tests hold for every tile path.
 func matMulABTBlock(dst, a, b *Matrix, lo, hi int) {
 	c := a.Cols
 	c4 := c - c%4
@@ -152,7 +156,84 @@ func matMulABTBlock(dst, a, b *Matrix, lo, hi int) {
 		if j1 > b.Rows {
 			j1 = b.Rows
 		}
-		for i := lo; i < hi; i++ {
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			arow := a.Row(i)
+			crow := a.Row(i + 1)
+			drow := dst.Row(i)
+			erow := dst.Row(i + 1)
+			j := j0
+			for ; j+1 < j1; j += 2 {
+				b0 := b.Row(j)
+				b1 := b.Row(j + 1)
+				var p0, p1, p2, p3 float64
+				var q0, q1, q2, q3 float64
+				var r0, r1, r2, r3 float64
+				var s0, s1, s2, s3 float64
+				for k := 0; k < c4; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					c0, c1, c2, c3 := crow[k], crow[k+1], crow[k+2], crow[k+3]
+					w0, w1, w2, w3 := b0[k], b0[k+1], b0[k+2], b0[k+3]
+					v0, v1, v2, v3 := b1[k], b1[k+1], b1[k+2], b1[k+3]
+					p0 += a0 * w0
+					p1 += a1 * w1
+					p2 += a2 * w2
+					p3 += a3 * w3
+					q0 += a0 * v0
+					q1 += a1 * v1
+					q2 += a2 * v2
+					q3 += a3 * v3
+					r0 += c0 * w0
+					r1 += c1 * w1
+					r2 += c2 * w2
+					r3 += c3 * w3
+					s0 += c0 * v0
+					s1 += c1 * v1
+					s2 += c2 * v2
+					s3 += c3 * v3
+				}
+				p := p0 + p1 + p2 + p3
+				q := q0 + q1 + q2 + q3
+				r := r0 + r1 + r2 + r3
+				s := s0 + s1 + s2 + s3
+				for k := c4; k < c; k++ {
+					a0, c0 := arow[k], crow[k]
+					p += a0 * b0[k]
+					q += a0 * b1[k]
+					r += c0 * b0[k]
+					s += c0 * b1[k]
+				}
+				drow[j] = p
+				drow[j+1] = q
+				erow[j] = r
+				erow[j+1] = s
+			}
+			for ; j < j1; j++ {
+				brow := b.Row(j)
+				var p0, p1, p2, p3 float64
+				var r0, r1, r2, r3 float64
+				for k := 0; k < c4; k += 4 {
+					w0, w1, w2, w3 := brow[k], brow[k+1], brow[k+2], brow[k+3]
+					p0 += arow[k] * w0
+					p1 += arow[k+1] * w1
+					p2 += arow[k+2] * w2
+					p3 += arow[k+3] * w3
+					r0 += crow[k] * w0
+					r1 += crow[k+1] * w1
+					r2 += crow[k+2] * w2
+					r3 += crow[k+3] * w3
+				}
+				p := p0 + p1 + p2 + p3
+				r := r0 + r1 + r2 + r3
+				for k := c4; k < c; k++ {
+					p += arow[k] * brow[k]
+					r += crow[k] * brow[k]
+				}
+				drow[j] = p
+				erow[j] = r
+			}
+		}
+		for ; i < hi; i++ {
 			arow := a.Row(i)
 			drow := dst.Row(i)
 			j := j0

@@ -76,6 +76,21 @@ func ViewInto(dst, src *Matrix, rows int) *Matrix {
 	return dst
 }
 
+// ViewRowsInto repoints dst at rows [lo, hi) of src, reusing the
+// caller-owned header like ViewInto. It is how the sampler forwards restrict
+// the output layer to one column's logit rows: the row slice is a valid
+// Matrix because rows are contiguous in the row-major layout.
+//
+// iam:noalloc
+func ViewRowsInto(dst, src *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > src.Rows {
+		//lint:ignore noalloc cold shape-violation panic, never taken on the hot path
+		panic(fmt.Sprintf("vecmath: view of rows [%d,%d) from a %dx%d matrix", lo, hi, src.Rows, src.Cols))
+	}
+	dst.Rows, dst.Cols, dst.Data = hi-lo, src.Cols, src.Data[lo*src.Cols:hi*src.Cols]
+	return dst
+}
+
 // Eps is the default tolerance of ApproxEqual and ApproxZero: loose enough to
 // absorb accumulated float64 rounding in the kernels, tight enough to
 // distinguish any quantity the estimators care about.
