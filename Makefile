@@ -7,11 +7,11 @@ GO ?= go
 # Extra `go test` flags for bench-json; CI's short-scale run uses
 # BENCHFLAGS='-short -benchtime=1x'.
 BENCHFLAGS ?=
-BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMatMul|BenchmarkMatMulABT|BenchmarkPackedForward)$$
-TRAIN_BENCH_PATTERN = ^BenchmarkTrainJoint$$
+BENCH_PATTERN = ^(BenchmarkEstimateBatch|BenchmarkResMADEForward256|BenchmarkMatMul|BenchmarkMatMulABT|BenchmarkPackedForward|BenchmarkShardedEstimate)$$
+TRAIN_BENCH_PATTERN = ^(BenchmarkTrainJoint|BenchmarkShardedTrain)$$
 SERVE_BENCH_PATTERN = ^BenchmarkServeLatency$$
 
-.PHONY: build test test-short lint lint-warn lint-fix lint-json lint-det lint-graph noalloc-check vet bench-json clean
+.PHONY: build test test-short lint lint-warn lint-fix lint-json lint-det lint-graph noalloc-check vet bench-json bench-json-estimate bench-json-train bench-json-serve clean
 
 build:
 	$(GO) build ./...
@@ -56,20 +56,33 @@ lint-graph:
 noalloc-check:
 	$(GO) run ./cmd/noalloccheck
 
-# bench-json runs the estimation benchmarks (EstimateBatch worker scaling,
-# ResMADE forward, matmul kernels) into BENCH_estimate.json, the
-# data-parallel training benchmark (TrainJoint worker scaling) into
-# BENCH_train.json, and the end-to-end server latency benchmark
-# (ServeLatency p50/p95/p99) into BENCH_serve.json — the repo's
-# perf-trajectory files. The intermediate .bench.out keeps go test's exit
-# status visible to make (a pipe would swallow it).
-bench-json:
+# bench-json regenerates all three perf-trajectory files. Each target can
+# also be run on its own (bench-json-estimate | -train | -serve), so
+# iterating on one layer doesn't pay for re-benchmarking the others:
+#   bench-json-estimate — estimation benchmarks (EstimateBatch worker
+#     scaling, ResMADE forward, matmul kernels, sharded-ensemble estimate
+#     with/without early termination) into BENCH_estimate.json
+#   bench-json-train    — training benchmarks (TrainJoint worker scaling,
+#     sharded-ensemble training vs shard count) into BENCH_train.json
+#   bench-json-serve    — end-to-end server latency (ServeLatency
+#     p50/p95/p99) into BENCH_serve.json
+# The intermediate .bench.out keeps go test's exit status visible to make (a
+# pipe would swallow it).
+bench-json: bench-json-estimate bench-json-train bench-json-serve
+
+bench-json-estimate:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
-		./internal/core ./internal/nn ./internal/vecmath > .bench.out
+		./internal/core ./internal/nn ./internal/vecmath ./internal/shard > .bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_estimate.json < .bench.out
+	rm -f .bench.out
+
+bench-json-train:
 	$(GO) test -run '^$$' -bench '$(TRAIN_BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
-		./internal/core > .bench.out
+		./internal/core ./internal/shard > .bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_train.json < .bench.out
+	rm -f .bench.out
+
+bench-json-serve:
 	$(GO) test -run '^$$' -bench '$(SERVE_BENCH_PATTERN)' -benchmem $(BENCHFLAGS) \
 		./internal/serve > .bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json < .bench.out

@@ -45,10 +45,16 @@ type benchFile struct {
 	GOOS   string `json:"goos"`
 	GOARCH string `json:"goarch"`
 	CPU    string `json:"cpu,omitempty"`
-	// GitSHA is the commit the benchmarked tree was at (HEAD when benchjson
-	// ran). Omitted when the working directory is not a git checkout, so the
-	// tool still works on exported trees.
+	// GitSHA is the commit the benchmarked tree was at — HEAD at the moment
+	// benchjson ran, which is the parent of the commit that later lands this
+	// file (a run can't know the hash of a commit that doesn't exist yet).
+	// Omitted when the working directory is not a git checkout, so the tool
+	// still works on exported trees.
 	GitSHA string `json:"git_sha,omitempty"`
+	// GitDirty reports whether the benchmarked tree had uncommitted changes
+	// on top of GitSHA — true means the numbers may not reproduce from the
+	// commit alone. Omitted (false) on clean trees and non-git checkouts.
+	GitDirty bool `json:"git_dirty,omitempty"`
 	// NumCPU is the host's logical CPU count — the denominator behind every
 	// workers=max entry, without which the scaling ratios of two trajectory
 	// files cannot be compared.
@@ -89,8 +95,9 @@ func run(r io.Reader, out string) error {
 		Go:     runtime.Version(),
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
-		GitSHA: gitSHA(),
-		NumCPU: runtime.NumCPU(),
+		GitSHA:   gitSHA(),
+		GitDirty: gitDirty(),
+		NumCPU:   runtime.NumCPU(),
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -230,6 +237,18 @@ func gitSHA() string {
 		return ""
 	}
 	return strings.TrimSpace(string(out))
+}
+
+// gitDirty reports uncommitted changes (tracked files only — the trajectory
+// files this tool writes are themselves untracked-then-committed, and
+// untracked files can't have changed the benchmarked code). False when git
+// is unavailable.
+func gitDirty() bool {
+	out, err := exec.Command("git", "status", "--porcelain", "--untracked-files=no").Output()
+	if err != nil {
+		return false
+	}
+	return len(strings.TrimSpace(string(out))) > 0
 }
 
 // serveMetric lifts one quantile column out of BenchmarkServeLatency's

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -48,6 +49,7 @@ import (
 	"iam/internal/pghist"
 	"iam/internal/query"
 	"iam/internal/sampling"
+	"iam/internal/shard"
 )
 
 func main() {
@@ -74,6 +76,10 @@ func main() {
 		resume  = fs.Bool("resume", false, "resume IAM training from -checkpoint if it exists")
 		guardQ  = fs.Bool("guard", false, "wrap IAM in the fallback cascade IAM → sampling → Postgres")
 
+		shards   = fs.Int("shards", 1, "row shards: train one IAM per shard and merge estimates row-weighted (1 = plain model)")
+		shardWk  = fs.Int("shardworkers", -1, "concurrently training shards (0/1 sequential, -1 = GOMAXPROCS); trained parameters are identical for every setting")
+		earlyRel = fs.Float64("earlystop", 0, "variance-based early termination: skip remaining shards once a query's CI is tighter than this relative error (0 = off, answers exhaustive)")
+
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file before exiting")
 		blockProf = fs.String("blockprofile", "", "write a goroutine-blocking profile to this file before exiting")
@@ -93,6 +99,7 @@ func main() {
 		epochs: *epochs, seed: *seed, trainWorkers: *trainWk,
 		loadFrom: *loadFr, saveTo: *saveTo,
 		checkpoint: *ckpt, resume: *resume,
+		shards: *shards, shardWorkers: *shardWk, earlyStopRelErr: *earlyRel,
 	}
 
 	var t *dataset.Table
@@ -112,7 +119,7 @@ func main() {
 		if opts.saveTo == "" && opts.checkpoint == "" {
 			die(fmt.Errorf("train requires -save and/or -checkpoint (otherwise the model is discarded)"))
 		}
-		m := obtainIAM(ctx, t, opts)
+		m := obtainModel(ctx, t, opts)
 		fmt.Printf("trained %s on %s: %d epochs, model size %d bytes\n",
 			m.Name(), t.Name, *epochs, m.SizeBytes())
 	case "stats":
@@ -142,6 +149,9 @@ func main() {
 			die(fmt.Errorf("agg requires -col"))
 		}
 		q := parseOrDie(t, *qstr)
+		if opts.shards > 1 {
+			die(fmt.Errorf("agg needs the single-model AVG/SUM path; drop -shards"))
+		}
 		m := obtainIAM(ctx, t, opts)
 		avg, err := m.EstimateAvg(q, *col)
 		die(err)
@@ -284,21 +294,33 @@ type trainOpts struct {
 	saveTo       string
 	checkpoint   string
 	resume       bool
+
+	shards          int
+	shardWorkers    int
+	earlyStopRelErr float64
 }
 
-// obtainIAM loads a saved model when -load is given, otherwise trains
-// (optionally checkpointing per epoch, and atomically saving the result).
-func obtainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
+// trainedModel is what train/estimate/eval need from either a plain
+// core.Model or a sharded shard.Ensemble.
+type trainedModel interface {
+	estimator.Estimator
+	SizeBytes() int
+	Save(w io.Writer) error
+}
+
+// obtainModel loads a saved model when -load is given (plain or ensemble,
+// auto-detected from the file's magic prefix), otherwise trains — sharded
+// when -shards > 1 — and atomically saves the result if asked.
+func obtainModel(ctx context.Context, t *dataset.Table, o trainOpts) trainedModel {
 	if o.loadFrom != "" {
-		f, err := os.Open(o.loadFrom)
-		die(err)
-		defer func() { _ = f.Close() }() //lint:ignore errwrap read-only descriptor
-		m, err := core.Load(f, t)
-		die(err)
-		fmt.Fprintf(os.Stderr, "loaded model from %s\n", o.loadFrom)
-		return m
+		return loadModel(o.loadFrom, t)
 	}
-	m := trainIAM(ctx, t, o)
+	var m trainedModel
+	if o.shards > 1 {
+		m = trainEnsemble(ctx, t, o)
+	} else {
+		m = trainIAM(ctx, t, o)
+	}
 	if o.saveTo != "" {
 		die(atomicfile.WriteFile(o.saveTo, func(w io.Writer) error {
 			return m.Save(w)
@@ -308,14 +330,75 @@ func obtainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
 	return m
 }
 
-// obtainEstimator returns the IAM model, optionally wrapped in the guard
-// cascade with a sampling estimator and a Postgres histogram as fallbacks.
+// loadModel opens path and dispatches on the file's leading bytes: ensemble
+// snapshots carry the shard.Magic prefix, plain models are bare gob streams.
+func loadModel(path string, t *dataset.Table) trainedModel {
+	f, err := os.Open(path)
+	die(err)
+	defer func() { _ = f.Close() }() //lint:ignore errwrap read-only descriptor
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(shard.Magic))
+	if err != nil && !errors.Is(err, io.EOF) {
+		die(err)
+	}
+	if shard.IsEnsemble(head) {
+		e, err := shard.Load(br, t)
+		die(err)
+		fmt.Fprintf(os.Stderr, "loaded %d-shard ensemble from %s\n", e.NumShards(), path)
+		return e
+	}
+	m, err := core.Load(br, t)
+	die(err)
+	fmt.Fprintf(os.Stderr, "loaded model from %s\n", path)
+	return m
+}
+
+// obtainIAM is obtainModel restricted to the plain single-model path, for
+// subcommands (agg) that need core.Model-only APIs.
+func obtainIAM(ctx context.Context, t *dataset.Table, o trainOpts) *core.Model {
+	o.shards = 1
+	m, ok := obtainModel(ctx, t, o).(*core.Model)
+	if !ok {
+		die(fmt.Errorf("%s holds a sharded ensemble; this subcommand needs a plain model", o.loadFrom))
+	}
+	return m
+}
+
+// obtainEstimator returns the trained model (plain or ensemble), optionally
+// wrapped in the guard cascade with a sampling estimator and a Postgres
+// histogram as fallbacks.
 func obtainEstimator(ctx context.Context, t *dataset.Table, o trainOpts, guarded bool) estimator.Estimator {
-	m := obtainIAM(ctx, t, o)
+	m := obtainModel(ctx, t, o)
 	if !guarded {
 		return m
 	}
 	return guardedCascade(t, m, o.seed)
+}
+
+func trainEnsemble(ctx context.Context, t *dataset.Table, o trainOpts) *shard.Ensemble {
+	cfg := shard.Config{
+		Shards:          o.shards,
+		TrainParallel:   o.shardWorkers,
+		EarlyStopRelErr: o.earlyStopRelErr,
+	}
+	cfg.Config = core.Config{
+		Epochs: o.epochs, Seed: o.seed, Hidden: []int{64, 32, 32, 64},
+		TrainWorkers:   o.trainWorkers,
+		CheckpointPath: o.checkpoint, Resume: o.resume,
+	}
+	fmt.Fprintf(os.Stderr, "training %d-shard IAM ensemble on %s (%d rows, %d epochs)...\n",
+		o.shards, t.Name, t.NumRows(), o.epochs)
+	e, err := shard.TrainContext(ctx, t, cfg)
+	if errors.Is(err, context.Canceled) {
+		if o.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted; per-shard checkpoints at %s.shard* (rerun with -resume)\n", o.checkpoint)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted")
+		}
+		os.Exit(130)
+	}
+	die(err)
+	return e
 }
 
 // guardedCascade builds the production-shaped fallback chain: the learned

@@ -21,10 +21,12 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +36,7 @@ import (
 	"iam/internal/core"
 	"iam/internal/dataset"
 	"iam/internal/serve"
+	"iam/internal/shard"
 )
 
 func main() {
@@ -75,9 +78,9 @@ func main() {
 		t = makeDataset(*dsName, *rows, *seed)
 	}
 
-	m := obtainModel(ctx, t, *loadFrom, *epochs, *seed, *ckpt, *resume)
+	m, ens := obtainModel(ctx, t, *loadFrom, *epochs, *seed, *ckpt, *resume)
 
-	s, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxBatch:        *maxBatch,
 		BatchWindow:     *batchWindow,
 		QueueDepth:      *queueDepth,
@@ -87,7 +90,14 @@ func main() {
 		DefaultDeadline: *deadline,
 		Seed:            *seed,
 		SavePath:        *saveTo,
-	}, t, m)
+	}
+	var s *serve.Server
+	var err error
+	if ens != nil {
+		s, err = serve.NewEnsemble(cfg, t, ens)
+	} else {
+		s, err = serve.New(cfg, t, m)
+	}
 	die(err)
 
 	var trainErr <-chan error
@@ -128,15 +138,29 @@ func main() {
 	fmt.Fprintln(os.Stderr, "iamserve: shutdown complete")
 }
 
-func obtainModel(ctx context.Context, t *dataset.Table, loadFrom string, epochs int, seed int64, ckpt string, resume bool) *core.Model {
+// obtainModel returns exactly one of (model, ensemble): -load auto-detects
+// the file format (ensembles carry the shard.Magic prefix), training always
+// produces a plain model.
+func obtainModel(ctx context.Context, t *dataset.Table, loadFrom string, epochs int, seed int64, ckpt string, resume bool) (*core.Model, *shard.Ensemble) {
 	if loadFrom != "" {
 		f, err := os.Open(loadFrom)
 		die(err)
 		defer func() { _ = f.Close() }() //lint:ignore errwrap read-only descriptor
-		m, err := core.Load(f, t)
+		br := bufio.NewReader(f)
+		head, err := br.Peek(len(shard.Magic))
+		if err != nil && !errors.Is(err, io.EOF) {
+			die(err)
+		}
+		if shard.IsEnsemble(head) {
+			e, err := shard.Load(br, t)
+			die(err)
+			fmt.Fprintf(os.Stderr, "iamserve: loaded %d-shard ensemble from %s\n", e.NumShards(), loadFrom)
+			return nil, e
+		}
+		m, err := core.Load(br, t)
 		die(err)
 		fmt.Fprintf(os.Stderr, "iamserve: loaded model from %s\n", loadFrom)
-		return m
+		return m, nil
 	}
 	fmt.Fprintf(os.Stderr, "iamserve: training on %s (%d rows, %d epochs)...\n", t.Name, t.NumRows(), epochs)
 	m, err := core.TrainContext(ctx, t, trainConfig(epochs, seed, ckpt, resume))
@@ -145,7 +169,7 @@ func obtainModel(ctx context.Context, t *dataset.Table, loadFrom string, epochs 
 		os.Exit(130)
 	}
 	die(err)
-	return m
+	return m, nil
 }
 
 func trainConfig(epochs int, seed int64, ckpt string, resume bool) core.Config {

@@ -311,12 +311,28 @@ func (m *Model) estimateBatchInto(sess *nn.Session, sc *EstimateScratch, consLis
 	}
 
 	out := sc.out[:nq]
+	varOut := sc.varOut[:nq]
 	for qi := 0; qi < nq; qi++ {
 		var s float64
 		for i := qi * numSamples; i < (qi+1)*numSamples; i++ {
 			s += probs[i]
 		}
-		out[qi] = vecmath.Clamp(s/float64(numSamples), 0, 1)
+		mean := s / float64(numSamples)
+		out[qi] = vecmath.Clamp(mean, 0, 1)
+		// Sample variance of the mean estimator, Var(paths)/S — the standard
+		// error progressive sampling carries for free. Read-only second pass
+		// over the path probabilities, so the estimate above is bit-identical
+		// whether or not a caller ever looks at Variances().
+		varOut[qi] = 0
+		if numSamples > 1 {
+			var ss float64
+			for i := qi * numSamples; i < (qi+1)*numSamples; i++ {
+				d := probs[i] - mean
+				ss += d * d
+			}
+			//lint:ignore numflow the enclosing numSamples > 1 check keeps both denominators ≥ 1
+			varOut[qi] = ss / float64(numSamples-1) / float64(numSamples)
+		}
 	}
 	return out
 }

@@ -22,6 +22,7 @@ type EstimateScratch struct {
 	subRows [][]int      // live rows of the current column's sub-batch
 	subQs   []int        // query indices constraining the current column
 	out     []float64    // per-query estimates returned to the caller
+	varOut  []float64    // per-query variance of the mean (see Variances)
 	rngs    []*rand.Rand // per-query sampling stream used by the core loop
 	owned   []*rand.Rand // reusable rand.Rand objects behind the seeded path
 
@@ -88,6 +89,10 @@ func (sc *EstimateScratch) ensure(nq, numSamples, nCols, maxCard int) {
 		sc.out = make([]float64, nq)
 	}
 	sc.out = sc.out[:nq]
+	if cap(sc.varOut) < nq {
+		sc.varOut = make([]float64, nq)
+	}
+	sc.varOut = sc.varOut[:nq]
 	if cap(sc.rngs) < nq {
 		sc.rngs = make([]*rand.Rand, nq)
 	}
@@ -138,6 +143,14 @@ func (sc *EstimateScratch) planFor(net *nn.ResMADE, sig [4]uint64, nCols int) *n
 	sc.plans[sig] = p
 	return p
 }
+
+// Variances returns the per-query sample variance of the *mean* estimator
+// from the last estimate run on this scratch: Var(path probabilities) / S,
+// the square of the Monte-Carlo standard error progressive sampling carries
+// for free. Entries for exactly answered queries (all paths identical, or a
+// single sample) are 0. The returned slice aliases sc and is valid until the
+// next call on sc.
+func (sc *EstimateScratch) Variances() []float64 { return sc.varOut }
 
 // seed aims the per-query RNG table at owned generators reseeded from seeds.
 // Generators are reused across calls (rand.NewSource is a ~5 KiB allocation),

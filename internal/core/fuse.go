@@ -100,7 +100,7 @@ func (m *Model) runFusedGeneration(jobs []*fuseJob) {
 		seeds = append(seeds, j.seeds...)
 	}
 	ests := make([]float64, total)
-	err := m.runPending(cons, seeds, nil, ests)
+	err := m.runPending(cons, seeds, nil, ests, nil)
 
 	off := 0
 	for _, j := range jobs {

@@ -701,17 +701,78 @@ func (m *Model) EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float6
 		return out, nil
 	}
 
-	if err := m.runPending(bs.pending, bs.seeds, bs.slots, out); err != nil {
+	if err := m.runPending(bs.pending, bs.seeds, bs.slots, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// EstimateBatchVarSeeded is EstimateBatchSeeded extended with the per-query
+// Monte-Carlo variance of each estimate: vars[i] is the sample variance of
+// the mean over query i's progressive-sampling paths (Var(paths)/S), the
+// squared standard error the sharded ensemble's early-termination CI feeds
+// on. Queries answered by exhaustive enumeration are exact and report
+// variance 0. Estimates are bit-identical to EstimateBatchSeeded — the
+// variance is a read-only second pass over the same path probabilities —
+// but this path never routes through step fusion (fused generations don't
+// carry variances), so it holds for callers that leave StepFusion off, which
+// the ensemble's per-shard models do.
+//
+// iam:deterministic
+func (m *Model) EstimateBatchVarSeeded(qs []*query.Query, qseeds []int64) (ests, vars []float64, err error) {
+	if qseeds != nil && len(qseeds) != len(qs) {
+		return nil, nil, fmt.Errorf("core: %d seeds for %d queries", len(qseeds), len(qs))
+	}
+	m.mu.RLock()
+	if m.massDirty {
+		m.mu.RUnlock()
+		m.mu.Lock()
+		m.refreshMassEstimatorsLocked()
+		m.mu.Unlock()
+		m.mu.RLock()
+	}
+	defer m.mu.RUnlock()
+
+	out := make([]float64, len(qs))
+	vout := make([]float64, len(qs))
+	nCols := len(m.arm.Cards)
+	bs := m.getBatchScratch()
+	defer m.putBatchScratch(bs)
+	bs.prep(len(qs), nCols)
+	for i, q := range qs {
+		cons := bs.consRow(i, nCols)
+		if err := m.buildConstraintsInto(q, bs, cons); err != nil {
+			return nil, nil, err
+		}
+		if m.cfg.ExhaustiveLimit > 0 {
+			if est, ok := m.arm.EstimateExhaustive(cons, m.cfg.ExhaustiveLimit); ok {
+				out[i] = est
+				continue
+			}
+		}
+		bs.pending = append(bs.pending, cons)
+		if qseeds != nil {
+			bs.seeds = append(bs.seeds, qseeds[i])
+		} else {
+			bs.seeds = append(bs.seeds, querySeed(m.cfg.Seed, i))
+		}
+		bs.slots = append(bs.slots, i)
+	}
+	if len(bs.pending) == 0 {
+		return out, vout, nil
+	}
+	if err := m.runPending(bs.pending, bs.seeds, bs.slots, out, vout); err != nil {
+		return nil, nil, err
+	}
+	return out, vout, nil
+}
+
 // runPending estimates the sampled queries and scatters results into out:
-// query j lands in out[slots[j]] (slots == nil means out[j]). Single-worker
-// calls run inline on one pooled worker; otherwise the queries shard across
-// min(cfg.Workers, len(pending)) goroutines.
-func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int, out []float64) error {
+// query j lands in out[slots[j]] (slots == nil means out[j]). vars, when
+// non-nil, receives each query's sampling variance in the same slots.
+// Single-worker calls run inline on one pooled worker; otherwise the queries
+// shard across min(cfg.Workers, len(pending)) goroutines.
+func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int, out, vars []float64) error {
 	nw := m.estimateWorkerCount(len(pending))
 	if nw <= 1 {
 		w := m.getWorker(len(pending) * m.cfg.NumSamples)
@@ -720,13 +781,7 @@ func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int
 		if err != nil {
 			return err
 		}
-		for j, v := range ests {
-			if slots != nil {
-				out[slots[j]] = v
-			} else {
-				out[j] = v
-			}
-		}
+		scatterShard(ests, w.scratch.Variances(), 0, slots, out, vars)
 		return nil
 	}
 
@@ -745,7 +800,7 @@ func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
-			m.estimateShard(wi, lo, hi, pending, seeds, slots, out, errs)
+			m.estimateShard(wi, lo, hi, pending, seeds, slots, out, vars, errs)
 		}(wi, lo, hi)
 	}
 	wg.Wait()
@@ -759,10 +814,10 @@ func (m *Model) runPending(pending [][]ar.Constraint, seeds []int64, slots []int
 
 // estimateShard is the goroutine body of the batched-estimate fan-out:
 // worker wi estimates pending[lo:hi] on a pooled session and scatters the
-// results into its disjoint out slots.
+// results into its disjoint out (and vars) slots.
 //
 // iam:detsource each query draws only from its seeds[i]-derived stream and shards write disjoint out/errs slots, so results are independent of worker count and scheduling
-func (m *Model) estimateShard(wi, lo, hi int, pending [][]ar.Constraint, seeds []int64, slots []int, out []float64, errs []error) {
+func (m *Model) estimateShard(wi, lo, hi int, pending [][]ar.Constraint, seeds []int64, slots []int, out, vars []float64, errs []error) {
 	w := m.getWorker((hi - lo) * m.cfg.NumSamples)
 	defer m.putWorker(w)
 	ests, err := m.arm.EstimateBatchScratch(w.sess, w.scratch, pending[lo:hi], m.cfg.NumSamples, seeds[lo:hi])
@@ -770,11 +825,23 @@ func (m *Model) estimateShard(wi, lo, hi int, pending [][]ar.Constraint, seeds [
 		errs[wi] = err
 		return
 	}
+	scatterShard(ests, w.scratch.Variances(), lo, slots, out, vars)
+}
+
+// scatterShard lands one worker's estimates (and, when vars is non-nil, the
+// matching sampling variances) into their batch-level slots: shard-local
+// query j goes to slot slots[lo+j], or position lo+j when slots is nil.
+//
+// iam:noalloc
+func scatterShard(ests, shardVars []float64, lo int, slots []int, out, vars []float64) {
 	for j, v := range ests {
+		slot := lo + j
 		if slots != nil {
-			out[slots[lo+j]] = v
-		} else {
-			out[lo+j] = v
+			slot = slots[lo+j]
+		}
+		out[slot] = v
+		if vars != nil {
+			vars[slot] = shardVars[j]
 		}
 	}
 }
@@ -842,6 +909,11 @@ func (m *Model) SizeBytes() int {
 	}
 	return s
 }
+
+// Table returns the table the model is bound to. Queries must target this
+// exact table value (pointer identity); the sharded ensemble uses this to
+// validate hot-swapped per-shard models against their shard's sub-table.
+func (m *Model) Table() *dataset.Table { return m.table }
 
 // GMMFor exposes the fitted mixture of column name (nil if the column is
 // not GMM-reduced) — used by diagnostics and examples.

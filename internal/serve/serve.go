@@ -30,6 +30,7 @@ import (
 	"iam/internal/guard"
 	"iam/internal/guard/faultinject"
 	"iam/internal/query"
+	"iam/internal/shard"
 )
 
 // Sentinel errors of the admission path.
@@ -204,6 +205,21 @@ type Server struct {
 func New(cfg Config, t *dataset.Table, m *core.Model) (*Server, error) {
 	s := newServer(cfg, t)
 	v, err := newVersion(1, t, m, s.cfg.Seed, s.cfg.TierTimeout, !s.cfg.NoStepFusion)
+	if err != nil {
+		return nil, err
+	}
+	s.start(v)
+	return s, nil
+}
+
+// NewEnsemble builds a server over a sharded ensemble instead of a single
+// model. The ensemble slots into the same cascade (ensemble → sampling →
+// histogram) and every serving feature — batching, hot swap, rollback,
+// shutdown persistence — applies unchanged; per-shard staleness fallback is
+// handled inside the ensemble itself (see internal/shard).
+func NewEnsemble(cfg Config, t *dataset.Table, e *shard.Ensemble) (*Server, error) {
+	s := newServer(cfg, t)
+	v, err := newVersion(1, t, e, s.cfg.Seed, s.cfg.TierTimeout, !s.cfg.NoStepFusion)
 	if err != nil {
 		return nil, err
 	}
@@ -491,6 +507,22 @@ func (s *Server) Swap(m *core.Model) (int, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	v, err := newVersion(s.nextID+1, s.table, m, s.cfg.Seed, s.cfg.TierTimeout, !s.cfg.NoStepFusion)
+	if err != nil {
+		return 0, err
+	}
+	s.installLocked(v)
+	return v.id, nil
+}
+
+// SwapEnsemble is Swap for a sharded ensemble: the ensemble becomes the new
+// version's primary tier, and the superseded version (single model or
+// ensemble) drains and is retained as the rollback target. Mixed-kind swaps
+// (model → ensemble and back) are fully supported — versions only see the
+// served interface.
+func (s *Server) SwapEnsemble(e *shard.Ensemble) (int, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	v, err := newVersion(s.nextID+1, s.table, e, s.cfg.Seed, s.cfg.TierTimeout, !s.cfg.NoStepFusion)
 	if err != nil {
 		return 0, err
 	}

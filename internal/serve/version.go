@@ -2,10 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
-	"iam/internal/core"
 	"iam/internal/dataset"
 	"iam/internal/estimator"
 	"iam/internal/guard"
@@ -13,6 +13,21 @@ import (
 	"iam/internal/query"
 	"iam/internal/sampling"
 )
+
+// served is the model surface a version serves. Both *core.Model and
+// *shard.Ensemble satisfy it, so the whole serving stack — dynamic batching,
+// guard cascades, hot swap, rollback, shutdown persistence — works unchanged
+// over a single model or a sharded ensemble.
+type served interface {
+	estimator.Estimator
+	// QuerySeed derives the content-addressed sampling seed for q.
+	QuerySeed(q *query.Query) int64
+	// EstimateBatchSeeded estimates with caller-pinned per-query seeds.
+	EstimateBatchSeeded(qs []*query.Query, qseeds []int64) ([]float64, error)
+	SetStepFusion(on bool)
+	ReleaseWorkers()
+	Save(w io.Writer) error
+}
 
 // version is one immutable generation of the serving stack: a model, its
 // full guard cascade (model → sampling → histogram) and the cheap fallback
@@ -22,7 +37,7 @@ import (
 // every swap instead of a lifetime average.
 type version struct {
 	id    int
-	model *core.Model // nil for injected test cascades
+	model served // nil for injected test cascades
 	// cascade answers through the model with fallback tiers behind it.
 	cascade *guard.Guarded
 	// fallback is the cheap tier pair: sub-millisecond, cannot
@@ -34,11 +49,11 @@ type version struct {
 	inflight atomic.Int64
 }
 
-// seededModel adapts a core.Model so batched estimates draw content-derived
-// sampling streams (core.Model.QuerySeed) instead of batch-position streams.
-// This is what makes server-side dynamic batching invisible: an estimate is
-// a pure function of (model, query), never of batch composition.
-type seededModel struct{ m *core.Model }
+// seededModel adapts a served model so batched estimates draw
+// content-derived sampling streams (QuerySeed) instead of batch-position
+// streams. This is what makes server-side dynamic batching invisible: an
+// estimate is a pure function of (model, query), never of batch composition.
+type seededModel struct{ m served }
 
 func (s *seededModel) Name() string { return s.m.Name() }
 
@@ -65,7 +80,7 @@ func (s *seededModel) EstimateBatch(qs []*query.Query) ([]float64, error) {
 // not the version: two versions wrap two distinct model instances with
 // independent fusion queues, and dispatch loads one version per batch — so a
 // fused generation can only ever combine queries aimed at the same model.
-func newVersion(id int, t *dataset.Table, m *core.Model, seed int64, timeout time.Duration, stepFusion bool) (*version, error) {
+func newVersion(id int, t *dataset.Table, m served, seed int64, timeout time.Duration, stepFusion bool) (*version, error) {
 	m.SetStepFusion(stepFusion)
 	samp, err := sampling.New(t, fallbackSampleSize, seed+5)
 	if err != nil {

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"iam/internal/dataset"
+	"iam/internal/query"
+	"iam/internal/testutil"
+)
+
+func benchCfg(k int) Config {
+	cfg := Config{Shards: k, TrainParallel: -1}
+	cfg.GMMThreshold = 50
+	cfg.Epochs = 2
+	cfg.Hidden = []int{64, 32, 32, 64}
+	cfg.NumSamples = 500
+	cfg.Seed = 2
+	return cfg
+}
+
+func benchRows() int {
+	if testing.Short() {
+		return 2000 // CI bench job scale: same shape, faster setup
+	}
+	return 5000
+}
+
+// BenchmarkShardedTrain is the sharded-training headline: full ensemble
+// training (per-shard GMM fit + AR train, shards in parallel) at increasing
+// shard counts on a fixed table, reported as rows/s. shards=1 is the plain
+// single-model baseline; the per-shard trajectories are bit-identical
+// regardless of TrainParallel, so the comparison is pure wall-clock.
+// `make bench-json-train` records the rows into BENCH_train.json.
+func BenchmarkShardedTrain(b *testing.B) {
+	rows := benchRows()
+	tb := dataset.SynthTWI(rows, 1)
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg(k)
+				cfg.Seed = int64(2 + i)
+				e, err := Train(tb, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.ReleaseWorkers()
+			}
+			b.ReportMetric(float64(rows*b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkShardedEstimate is the sharded-serving headline: one 64-query
+// batch per iteration through a 4-shard ensemble, exhaustive merge vs
+// variance-based early termination, reported as queries/s plus the fraction
+// of shard visits early termination skipped (0 for the exhaustive rows).
+// `make bench-json-estimate` records the rows into BENCH_estimate.json.
+func BenchmarkShardedEstimate(b *testing.B) {
+	const k = 4
+	tb := dataset.SynthTWI(benchRows(), 1)
+	w := testutil.Workload(b, tb, query.GenConfig{NumQueries: 64, Seed: 3, SkipExec: true})
+	for _, bc := range []struct {
+		name   string
+		relErr float64
+	}{{"earlystop=off", 0}, {"earlystop=0.2", 0.2}} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchCfg(k)
+			cfg.EarlyStopRelErr = bc.relErr
+			e, err := Train(tb, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.ReleaseWorkers()
+			if _, err := e.EstimateBatch(w.Queries); err != nil {
+				b.Fatal(err) // warm the per-shard worker pools outside the timer
+			}
+			e.ResetEarlyStopStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.EstimateBatch(w.Queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(w.Queries)*b.N)/b.Elapsed().Seconds(), "queries/s")
+			visited, skipped := e.EarlyStopStats()
+			if total := visited + skipped; total > 0 {
+				b.ReportMetric(float64(skipped)/float64(total), "skipped-frac")
+			}
+		})
+	}
+}
